@@ -1,0 +1,238 @@
+(* dynmos — command-line front end.
+
+   Subcommands:
+     faultlib FILE       generate and print the fault library of the cells
+                         in a description file (optionally emit Pascal or
+                         OCaml source);
+     protest CIRCUIT     run the PROTEST pipeline on a built-in benchmark
+                         circuit (signal probabilities, detection
+                         probabilities, test length, optional optimization,
+                         validation);
+     selftest CIRCUIT    run an LFSR/BILBO self-test session and report
+                         signature-based coverage;
+     atpg CIRCUIT        generate a PODEM test set and report its size and
+                         coverage;
+     circuits            list the built-in benchmark circuits. *)
+
+open Cmdliner
+open Dynmos_cell
+open Dynmos_core
+open Dynmos_netlist
+open Dynmos_faultsim
+open Dynmos_protest
+open Dynmos_atpg
+open Dynmos_circuits
+
+(* --- Built-in benchmark circuits ----------------------------------------- *)
+
+let builtin_circuits =
+  [
+    ("fig9", fun () -> Generators.fig9_network ());
+    ("fig5", fun () -> Generators.fig5_network ());
+    ("carry8", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 8);
+    ("carry16", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 16);
+    ("c17-static", fun () -> Generators.c17 ~style:`Static ());
+    ("c17-domino", fun () -> Generators.c17 ~style:`Domino ());
+    ("adder3-domino", fun () -> Generators.ripple_adder ~style:`Domino 3);
+    ("parity6-domino", fun () -> Generators.parity ~style:`Domino 6);
+    ("parity6-static", fun () -> Generators.parity ~style:`Static 6);
+    ("decoder3-domino", fun () -> Generators.decoder ~style:`Domino 3);
+    ("mux3-domino", fun () -> Generators.mux_tree ~style:`Domino 3);
+    ("wideand12", fun () -> Generators.wide_and ~technology:Technology.Domino_cmos 12);
+    ("rand20", fun () ->
+        Generators.random_monotone ~seed:1 ~n_inputs:8 ~n_gates:20
+          ~technology:Technology.Domino_cmos ());
+  ]
+
+let circuit_of_name name =
+  match List.assoc_opt name builtin_circuits with
+  | Some f -> Ok (f ())
+  | None ->
+      Error
+        (Fmt.str "unknown circuit %S; try one of: %s" name
+           (String.concat ", " (List.map fst builtin_circuits)))
+
+let circuit_arg =
+  let doc = "Built-in benchmark circuit name (see the 'circuits' subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+(* --- faultlib -------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let faultlib_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Cell description file (paper syntax).")
+  in
+  let emit =
+    Arg.(value & opt (enum [ ("table", `Table); ("pascal", `Pascal); ("ocaml", `Ocaml) ]) `Table
+         & info [ "emit" ] ~docv:"FORMAT" ~doc:"Output format: table, pascal or ocaml.")
+  in
+  let weak =
+    Arg.(value & flag
+         & info [ "weak" ]
+             ~doc:"Use the weak-device electrical model (CMOS-3 becomes a delay fault).")
+  in
+  let run file emit weak =
+    match Cell_parser.cells (read_file file) with
+    | exception Cell_parser.Error msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, msg)
+    | cells ->
+        let electrical =
+          if weak then Some Fault_map.weak_electrical else None
+        in
+        List.iter
+          (fun cell ->
+            let lib = Faultlib.generate ?electrical cell in
+            (match emit with
+            | `Table -> Faultlib.pp_table Format.std_formatter lib
+            | `Pascal -> print_string (Faultlib.to_pascal lib)
+            | `Ocaml -> print_string (Faultlib.to_ocaml lib));
+            print_newline ())
+          cells;
+        `Ok ()
+  in
+  let doc = "Generate the technology-dependent fault library of a cell file." in
+  Cmd.v (Cmd.info "faultlib" ~doc) Term.(ret (const run $ file $ emit $ weak))
+
+(* --- protest ---------------------------------------------------------------- *)
+
+let protest_cmd =
+  let confidence =
+    Arg.(value & opt float 0.999
+         & info [ "confidence"; "c" ] ~docv:"C" ~doc:"Demanded test confidence in (0,1).")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Optimize input signal probabilities.")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Fault-simulate the proposed random test.")
+  in
+  let run name confidence optimize validate =
+    match circuit_of_name name with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+        let report = Protest.analyze ~confidence ~optimize nl in
+        Protest.pp_report Format.std_formatter report;
+        if validate then begin
+          let v = Protest.validate report in
+          Format.printf "validation: %d patterns -> %.2f%% coverage (predicted %.4f)@."
+            v.Protest.applied
+            (100.0 *. v.Protest.achieved_coverage)
+            v.Protest.predicted_confidence
+        end;
+        `Ok ()
+  in
+  let doc = "Probabilistic testability analysis (the PROTEST pipeline)." in
+  Cmd.v (Cmd.info "protest" ~doc)
+    Term.(ret (const run $ circuit_arg $ confidence $ optimize $ validate))
+
+(* --- selftest ---------------------------------------------------------------- *)
+
+let selftest_cmd =
+  let cycles =
+    Arg.(value & opt int 500 & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Session length in clocks.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
+  let run name cycles seed =
+    match circuit_of_name name with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+        let u = Faultsim.universe nl in
+        let cov = Dynmos_bist.Selftest.coverage ~seed u ~n_cycles:cycles in
+        Format.printf "%s: %d fault sites, BILBO session of %d cycles -> %.2f%% coverage@."
+          (Netlist.name nl) (Faultsim.n_sites u) cycles (100.0 *. cov);
+        `Ok ()
+  in
+  let doc = "Signature-based random self test (LFSR + MISR)." in
+  Cmd.v (Cmd.info "selftest" ~doc) Term.(ret (const run $ circuit_arg $ cycles $ seed))
+
+(* --- atpg --------------------------------------------------------------------- *)
+
+let atpg_cmd =
+  let run name =
+    match circuit_of_name name with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+        let u = Faultsim.universe nl in
+        let r = Podem.generate_set u in
+        let s = Faultsim.run_parallel u r.Podem.vectors in
+        let untestable =
+          Array.to_list r.Podem.per_site
+          |> List.filter (function Podem.Untestable -> true | _ -> false)
+          |> List.length
+        in
+        Format.printf
+          "%s: %d sites -> %d vectors, coverage %.2f%%, %d untestable, %d dropped by simulation@."
+          (Netlist.name nl) (Faultsim.n_sites u)
+          (Array.length r.Podem.vectors)
+          (100.0 *. Faultsim.coverage s)
+          untestable r.Podem.covered_by_simulation;
+        Format.printf "A2: apply the set twice -> %d test applications@."
+          (2 * Array.length r.Podem.vectors);
+        `Ok ()
+  in
+  let doc = "Deterministic test generation (PODEM baseline)." in
+  Cmd.v (Cmd.info "atpg" ~doc) Term.(ret (const run $ circuit_arg))
+
+(* --- diagnose ------------------------------------------------------------------ *)
+
+let diagnose_cmd =
+  let run name =
+    match circuit_of_name name with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+        let u = Faultsim.universe nl in
+        if List.length (Netlist.inputs nl) > 16 then
+          `Error (false, "diagnosis needs <= 16 primary inputs")
+        else begin
+          Format.printf "%s: %d fault sites, pairwise distinguishable: %b@." (Netlist.name nl)
+            (Faultsim.n_sites u)
+            (Diagnosis.pairwise_distinguishable u);
+          let pats, groups = Diagnosis.diagnosing_patterns u in
+          Format.printf "adaptive diagnosing set: %d patterns, %d ambiguity groups@."
+            (Array.length pats) (List.length groups);
+          List.iter
+            (fun g ->
+              if List.length g > 1 then
+                Format.printf "  indistinguishable: %s@."
+                  (String.concat " | "
+                     (List.map (fun sid -> Faultsim.site_label u u.Faultsim.sites.(sid)) g)))
+            groups;
+          `Ok ()
+        end
+  in
+  let doc = "Build an adaptive diagnosing pattern set and report its resolution." in
+  Cmd.v (Cmd.info "diagnose" ~doc) Term.(ret (const run $ circuit_arg))
+
+(* --- circuits ------------------------------------------------------------------ *)
+
+let circuits_cmd =
+  let run () =
+    List.iter
+      (fun (name, f) ->
+        let nl = f () in
+        Format.printf "%-16s %3d gates, %2d inputs, %2d outputs, %4d transistors@." name
+          (Netlist.n_gates nl)
+          (List.length (Netlist.inputs nl))
+          (List.length (Netlist.outputs nl))
+          (Netlist.n_transistors nl))
+      builtin_circuits;
+    `Ok ()
+  in
+  let doc = "List the built-in benchmark circuits." in
+  Cmd.v (Cmd.info "circuits" ~doc) Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "Fault modeling and random self test for dynamic MOS circuits (DAC'86)." in
+  let info = Cmd.info "dynmos" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ faultlib_cmd; protest_cmd; selftest_cmd; atpg_cmd; diagnose_cmd; circuits_cmd ]))

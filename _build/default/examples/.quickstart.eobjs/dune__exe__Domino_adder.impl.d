@@ -1,0 +1,1 @@
+examples/domino_adder.ml: Array Boolnet Dynmos_atpg Dynmos_circuits Dynmos_faultsim Dynmos_netlist Dynmos_protest Dynmos_util Faultsim Fmt Format Generators List Netlist Podem Prng Protest

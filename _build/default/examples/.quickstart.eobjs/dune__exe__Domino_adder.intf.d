@@ -1,0 +1,1 @@
+examples/domino_adder.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cell Cell_parser Dynmos_cell Dynmos_circuits Dynmos_core Dynmos_protest Faultlib Format Generators List Protest String

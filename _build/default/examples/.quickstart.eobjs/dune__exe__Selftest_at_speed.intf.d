@@ -1,0 +1,1 @@
+examples/selftest_at_speed.mli:

@@ -1,0 +1,1 @@
+examples/static_vs_dynamic.ml: Array Bool Boolnet Cell Charge_sim Compiled Dynmos_cell Dynmos_circuits Dynmos_core Dynmos_sim Event_sim Fault Format Generators List Logic Stdcells Technology

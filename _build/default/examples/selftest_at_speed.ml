@@ -1,0 +1,75 @@
+(* Random self test at operating speed (the paper's Section 4): a BILBO in
+   PRPG mode drives a domino carry chain, a MISR compacts the responses,
+   and — because the session runs at maximum clock rate — a
+   performance-degradation fault (the CMOS-3 case b) corrupts the
+   signature, while the same fault escapes both a relaxed-clock session
+   and a leakage (IDDQ) measurement on a large die.
+
+   Run with:  dune exec examples/selftest_at_speed.exe *)
+
+open Dynmos_util
+open Dynmos_cell
+open Dynmos_netlist
+open Dynmos_sim
+open Dynmos_bist
+open Dynmos_circuits
+
+let () =
+  let n = 8 in
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos n in
+  let compiled = Compiled.compile nl in
+  Format.printf "domino carry chain: %d gates, critical path %d levels@." (Netlist.n_gates nl)
+    (Netlist.depth nl);
+
+  (* Golden signature of a healthy BILBO session. *)
+  let session () = Selftest.make_session ~seed:42 ~source:`Bilbo compiled ~n_cycles:500 in
+  let golden = Selftest.golden (session ()) in
+  Format.printf "golden signature after 500 cycles: %#x@." golden;
+
+  (* A logic fault in the last carry cell (a deep-chain fault would need a
+     long sensitized path — see the weighted-pattern examples for that). *)
+  let u = Dynmos_faultsim.Faultsim.universe nl in
+  let last_gate = Netlist.n_gates nl - 1 in
+  let site =
+    Array.to_list u.Dynmos_faultsim.Faultsim.sites
+    |> List.find (fun s -> s.Dynmos_faultsim.Faultsim.gate.Netlist.id = last_gate)
+  in
+  let o = Selftest.test_fault ~seed:42 ~source:`Bilbo compiled ~n_cycles:500 site in
+  Format.printf "logic fault %s: signature %#x -> detected %b@."
+    (Dynmos_faultsim.Faultsim.site_label u site)
+    o.Selftest.faulty_signature o.Selftest.detected;
+
+  (* A delay fault (CMOS-3b: stuck-closed precharge that loses the ratio
+     fight): only at-speed operation exposes it. *)
+  let delays = Timing.nominal_delays compiled in
+  (* Clock at the true worst case: the full carry-propagate chain. *)
+  let propagate =
+    Array.of_list (List.map (fun nm -> nm.[0] = 'c' || nm.[0] = 'p') (Netlist.inputs nl))
+  in
+  let period = Timing.critical_path compiled delays propagate in
+  Format.printf "@.nominal clock period (min safe): %.1f@." period;
+  List.iter
+    (fun (label, test_period) ->
+      let o =
+        Selftest.test_delay_fault ~seed:42 ~source:`Bilbo compiled ~n_cycles:500 ~gate_id:3
+          ~factor:3.0 ~period:test_period
+      in
+      Format.printf "  delay fault at gate 3 (x3 slower), %s clock: detected %b@." label
+        o.Selftest.detected)
+    [ ("maximum-speed", period); ("relaxed (4x)", period *. 4.0) ];
+
+  (* The leakage alternative the paper argues against: on a small block
+     the bridge current stands out; embedded in a large die the baseline
+     variation swamps it. *)
+  Format.printf "@.IDDQ alternative (defect current fixed, die size grows):@.";
+  let prng = Prng.create 7 in
+  List.iter
+    (fun chain_length ->
+      let big = Generators.carry_chain ~technology:Technology.Domino_cmos chain_length in
+      let cbig = Compiled.compile big in
+      let pi = Array.make (Compiled.n_inputs cbig) true in
+      let rate = Power.detection_rate prng cbig ~faulty_gate:(Some 0) pi in
+      let mu, sigma = Power.baseline_stats cbig in
+      Format.printf "  %5d transistors: baseline %.2f +- %.3f, detection rate %.0f%%@."
+        (Netlist.n_transistors big) mu sigma (100.0 *. rate))
+    [ 8; 64; 512; 2048 ]

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Compiled Dynmos_expr Dynmos_faultsim Dynmos_netlist Dynmos_sim Faultsim List Logic Netlist Truth_table

@@ -1,0 +1,1 @@
+lib/atpg/two_pattern.ml: Array Cell Charge_sim Dynmos_cell Dynmos_core Dynmos_expr Dynmos_sim Expr Fault Fault_map Faultlib List Logic String Technology

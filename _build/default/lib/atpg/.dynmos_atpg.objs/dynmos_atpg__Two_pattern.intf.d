@@ -1,0 +1,1 @@
+lib/atpg/two_pattern.mli: Cell Dynmos_cell Dynmos_core Fault

@@ -1,0 +1,127 @@
+open Dynmos_expr
+open Dynmos_cell
+open Dynmos_core
+
+(* Two-pattern test generation for static CMOS stuck-open faults.
+
+   This is the *baseline cost* the paper's proposal removes: a static
+   stuck-open fault is sequential (Fig. 1), so testing it needs an
+   ordered pair of vectors — an initialization P1 that drives the output
+   to a known value, followed immediately by P2 inside the floating
+   (retain) region where the fault-free gate would produce the opposite
+   value.  The pair is *invalidated* if any intermediate vector re-drives
+   the node (the scan-shifting problem), so delivery must be back to
+   back (enhanced scan / at-speed pairs).
+
+   For a dynamic-technology cell every fault needs only a single vector
+   (the paper's claim 2); [compare_cells] quantifies the difference. *)
+
+type pair = { p1 : bool array; p2 : bool array }
+
+let vector_of_row n row = Array.init n (fun i -> (row lsr i) land 1 = 1)
+
+let env_of cell v =
+  let inputs = Cell.inputs cell in
+  fun name ->
+    let rec go i = function
+      | [] -> invalid_arg ("Two_pattern: unbound input " ^ name)
+      | x :: rest -> if String.equal x name then v.(i) else go (i + 1) rest
+    in
+    go 0 inputs
+
+(* A two-pattern test for one sequential (stuck-open) fault of a static
+   CMOS cell: P2 must lie in the retain region with good(P2) differing
+   from the retained value, and P1 must drive the node to that retained
+   value while being outside the retain region itself. *)
+let generate cell fault =
+  if Cell.technology cell <> Technology.Static_cmos then
+    invalid_arg "Two_pattern.generate: static CMOS cells only";
+  match Fault_map.map cell fault with
+  | Fault_map.Sequential { retain_when } ->
+      let n = Cell.arity cell in
+      let good v = Expr.eval (env_of cell v) (Cell.logic cell) in
+      let retains v = Expr.eval (env_of cell v) retain_when in
+      let rec find_pair r2 =
+        if r2 >= 1 lsl n then None
+        else
+          let p2 = vector_of_row n r2 in
+          if retains p2 then begin
+            (* the faulty gate would retain; we need P1 setting the node
+               to the complement of good(P2) *)
+            let want = not (good p2) in
+            let rec find_p1 r1 =
+              if r1 >= 1 lsl n then None
+              else
+                let p1 = vector_of_row n r1 in
+                if (not (retains p1)) && good p1 = want then Some { p1; p2 }
+                else find_p1 (r1 + 1)
+            in
+            match find_p1 0 with None -> find_pair (r2 + 1) | some -> some
+          end
+          else find_pair (r2 + 1)
+      in
+      find_pair 0
+  | Fault_map.Combinational _ | Fault_map.Delay _ | Fault_map.Contention _ -> None
+
+(* Validate a pair on the charge-level simulator: applied back to back it
+   must expose the fault (faulty output <> good output on P2). *)
+let validates cell fault { p1; p2 } =
+  let open Dynmos_sim in
+  let step st v = Charge_sim.static_step ~fault cell st (Array.to_list v) in
+  let st, _ = step Charge_sim.static_initial p1 in
+  let _, faulty = step st p2 in
+  let good = Expr.eval (env_of cell p2) (Cell.logic cell) in
+  match faulty with
+  | Logic.X -> false
+  | v -> not (Logic.equal v (Logic.of_bool good))
+
+(* Is the pair robust against an inserted intermediate vector?  (The scan
+   problem: an intermediate that re-drives the node to good(P2)'s
+   complement keeps the test valid, anything else can invalidate it.) *)
+let invalidated_by cell fault { p1; p2 } intermediate =
+  let open Dynmos_sim in
+  let step st v = Charge_sim.static_step ~fault cell st (Array.to_list v) in
+  let st, _ = step Charge_sim.static_initial p1 in
+  let st, _ = step st intermediate in
+  let _, faulty = step st p2 in
+  let good = Expr.eval (env_of cell p2) (Cell.logic cell) in
+  match faulty with Logic.X -> true | v -> Logic.equal v (Logic.of_bool good)
+
+(* --- The paper's cost comparison ---------------------------------------- *)
+
+type comparison = {
+  static_cell : Cell.t;
+  dynamic_cell : Cell.t;
+  sequential_faults : int;       (* static faults needing two-pattern tests *)
+  two_pattern_tests : int;       (* of which testable pairs were found *)
+  static_applications : int;     (* vectors applied for the static cell *)
+  dynamic_applications : int;    (* vectors for the dynamic cell (1/fault class) *)
+}
+
+(* Build the same switching function in static CMOS and in a dynamic
+   technology and count test applications: each static stuck-open needs
+   an ordered pair; every dynamic fault class needs one vector. *)
+let compare_cells ~static_cell ~dynamic_cell =
+  let seq_faults =
+    List.filter
+      (fun f ->
+        match Fault_map.map static_cell f with
+        | Fault_map.Sequential _ -> true
+        | _ -> false)
+      (Fault.enumerate static_cell)
+  in
+  let pairs = List.filter_map (generate static_cell) seq_faults in
+  (* combinational static faults need one vector each (counted via the
+     library's detectable function classes) *)
+  let static_lib = Faultlib.generate static_cell in
+  let static_combinational = List.length (Faultlib.detectable_function_classes static_lib) in
+  let dynamic_lib = Faultlib.generate dynamic_cell in
+  let dynamic_classes = List.length (Faultlib.detectable_function_classes dynamic_lib) in
+  {
+    static_cell;
+    dynamic_cell;
+    sequential_faults = List.length seq_faults;
+    two_pattern_tests = List.length pairs;
+    static_applications = static_combinational + (2 * List.length pairs);
+    dynamic_applications = dynamic_classes;
+  }

@@ -1,0 +1,38 @@
+open Dynmos_cell
+open Dynmos_core
+
+(** Two-pattern test generation for static CMOS stuck-open faults — the
+    baseline cost the paper's dynamic-MOS proposal removes: sequential
+    faults need ordered vector pairs (and those pairs are invalidated by
+    intermediate vectors, the scan-shifting problem), while every dynamic
+    fault class needs a single vector. *)
+
+type pair = { p1 : bool array;  (** initialization *) p2 : bool array  (** observation *) }
+
+val generate : Cell.t -> Fault.physical -> pair option
+(** A two-pattern test for one sequential fault of a static CMOS cell:
+    [p2] lies in the retain region with the fault-free output differing
+    from the value [p1] stored.  [None] for non-sequential faults or
+    untestable memories.
+    @raise Invalid_argument for non-static-CMOS cells. *)
+
+val validates : Cell.t -> Fault.physical -> pair -> bool
+(** Charge-level check: applied back to back, the pair exposes the
+    fault. *)
+
+val invalidated_by : Cell.t -> Fault.physical -> pair -> bool array -> bool
+(** Does inserting one intermediate vector between the pair destroy the
+    detection (the scan problem)? *)
+
+type comparison = {
+  static_cell : Cell.t;
+  dynamic_cell : Cell.t;
+  sequential_faults : int;
+  two_pattern_tests : int;
+  static_applications : int;   (** combinational classes + 2 x pairs *)
+  dynamic_applications : int;  (** one vector per detectable class *)
+}
+
+val compare_cells : static_cell:Cell.t -> dynamic_cell:Cell.t -> comparison
+(** The paper's cost argument quantified on one switching function
+    realized in both styles. *)

@@ -1,0 +1,1 @@
+lib/bist/nlfsr.ml: Array Lfsr List

@@ -1,0 +1,1 @@
+lib/bist/selftest.ml: Array Bilbo Compiled Dynmos_faultsim Dynmos_netlist Dynmos_sim Faultsim Lfsr Misr Netlist Timing Weighted_gen

@@ -1,0 +1,1 @@
+lib/bist/selftest.mli: Bilbo Compiled Dynmos_faultsim Dynmos_sim Faultsim Lfsr Weighted_gen

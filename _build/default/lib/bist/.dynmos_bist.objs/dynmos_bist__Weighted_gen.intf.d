@@ -1,0 +1,1 @@
+lib/bist/weighted_gen.mli:

@@ -1,0 +1,75 @@
+(* BILBO: Built-In Logic Block Observation register (Koenemann, Mucha &
+   Zwiehoff — the paper's reference [10]).
+
+   One register, four operating modes selected by two control bits:
+
+     B1 B2 = 1 1   Normal   parallel latch (system operation)
+     B1 B2 = 0 0   Scan     serial shift register (scan path)
+     B1 B2 = 1 0   Prpg     maximal LFSR: pseudo-random pattern generator
+     B1 B2 = 0 1   Misr     multiple-input signature register
+
+   In a self-test session one BILBO at the circuit inputs runs in PRPG
+   mode while one at the outputs runs in MISR mode — both at full clock
+   rate, which is what lets the scheme catch the delay faults of Section
+   4(b). *)
+
+type mode = Normal | Scan | Prpg | Misr
+
+type t = { width : int; taps : int; mutable state : int; mutable mode : mode }
+
+let create ?seed width =
+  let taps = Lfsr.taps_for width in
+  let state = match seed with Some s -> s land ((1 lsl width) - 1) | None -> 1 in
+  { width; taps; state; mode = Normal }
+
+let width t = t.width
+let state t = t.state
+let set_state t s = t.state <- s land ((1 lsl t.width) - 1)
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+
+let mode_of_controls ~b1 ~b2 =
+  match (b1, b2) with
+  | true, true -> Normal
+  | false, false -> Scan
+  | true, false -> Prpg
+  | false, true -> Misr
+
+let feedback t =
+  let x = t.state land t.taps in
+  let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
+  parity 0 x = 1
+
+(* One clock.  [parallel] is the data at the parallel inputs (circuit
+   responses in MISR mode, system data in Normal mode); [serial] is the
+   scan-in bit.  Returns the scan-out bit. *)
+let step t ?(serial = false) (parallel : bool array) =
+  if Array.length parallel > t.width then invalid_arg "Bilbo.step: data wider than register";
+  let out = t.state land 1 = 1 in
+  (match t.mode with
+  | Normal ->
+      let v = ref 0 in
+      Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) parallel;
+      t.state <- !v
+  | Scan ->
+      t.state <- (t.state lsr 1) lor (if serial then 1 lsl (t.width - 1) else 0)
+  | Prpg ->
+      (* Left-shift Fibonacci step (the tap table's convention). *)
+      let fb = feedback t in
+      t.state <- ((t.state lsl 1) lor (if fb then 1 else 0)) land ((1 lsl t.width) - 1);
+      if t.state = 0 then t.state <- 1
+  | Misr ->
+      let fb = feedback t in
+      let shifted = ((t.state lsl 1) lor (if fb then 1 else 0)) land ((1 lsl t.width) - 1) in
+      let v = ref shifted in
+      Array.iteri (fun i b -> if b then v := !v lxor (1 lsl i)) parallel;
+      t.state <- !v);
+  out
+
+let pattern t n =
+  if n > t.width then invalid_arg "Bilbo.pattern: more bits than width";
+  Array.init n (fun i -> (t.state lsr i) land 1 = 1)
+
+(* Scan a full word out (destructively), returning bits LSB first. *)
+let scan_out t =
+  List.init t.width (fun _ -> step t ~serial:false [||])

@@ -1,0 +1,31 @@
+(** BILBO — Built-In Logic Block Observation register (the paper's
+    reference [10]): one register operating as parallel latch, scan
+    register, pseudo-random pattern generator or signature register,
+    selected by two control bits. *)
+
+type mode = Normal | Scan | Prpg | Misr
+
+type t
+
+val create : ?seed:int -> int -> t
+(** [create width] in Normal mode; feedback taps from the
+    primitive-polynomial table. *)
+
+val width : t -> int
+val state : t -> int
+val set_state : t -> int -> unit
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+
+val mode_of_controls : b1:bool -> b2:bool -> mode
+(** The published control encoding: 11 Normal, 00 Scan, 10 PRPG, 01 MISR. *)
+
+val step : t -> ?serial:bool -> bool array -> bool
+(** One clock with the given parallel data ([serial] is the scan-in bit);
+    returns the scan-out bit. *)
+
+val pattern : t -> int -> bool array
+(** Low [n] register bits (the pattern driving the circuit in PRPG mode). *)
+
+val scan_out : t -> bool list
+(** Shift the register contents out (destructive), LSB first. *)

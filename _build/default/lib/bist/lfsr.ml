@@ -1,0 +1,116 @@
+(* Linear feedback shift registers.
+
+   The pattern generators of the paper's self-test proposal (Section 4 and
+   references [9]-[11]): maximal-length LFSRs drive the circuit inputs at
+   operating speed.  Both Fibonacci (external XOR) and Galois (internal
+   XOR) forms are provided; tap sets come from a table of primitive
+   polynomials for degrees 2..32, so every generator is maximal-period. *)
+
+type form = Fibonacci | Galois
+
+type t = {
+  width : int;
+  taps : int;      (* bit mask of feedback taps; bit (width-1) always set *)
+  form : form;
+  mutable state : int;
+}
+
+(* Primitive polynomial tap masks (x^n + ... + 1) for n = 2..32; entry k
+   is the mask of exponents below n for degree n = k+2.  Taken from the
+   standard maximal-LFSR tables (Xilinx XAPP052 / Golomb). *)
+let primitive_taps =
+  [|
+    (* n=2 : x^2+x+1 *) 0b11;
+    (* n=3 : x^3+x^2+1 *) 0b110;
+    (* n=4 : x^4+x^3+1 *) 0b1100;
+    (* n=5 : x^5+x^3+1 *) 0b10100;
+    (* n=6 : x^6+x^5+1 *) 0b110000;
+    (* n=7 : x^7+x^6+1 *) 0b1100000;
+    (* n=8 : x^8+x^6+x^5+x^4+1 *) 0b10111000;
+    (* n=9 : x^9+x^5+1 *) 0b100010000;
+    (* n=10: x^10+x^7+1 *) 0b1001000000;
+    (* n=11: x^11+x^9+1 *) 0b10100000000;
+    (* n=12: x^12+x^6+x^4+x^1+1 *) 0b100000101001;
+    (* n=13: x^13+x^4+x^3+x^1+1 *) 0b1000000001101;
+    (* n=14: x^14+x^5+x^3+x^1+1 *) 0b10000000010101;
+    (* n=15: x^15+x^14+1 *) 0b110000000000000;
+    (* n=16: x^16+x^15+x^13+x^4+1 *) 0b1101000000001000;
+    (* n=17: x^17+x^14+1 *) 0b10010000000000000;
+    (* n=18: x^18+x^11+1 *) 0b100000010000000000;
+    (* n=19: x^19+x^6+x^2+x^1+1 *) 0b1000000000000100011;
+    (* n=20: x^20+x^17+1 *) 0b10010000000000000000;
+    (* n=21: x^21+x^19+1 *) 0b101000000000000000000;
+    (* n=22: x^22+x^21+1 *) 0b1100000000000000000000;
+    (* n=23: x^23+x^18+1 *) 0b10000100000000000000000;
+    (* n=24: x^24+x^23+x^22+x^17+1 *) 0b111000010000000000000000;
+    (* n=25: x^25+x^22+1 *) 0b1001000000000000000000000;
+    (* n=26: x^26+x^6+x^2+x^1+1 *) 0b10000000000000000000100011;
+    (* n=27: x^27+x^5+x^2+x^1+1 *) 0b100000000000000000000010011;
+    (* n=28: x^28+x^25+1 *) 0b1001000000000000000000000000;
+    (* n=29: x^29+x^27+1 *) 0b10100000000000000000000000000;
+    (* n=30: x^30+x^6+x^4+x^1+1 *) 0b100000000000000000000000101001;
+    (* n=31: x^31+x^28+1 *) 0b1001000000000000000000000000000;
+    (* n=32: x^32+x^22+x^2+x^1+1 *) 0b10000000001000000000000000000011;
+  |]
+
+let taps_for width =
+  if width < 2 || width > 32 then invalid_arg "Lfsr: width must be in 2..32";
+  primitive_taps.(width - 2)
+
+let create ?(form = Fibonacci) ?seed width =
+  let taps = taps_for width in
+  let seed = match seed with Some s -> s land ((1 lsl width) - 1) | None -> 1 in
+  if seed = 0 then invalid_arg "Lfsr.create: seed must be non-zero";
+  { width; taps; form; state = seed }
+
+let state t = t.state
+let width t = t.width
+
+let set_state t s =
+  let s = s land ((1 lsl t.width) - 1) in
+  if s = 0 then invalid_arg "Lfsr.set_state: zero state";
+  t.state <- s
+
+(* Advance one clock; returns the output bit (serial output = bit 0).
+   The Fibonacci form shifts left with the feedback parity entering at bit
+   0 (the convention the tap table is written for); the Galois form shifts
+   right, XOR-ing the taps when the outgoing bit is 1 (its reciprocal
+   polynomial is primitive whenever the polynomial is, so both forms are
+   maximal). *)
+let step t =
+  let out = t.state land 1 in
+  (match t.form with
+  | Fibonacci ->
+      let fb =
+        let x = t.state land t.taps in
+        let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
+        parity 0 x
+      in
+      t.state <- ((t.state lsl 1) lor fb) land ((1 lsl t.width) - 1)
+  | Galois ->
+      let lsb = t.state land 1 in
+      t.state <- t.state lsr 1;
+      if lsb = 1 then t.state <- t.state lxor t.taps);
+  out = 1
+
+(* The parallel view: the register contents as a bit vector (bit 0
+   first).  Used to drive circuit inputs one register bit per input. *)
+let bits t n =
+  if n > t.width then invalid_arg "Lfsr.bits: more bits than width";
+  Array.init n (fun i -> (t.state lsr i) land 1 = 1)
+
+let next_pattern t n =
+  let p = bits t n in
+  ignore (step t);
+  p
+
+(* Period measurement (walks the cycle; exact, so only for small widths in
+   tests). *)
+let period t =
+  let start = t.state in
+  let copy = { t with state = start } in
+  let rec go n =
+    ignore (step copy);
+    if copy.state = start then n else go (n + 1)
+  in
+  go 1

@@ -1,0 +1,34 @@
+(** Maximal-length linear feedback shift registers (pattern generators of
+    the paper's random self-test proposal, references [9]-[11]).
+
+    Tap masks come from a table of primitive polynomials for widths 2..32,
+    so the period is always [2^width - 1]. *)
+
+type form = Fibonacci | Galois
+
+type t
+
+val taps_for : int -> int
+(** Primitive-polynomial tap mask for a width.
+    @raise Invalid_argument outside 2..32. *)
+
+val create : ?form:form -> ?seed:int -> int -> t
+(** [create width]; the default seed is 1.  @raise Invalid_argument on a
+    zero seed or unsupported width. *)
+
+val state : t -> int
+val width : t -> int
+val set_state : t -> int -> unit
+
+val step : t -> bool
+(** Advance one clock; returns the serial output bit. *)
+
+val bits : t -> int -> bool array
+(** The low [n] register bits (parallel pattern view). *)
+
+val next_pattern : t -> int -> bool array
+(** [bits] then [step]: one test pattern per clock. *)
+
+val period : t -> int
+(** Exact cycle length from the current state (walks the cycle — use on
+    small widths). *)

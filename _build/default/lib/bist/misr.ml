@@ -1,0 +1,34 @@
+(* Multiple-input signature register.
+
+   The response compactor of the self-test scheme: circuit outputs are
+   XOR-ed into a maximal LFSR every clock; after N cycles the register
+   holds a signature.  A fault escapes (aliases) only if the induced error
+   sequence is a codeword — probability ~ 2^-width for random errors,
+   which [aliasing_bound] reports. *)
+
+type t = { width : int; taps : int; mutable state : int }
+
+let create ?seed width =
+  let taps = Lfsr.taps_for width in
+  { width; taps; state = (match seed with Some s -> s land ((1 lsl width) - 1) | None -> 0) }
+
+let state t = t.state
+let width t = t.width
+
+let reset t = t.state <- 0
+
+(* One clock: shift (Galois feedback) and inject the input bits. *)
+let step t (inputs : bool array) =
+  if Array.length inputs > t.width then invalid_arg "Misr.step: more inputs than width";
+  let lsb = t.state land 1 in
+  t.state <- t.state lsr 1;
+  if lsb = 1 then t.state <- t.state lxor t.taps;
+  Array.iteri (fun i b -> if b then t.state <- t.state lxor (1 lsl i)) inputs
+
+let signature t = t.state
+
+let run t (responses : bool array list) =
+  List.iter (fun r -> step t r) responses;
+  signature t
+
+let aliasing_bound ~width = 1.0 /. float_of_int (1 lsl width)

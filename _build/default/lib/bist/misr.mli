@@ -1,0 +1,23 @@
+(** Multiple-input signature register (response compactor of the
+    self-test scheme). *)
+
+type t
+
+val create : ?seed:int -> int -> t
+(** [create width] with Galois feedback from the primitive-polynomial
+    table (seed defaults to 0). *)
+
+val state : t -> int
+val width : t -> int
+val reset : t -> unit
+
+val step : t -> bool array -> unit
+(** One clock: shift and inject the response bits. *)
+
+val signature : t -> int
+
+val run : t -> bool array list -> int
+(** Compact a whole response sequence. *)
+
+val aliasing_bound : width:int -> float
+(** Random-error aliasing probability ~ [2^-width]. *)

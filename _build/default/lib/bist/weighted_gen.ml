@@ -1,0 +1,47 @@
+(* Hardware-style weighted pattern generation.
+
+   PROTEST proposes per-input signal probabilities; in self-test hardware
+   these are realized by combining LFSR stages: AND of k independent
+   stages has 1-density 2^-k, OR has 1 - 2^-k, and mixing one extra stage
+   selects between two such sources, giving all dyadic weights k/2^r.
+   [quantize] maps arbitrary probabilities to the closest r-bit dyadic
+   weight; [generator] produces patterns whose input i is a Boolean
+   function of [r] fresh LFSR bits tuned to that weight. *)
+
+let quantize ?(resolution = 4) (weights : float array) =
+  let denom = float_of_int (1 lsl resolution) in
+  Array.map
+    (fun w ->
+      let q = Float.round (w *. denom) /. denom in
+      Float.min ((denom -. 1.0) /. denom) (Float.max (1.0 /. denom) q))
+    weights
+
+type t = {
+  lfsr : Lfsr.t;
+  weights : float array;  (* quantized, dyadic *)
+  resolution : int;
+}
+
+let create ?(resolution = 4) ?(seed = 0b1011) weights =
+  let weights = quantize ~resolution weights in
+  (* One LFSR supplies [resolution] fresh bits per input per clock; width
+     32 gives plenty of stages to draw from. *)
+  { lfsr = Lfsr.create ~form:Galois ~seed 32; weights; resolution }
+
+(* A bit with exact dyadic probability q = k/2^r from r fresh LFSR bits:
+   compare the r-bit number they form against k (a hardware comparator /
+   ROM column in practice). *)
+let weighted_bit t q =
+  let r = t.resolution in
+  let v = ref 0 in
+  for i = 0 to r - 1 do
+    if Lfsr.step t.lfsr then v := !v lor (1 lsl i)
+  done;
+  float_of_int !v < (q *. float_of_int (1 lsl r)) -. 1e-9
+
+let next_pattern t =
+  Array.map (fun q -> weighted_bit t q) t.weights
+
+let patterns t count = Array.init count (fun _ -> next_pattern t)
+
+let weights t = t.weights

@@ -1,0 +1,16 @@
+(** Hardware-style weighted pattern generation: PROTEST's per-input signal
+    probabilities realized from LFSR stages as dyadic weights [k/2^r]. *)
+
+val quantize : ?resolution:int -> float array -> float array
+(** Closest realizable dyadic weights, clamped away from 0 and 1. *)
+
+type t
+
+val create : ?resolution:int -> ?seed:int -> float array -> t
+(** A generator whose input [i] is 1 with (quantized) probability
+    [weights.(i)] each clock. *)
+
+val next_pattern : t -> bool array
+val patterns : t -> int -> bool array array
+val weights : t -> float array
+(** The quantized weights actually realized. *)

@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Array Dynmos_expr Dynmos_switchnet Expr Fmt Hashtbl List Minimize Spnet String Technology Truth_table

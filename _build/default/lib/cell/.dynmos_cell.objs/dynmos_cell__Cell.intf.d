@@ -1,0 +1,1 @@
+lib/cell/cell.mli: Dynmos_expr Dynmos_switchnet Expr Fmt Spnet Technology Truth_table

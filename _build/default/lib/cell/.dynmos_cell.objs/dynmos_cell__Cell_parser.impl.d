@@ -1,0 +1,1 @@
+lib/cell/cell_parser.ml: Cell Dynmos_expr Expr Fmt List Parse String Technology

@@ -1,0 +1,1 @@
+lib/cell/cell_parser.mli: Cell

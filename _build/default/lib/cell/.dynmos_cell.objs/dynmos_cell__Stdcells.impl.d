@@ -1,0 +1,1 @@
+lib/cell/stdcells.ml: Array Cell Dynmos_expr Expr Fmt List String Technology

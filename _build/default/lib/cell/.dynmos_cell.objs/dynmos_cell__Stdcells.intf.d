@@ -1,0 +1,1 @@
+lib/cell/stdcells.mli: Cell Technology

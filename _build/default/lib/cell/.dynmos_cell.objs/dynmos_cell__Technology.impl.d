@@ -1,0 +1,1 @@
+lib/cell/technology.ml: Fmt String

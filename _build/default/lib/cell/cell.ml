@@ -1,0 +1,129 @@
+open Dynmos_expr
+open Dynmos_switchnet
+
+(* Logical cells in the paper's description style (Section 5):
+
+     TECHNOLOGY domino-CMOS;
+     INPUT a,b,c,d,e;
+     OUTPUT u;
+     x1 := a*(b+c);
+     x2 := d*e;
+     u  := x1+x2;
+
+   A cell records the technology, the interface, the switching network both
+   as an expression over the inputs (intermediate nets inlined) and as an
+   [Spnet.t] with numbered transistors, and the resulting logic function —
+   the transmission function or its inverse depending on the technology. *)
+
+type t = {
+  name : string;
+  technology : Technology.t;
+  inputs : string list;
+  output : string;
+  assigns : (string * Expr.t) list;
+  network_expr : Expr.t;
+  network : Spnet.t;
+  logic : Expr.t;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let rec check_distinct = function
+  | [] -> ()
+  | x :: rest ->
+      if List.mem x rest then invalid "duplicate signal name %s" x;
+      check_distinct rest
+
+(* Inline the intermediate nets of the assignment list, in order, producing
+   the switching-network expression for [output] over the inputs only. *)
+let elaborate ~inputs ~output assigns =
+  let defined = Hashtbl.create 8 in
+  List.iter
+    (fun (net, rhs) ->
+      if Hashtbl.mem defined net then invalid "net %s assigned twice" net;
+      if List.mem net inputs then invalid "assignment to input %s" net;
+      let rhs' =
+        Expr.subst
+          (fun v ->
+            match Hashtbl.find_opt defined v with
+            | Some e -> Some e
+            | None ->
+                if List.mem v inputs then None
+                else invalid "undefined signal %s in definition of %s" v net)
+          rhs
+      in
+      Hashtbl.replace defined net rhs')
+    assigns;
+  match Hashtbl.find_opt defined output with
+  | Some e -> e
+  | None -> invalid "output %s is never assigned" output
+
+let make ?name ~technology ~inputs ~output assigns =
+  if inputs = [] then invalid "cell has no inputs";
+  check_distinct (output :: inputs);
+  let network_expr = elaborate ~inputs ~output assigns in
+  let network =
+    (* Expressions with general negation or XOR are not directly
+       series-parallel; realize them through their minimum disjunctive form
+       (literals, possibly negated, are realizable as dual-rail switches). *)
+    match Spnet.of_expr network_expr with
+    | net -> net
+    | exception Spnet.Not_series_parallel _ -> (
+        let sop, vars = Minimize.of_expr network_expr in
+        match Minimize.to_expr ~vars sop with
+        | Expr.Const _ -> invalid "cell %s computes a constant function" output
+        | e -> Spnet.of_expr e)
+  in
+  let t = Spnet.transmission network in
+  let logic = if Technology.inverts_transmission technology then Expr.not_ t else t in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Fmt.str "cell_%s_%s" (Technology.to_string technology) output
+  in
+  { name; technology; inputs; output; assigns; network_expr; network; logic }
+
+let of_logic ?name ~technology ~inputs ~output logic_expr =
+  (* Build a cell directly from the desired logic function: the network is
+     the function itself (transmission-style techniques get the inverted
+     network so that !T equals the requested logic). *)
+  let net_expr =
+    if Technology.inverts_transmission technology then
+      (* need T with !T = logic, i.e. T = !logic pushed to literals *)
+      let rec push = function
+        | Expr.Const b -> Expr.Const (not b)
+        | Expr.Var v -> Expr.not_ (Expr.var v)
+        | Expr.Not e -> e
+        | Expr.And es -> Expr.or_ (List.map push es)
+        | Expr.Or es -> Expr.and_ (List.map push es)
+        | Expr.Xor (a, b) -> Expr.xor (push a) b
+      in
+      push logic_expr
+    else logic_expr
+  in
+  make ?name ~technology ~inputs ~output [ (output, net_expr) ]
+
+let name t = t.name
+let technology t = t.technology
+let inputs t = t.inputs
+let output t = t.output
+let assigns t = t.assigns
+let network_expr t = t.network_expr
+let network t = t.network
+let logic t = t.logic
+let arity t = List.length t.inputs
+let n_transistors t = Spnet.n_switches t.network
+
+let input_vars t = Array.of_list t.inputs
+
+let logic_table t = Truth_table.of_expr ~vars:(input_vars t) t.logic
+
+let eval t env = Expr.eval env t.logic
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>TECHNOLOGY %a;@,INPUT %s;@,OUTPUT %s;@,%a@]" Technology.pp t.technology
+    (String.concat "," t.inputs) t.output
+    Fmt.(list ~sep:cut (fun ppf (n, e) -> Fmt.pf ppf "%s := %a;" n Expr.pp e))
+    t.assigns

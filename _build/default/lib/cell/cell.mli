@@ -1,0 +1,65 @@
+open Dynmos_expr
+open Dynmos_switchnet
+
+(** Logical cells in the paper's Section-5 description style.
+
+    A cell couples a technology, an interface, a switching network (as an
+    expression over the inputs and as an {!Spnet.t} with numbered
+    transistors) and the resulting logic function — the transmission
+    function or its inverse depending on the technology. *)
+
+type t
+
+exception Invalid of string
+(** Raised on ill-formed descriptions (undefined nets, double assignment,
+    missing output, constant function, duplicate signals). *)
+
+val make :
+  ?name:string ->
+  technology:Technology.t ->
+  inputs:string list ->
+  output:string ->
+  (string * Expr.t) list ->
+  t
+(** [make ~technology ~inputs ~output assigns] elaborates an assignment
+    list (intermediate nets inlined in order; the last value of [output]
+    is the switching-network expression).  @raise Invalid on errors. *)
+
+val of_logic :
+  ?name:string ->
+  technology:Technology.t ->
+  inputs:string list ->
+  output:string ->
+  Expr.t ->
+  t
+(** Build a cell from the desired logic function; the network is derived
+    (inverted through De Morgan for transmission-inverting technologies). *)
+
+val name : t -> string
+val technology : t -> Technology.t
+val inputs : t -> string list
+val output : t -> string
+val assigns : t -> (string * Expr.t) list
+
+val network_expr : t -> Expr.t
+(** Switching-network expression over the inputs. *)
+
+val network : t -> Spnet.t
+(** The switching network with T1.. transistor numbering. *)
+
+val logic : t -> Expr.t
+(** The cell's logic function. *)
+
+val arity : t -> int
+val n_transistors : t -> int
+(** Switching-network transistors only (excludes clocking devices). *)
+
+val input_vars : t -> string array
+(** Inputs in declaration order (the truth-table variable ordering). *)
+
+val logic_table : t -> Truth_table.t
+
+val eval : t -> (string -> bool) -> bool
+
+val pp : t Fmt.t
+(** Prints the cell back in the paper's description syntax. *)

@@ -1,0 +1,144 @@
+open Dynmos_expr
+
+(* A small standard-cell library spanning the paper's technologies.  Cells
+   are constructed programmatically; names encode family, fan-in and
+   technology (e.g. "nand3_static-CMOS", "and2_domino-CMOS"). *)
+
+let letters = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j"; "k"; "l"; "m" |]
+
+let input_names n =
+  if n < 1 || n > Array.length letters then invalid_arg "Stdcells: unsupported fan-in";
+  Array.to_list (Array.sub letters 0 n)
+
+let vars n = List.map Expr.var (input_names n)
+
+let tech_tag technology = Technology.to_string technology
+
+(* Transmission-inverting technologies give NAND/NOR from series/parallel
+   networks; transmission-preserving ones (domino) give AND/OR. *)
+
+let series_cell ~family n technology =
+  let name = Fmt.str "%s%d_%s" family n (tech_tag technology) in
+  Cell.make ~name ~technology ~inputs:(input_names n) ~output:"z"
+    [ ("z", Expr.and_ (vars n)) ]
+
+let parallel_cell ~family n technology =
+  let name = Fmt.str "%s%d_%s" family n (tech_tag technology) in
+  Cell.make ~name ~technology ~inputs:(input_names n) ~output:"z"
+    [ ("z", Expr.or_ (vars n)) ]
+
+let nand n technology =
+  if not (Technology.inverts_transmission technology) then
+    invalid_arg "Stdcells.nand: use and_gate for transmission-preserving technologies";
+  series_cell ~family:"nand" n technology
+
+let nor n technology =
+  if not (Technology.inverts_transmission technology) then
+    invalid_arg "Stdcells.nor: use or_gate for transmission-preserving technologies";
+  parallel_cell ~family:"nor" n technology
+
+let and_gate n technology =
+  if Technology.inverts_transmission technology then
+    invalid_arg "Stdcells.and_gate: use nand for transmission-inverting technologies";
+  series_cell ~family:"and" n technology
+
+let or_gate n technology =
+  if Technology.inverts_transmission technology then
+    invalid_arg "Stdcells.or_gate: use nor for transmission-inverting technologies";
+  parallel_cell ~family:"or" n technology
+
+let inv technology =
+  let name = Fmt.str "inv_%s" (tech_tag technology) in
+  Cell.make ~name ~technology ~inputs:[ "a" ] ~output:"z" [ ("z", Expr.var "a") ]
+
+let buf technology =
+  if Technology.inverts_transmission technology then
+    invalid_arg "Stdcells.buf: inverting technology";
+  let name = Fmt.str "buf_%s" (tech_tag technology) in
+  Cell.make ~name ~technology ~inputs:[ "a" ] ~output:"z" [ ("z", Expr.var "a") ]
+
+(* AND-OR / OR-AND compound gates.  [groups] lists the fan-in of each AND
+   branch, e.g. [ao ~groups:[2;2]] is a*b + c*d. *)
+let ao ?name ~groups technology =
+  let total = List.fold_left ( + ) 0 groups in
+  let names = input_names total in
+  let rec take k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> invalid_arg "Stdcells.ao"
+    | x :: rest ->
+        let xs, rem = take (k - 1) rest in
+        (x :: xs, rem)
+  in
+  let branches, _ =
+    List.fold_left
+      (fun (acc, rest) g ->
+        let xs, rem = take g rest in
+        (Expr.and_ (List.map Expr.var xs) :: acc, rem))
+      ([], names) groups
+  in
+  let expr = Expr.or_ (List.rev branches) in
+  let family = if Technology.inverts_transmission technology then "aoi" else "ao" in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Fmt.str "%s%s_%s" family
+          (String.concat "" (List.map string_of_int groups))
+          (tech_tag technology)
+  in
+  Cell.make ~name ~technology ~inputs:names ~output:"z" [ ("z", expr) ]
+
+let oa ?name ~groups technology =
+  let total = List.fold_left ( + ) 0 groups in
+  let names = input_names total in
+  let rec take k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> invalid_arg "Stdcells.oa"
+    | x :: rest ->
+        let xs, rem = take (k - 1) rest in
+        (x :: xs, rem)
+  in
+  let branches, _ =
+    List.fold_left
+      (fun (acc, rest) g ->
+        let xs, rem = take g rest in
+        (Expr.or_ (List.map Expr.var xs) :: acc, rem))
+      ([], names) groups
+  in
+  let expr = Expr.and_ (List.rev branches) in
+  let family = if Technology.inverts_transmission technology then "oai" else "oa" in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Fmt.str "%s%s_%s" family
+          (String.concat "" (List.map string_of_int groups))
+          (tech_tag technology)
+  in
+  Cell.make ~name ~technology ~inputs:names ~output:"z" [ ("z", expr) ]
+
+(* Dual-rail 2:1 multiplexer for monotone (domino) logic: both select
+   polarities arrive as separate rails. *)
+let mux2_dual_rail technology =
+  let name = Fmt.str "mux2dr_%s" (tech_tag technology) in
+  Cell.make ~name ~technology ~inputs:[ "d0"; "d1"; "s"; "sn" ] ~output:"z"
+    [ ("z", Expr.(or_ [ and_ [ var "d0"; var "sn" ]; and_ [ var "d1"; var "s" ] ])) ]
+
+(* The paper's running examples. *)
+
+let fig9 =
+  Cell.make ~name:"fig9" ~technology:Technology.Domino_cmos
+    ~inputs:[ "a"; "b"; "c"; "d"; "e" ] ~output:"u"
+    [
+      ("x1", Expr.(and_ [ var "a"; or_ [ var "b"; var "c" ] ]));
+      ("x2", Expr.(and_ [ var "d"; var "e" ]));
+      ("u", Expr.(or_ [ var "x1"; var "x2" ]));
+    ]
+
+let fig9_text =
+  "TECHNOLOGY domino-CMOS;\nNAME fig9;\nINPUT a,b,c,d,e;\nOUTPUT u;\n\
+   x1 := a*(b+c);\nx2 := d*e;\nu := x1+x2;\n"
+
+let fig1_nor = nor 2 Technology.Static_cmos
+
+let fig2_inverter = inv Technology.Static_cmos

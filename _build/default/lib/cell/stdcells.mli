@@ -1,0 +1,45 @@
+(** Standard-cell families across the paper's technologies.
+
+    Names encode family, fan-in and technology (e.g.
+    ["nand3_static-CMOS"], ["and2_domino-CMOS"]).  NAND/NOR exist for
+    transmission-inverting technologies, AND/OR for transmission-preserving
+    ones (domino, bipolar); calling the wrong family raises
+    [Invalid_argument]. *)
+
+val input_names : int -> string list
+(** First [n] canonical input names [a], [b], ... *)
+
+val nand : int -> Technology.t -> Cell.t
+val nor : int -> Technology.t -> Cell.t
+val and_gate : int -> Technology.t -> Cell.t
+val or_gate : int -> Technology.t -> Cell.t
+
+val inv : Technology.t -> Cell.t
+(** Inverter: for transmission-inverting technologies this is a single
+    switch; for domino it is not available (use {!buf}). *)
+
+val buf : Technology.t -> Cell.t
+(** Non-inverting buffer (transmission-preserving technologies only). *)
+
+val ao : ?name:string -> groups:int list -> Technology.t -> Cell.t
+(** AND-OR (or AOI for inverting technologies): [groups] gives each AND
+    branch's fan-in; [ao ~groups:[2;2]] computes [a*b + c*d]. *)
+
+val oa : ?name:string -> groups:int list -> Technology.t -> Cell.t
+(** OR-AND / OAI dual of {!ao}. *)
+
+val mux2_dual_rail : Technology.t -> Cell.t
+(** 2:1 multiplexer with both select rails as inputs ([d0*sn + d1*s]). *)
+
+val fig9 : Cell.t
+(** The paper's Fig. 9 domino gate: [u = a*(b+c) + d*e]. *)
+
+val fig9_text : string
+(** Fig. 9 in the cell-description language (round-trips through
+    {!Cell_parser.cell}). *)
+
+val fig1_nor : Cell.t
+(** The static CMOS NOR of Fig. 1. *)
+
+val fig2_inverter : Cell.t
+(** The static CMOS inverter of Fig. 2. *)

@@ -1,0 +1,48 @@
+(* The five design techniques the paper's functional library distinguishes
+   (Section 5, "Technology dependent parameters"). *)
+
+type t =
+  | Nmos_pulldown   (* conventional static nMOS with pull-down network *)
+  | Static_cmos
+  | Bipolar
+  | Dynamic_nmos    (* Fig. 6: two-phase precharged nMOS *)
+  | Domino_cmos     (* Fig. 4: single-clock precharge/evaluate + inverter *)
+
+let all = [ Nmos_pulldown; Static_cmos; Bipolar; Dynamic_nmos; Domino_cmos ]
+
+let to_string = function
+  | Nmos_pulldown -> "nMOS-pull-down"
+  | Static_cmos -> "static-CMOS"
+  | Bipolar -> "bipolar"
+  | Dynamic_nmos -> "dynamic-nMOS"
+  | Domino_cmos -> "domino-CMOS"
+
+let normalize s =
+  String.concat ""
+    (String.split_on_char '-'
+       (String.concat "" (String.split_on_char '_' (String.lowercase_ascii s))))
+
+let of_string s =
+  match normalize s with
+  | "nmos" | "nmospulldown" | "pulldownnmos" | "staticnmos" -> Some Nmos_pulldown
+  | "staticcmos" | "cmos" -> Some Static_cmos
+  | "bipolar" -> Some Bipolar
+  | "dynamicnmos" -> Some Dynamic_nmos
+  | "dominocmos" | "cmosdomino" | "domino" -> Some Domino_cmos
+  | _ -> None
+
+let is_dynamic = function
+  | Dynamic_nmos | Domino_cmos -> true
+  | Nmos_pulldown | Static_cmos | Bipolar -> false
+
+(* Is the cell's logic function the transmission function itself, or its
+   inverse?  (Section 5: "the assignment of the transmission function or
+   its inverse to the cell output".)  Domino gates compute T (the internal
+   node holds !T, the output inverter restores T); dynamic nMOS, static
+   nMOS and static CMOS pull-down based gates compute !T; a bipolar cell is
+   described functionally, so it computes T as written. *)
+let inverts_transmission = function
+  | Dynamic_nmos | Nmos_pulldown | Static_cmos -> true
+  | Domino_cmos | Bipolar -> false
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,27 @@
+(** The five design techniques distinguished by the paper's functional
+    library (Section 5). *)
+
+type t =
+  | Nmos_pulldown  (** conventional static nMOS with pull-down network *)
+  | Static_cmos
+  | Bipolar
+  | Dynamic_nmos   (** Fig. 6: two-phase precharged nMOS *)
+  | Domino_cmos    (** Fig. 4: single-clock precharge/evaluate + inverter *)
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Case/punctuation-insensitive: accepts e.g. ["domino-CMOS"],
+    ["dynamic_nMOS"], ["nMOS"]. *)
+
+val is_dynamic : t -> bool
+(** True for the precharged techniques the paper's fault model targets. *)
+
+val inverts_transmission : t -> bool
+(** Whether the cell output is the inverse of the switching network's
+    transmission function (dynamic nMOS, nMOS pull-down, static CMOS) or
+    the transmission function itself (domino CMOS, bipolar). *)
+
+val pp : t Fmt.t

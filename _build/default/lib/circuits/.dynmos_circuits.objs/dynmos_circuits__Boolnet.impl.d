@@ -1,0 +1,1 @@
+lib/circuits/boolnet.ml: Array Dynmos_cell Dynmos_netlist Fmt List Netlist Stdcells Technology

@@ -1,0 +1,1 @@
+lib/circuits/boolnet.mli: Dynmos_netlist Netlist

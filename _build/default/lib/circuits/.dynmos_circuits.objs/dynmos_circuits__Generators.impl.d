@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array Boolnet Cell Dynmos_cell Dynmos_netlist Dynmos_util Fmt Hashtbl List Netlist Option Prng Stdcells Technology

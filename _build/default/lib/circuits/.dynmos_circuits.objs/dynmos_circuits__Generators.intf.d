@@ -1,0 +1,1 @@
+lib/circuits/generators.mli: Boolnet Cell Dynmos_cell Dynmos_netlist Netlist Technology

@@ -1,0 +1,199 @@
+open Dynmos_cell
+open Dynmos_netlist
+
+(* Technology-independent Boolean networks.
+
+   A tiny DAG IR (AND/OR/NOT/XOR over named inputs) from which the same
+   function is realized in two styles:
+
+   - [to_static]: NAND/NOR/INV decomposition in static CMOS — the
+     conventional implementation the paper's introduction criticizes;
+   - [to_domino_dual_rail]: dual-rail monotone domino CMOS.  Every signal
+     travels as a (positive, negative) rail pair; NOT is free (rail swap),
+     AND/OR/XOR become pairs of monotone domino gates, and primary inputs
+     arrive in both polarities.  This is the standard way non-monotone
+     functions (parity, adders, comparators) are built in domino logic and
+     is what lets us evaluate the paper's techniques on real workloads. *)
+
+type node_id = int
+
+type node =
+  | Input of string
+  | Land of node_id list
+  | Lor of node_id list
+  | Lnot of node_id
+  | Lxor of node_id * node_id
+
+type t = { nodes : node array; inputs : string list; outputs : (string * node_id) list }
+
+module Build = struct
+  type b = {
+    mutable rev_nodes : node list;
+    mutable count : int;
+    mutable binputs : string list;
+    mutable bouts : (string * node_id) list;
+  }
+
+  let create () = { rev_nodes = []; count = 0; binputs = []; bouts = [] }
+
+  let node b n =
+    b.rev_nodes <- n :: b.rev_nodes;
+    b.count <- b.count + 1;
+    b.count - 1
+
+  let input b name =
+    if List.mem name b.binputs then invalid_arg ("Boolnet: duplicate input " ^ name);
+    b.binputs <- name :: b.binputs;
+    node b (Input name)
+
+  let land_ b ids = match ids with [ x ] -> x | _ -> node b (Land ids)
+  let lor_ b ids = match ids with [ x ] -> x | _ -> node b (Lor ids)
+  let not_ b id = node b (Lnot id)
+  let xor_ b x y = node b (Lxor (x, y))
+
+  let output b name id = b.bouts <- (name, id) :: b.bouts
+
+  let finish b =
+    {
+      nodes = Array.of_list (List.rev b.rev_nodes);
+      inputs = List.rev b.binputs;
+      outputs = List.rev b.bouts;
+    }
+end
+
+let eval t (env : (string * bool) list) =
+  let values = Array.make (Array.length t.nodes) false in
+  Array.iteri
+    (fun i n ->
+      values.(i) <-
+        (match n with
+        | Input name -> (
+            match List.assoc_opt name env with
+            | Some v -> v
+            | None -> invalid_arg ("Boolnet.eval: missing input " ^ name))
+        | Land ids -> List.for_all (fun j -> values.(j)) ids
+        | Lor ids -> List.exists (fun j -> values.(j)) ids
+        | Lnot j -> not values.(j)
+        | Lxor (x, y) -> values.(x) <> values.(y)))
+    t.nodes;
+  List.map (fun (name, id) -> (name, values.(id))) t.outputs
+
+(* --- Static CMOS realization ------------------------------------------- *)
+
+let to_static ?(name = "static") t =
+  let b = Netlist.Builder.create name in
+  let inv = Stdcells.inv Technology.Static_cmos in
+  let fresh =
+    let k = ref 0 in
+    fun prefix ->
+      incr k;
+      Fmt.str "%s%d" prefix !k
+  in
+  List.iter (fun i -> ignore (Netlist.Builder.input b i)) t.inputs;
+  let net_of = Array.make (Array.length t.nodes) "" in
+  Array.iteri
+    (fun i n ->
+      let net =
+        match n with
+        | Input nm -> nm
+        | Land ids ->
+            let nand = Stdcells.nand (List.length ids) Technology.Static_cmos in
+            let mid =
+              Netlist.Builder.add b nand
+                ~inputs:(List.map (fun j -> net_of.(j)) ids)
+                ~output:(fresh "n")
+            in
+            Netlist.Builder.add b inv ~inputs:[ mid ] ~output:(fresh "n")
+        | Lor ids ->
+            let nor = Stdcells.nor (List.length ids) Technology.Static_cmos in
+            let mid =
+              Netlist.Builder.add b nor
+                ~inputs:(List.map (fun j -> net_of.(j)) ids)
+                ~output:(fresh "n")
+            in
+            Netlist.Builder.add b inv ~inputs:[ mid ] ~output:(fresh "n")
+        | Lnot j -> Netlist.Builder.add b inv ~inputs:[ net_of.(j) ] ~output:(fresh "n")
+        | Lxor (x, y) ->
+            (* Four-NAND exclusive-or: hazard-prone, which is the point of
+               the static implementation used as the races/spikes foil. *)
+            let nand2 = Stdcells.nand 2 Technology.Static_cmos in
+            let m = Netlist.Builder.add b nand2 ~inputs:[ net_of.(x); net_of.(y) ] ~output:(fresh "n") in
+            let p = Netlist.Builder.add b nand2 ~inputs:[ net_of.(x); m ] ~output:(fresh "n") in
+            let q = Netlist.Builder.add b nand2 ~inputs:[ net_of.(y); m ] ~output:(fresh "n") in
+            Netlist.Builder.add b nand2 ~inputs:[ p; q ] ~output:(fresh "n")
+      in
+      net_of.(i) <- net)
+    t.nodes;
+  List.iter
+    (fun (po_name, id) ->
+      (* Alias the PO through a buffer-free rename: mark the driving net. *)
+      ignore po_name;
+      Netlist.Builder.output b net_of.(id))
+    t.outputs;
+  Netlist.Builder.finish b
+
+(* --- Dual-rail domino realization -------------------------------------- *)
+
+let rail_pos name = name ^ "_p"
+let rail_neg name = name ^ "_n"
+
+let to_domino_dual_rail ?(name = "domino") t =
+  let b = Netlist.Builder.create name in
+  let fresh =
+    let k = ref 0 in
+    fun prefix ->
+      incr k;
+      Fmt.str "%s%d" prefix !k
+  in
+  List.iter
+    (fun i ->
+      ignore (Netlist.Builder.input b (rail_pos i));
+      ignore (Netlist.Builder.input b (rail_neg i)))
+    t.inputs;
+  let and_cell k = Stdcells.and_gate k Technology.Domino_cmos in
+  let or_cell k = Stdcells.or_gate k Technology.Domino_cmos in
+  let gate cell ins = Netlist.Builder.add b cell ~inputs:ins ~output:(fresh "w") in
+  let xor_p = Stdcells.ao ~name:"xor_p_domino" ~groups:[ 2; 2 ] Technology.Domino_cmos in
+  (* rails per node: (positive, negative) *)
+  let rails = Array.make (Array.length t.nodes) ("", "") in
+  Array.iteri
+    (fun i n ->
+      let r =
+        match n with
+        | Input nm -> (rail_pos nm, rail_neg nm)
+        | Land ids ->
+            let ps = List.map (fun j -> fst rails.(j)) ids in
+            let ns = List.map (fun j -> snd rails.(j)) ids in
+            let k = List.length ids in
+            (gate (and_cell k) ps, gate (or_cell k) ns)
+        | Lor ids ->
+            let ps = List.map (fun j -> fst rails.(j)) ids in
+            let ns = List.map (fun j -> snd rails.(j)) ids in
+            let k = List.length ids in
+            (gate (or_cell k) ps, gate (and_cell k) ns)
+        | Lnot j ->
+            let p, n' = rails.(j) in
+            (n', p)
+        | Lxor (x, y) ->
+            let xp, xn = rails.(x) and yp, yn = rails.(y) in
+            (* z_p = xp*yn + xn*yp ; z_n = xp*yp + xn*yn *)
+            (gate xor_p [ xp; yn; xn; yp ], gate xor_p [ xp; yp; xn; yn ])
+      in
+      rails.(i) <- r)
+    t.nodes;
+  List.iter
+    (fun (_, id) ->
+      Netlist.Builder.output b (fst rails.(id));
+      Netlist.Builder.output b (snd rails.(id)))
+    t.outputs;
+  Netlist.Builder.finish b
+
+(* Expand a single-rail input vector (in [t.inputs] order) into the
+   dual-rail primary-input vector of [to_domino_dual_rail]'s network. *)
+let dual_rail_vector t (pi : bool array) =
+  if Array.length pi <> List.length t.inputs then invalid_arg "dual_rail_vector: arity";
+  Array.concat (Array.to_list (Array.map (fun v -> [| v; not v |]) pi))
+
+let n_inputs t = List.length t.inputs
+let n_outputs t = List.length t.outputs
+let n_nodes t = Array.length t.nodes

@@ -1,0 +1,53 @@
+open Dynmos_netlist
+
+(** Technology-independent Boolean networks (tiny DAG IR) realized either
+    as conventional static CMOS (NAND/NOR/INV decomposition) or as
+    dual-rail monotone domino CMOS — the same function in the two styles
+    the paper contrasts. *)
+
+type node_id = int
+
+type node =
+  | Input of string
+  | Land of node_id list
+  | Lor of node_id list
+  | Lnot of node_id
+  | Lxor of node_id * node_id
+
+type t = { nodes : node array; inputs : string list; outputs : (string * node_id) list }
+
+(** Monotone builder: operands must be created before use. *)
+module Build : sig
+  type b
+
+  val create : unit -> b
+  val input : b -> string -> node_id
+  val land_ : b -> node_id list -> node_id
+  val lor_ : b -> node_id list -> node_id
+  val not_ : b -> node_id -> node_id
+  val xor_ : b -> node_id -> node_id -> node_id
+  val output : b -> string -> node_id -> unit
+  val finish : b -> t
+end
+
+val eval : t -> (string * bool) list -> (string * bool) list
+(** Reference evaluation (output name, value). *)
+
+val to_static : ?name:string -> t -> Netlist.t
+(** NAND/NOR/INV static CMOS realization (hazard-prone, the paper's
+    races-and-spikes foil). *)
+
+val to_domino_dual_rail : ?name:string -> t -> Netlist.t
+(** Dual-rail monotone domino realization: every input [i] becomes the
+    rail pair [i_p]/[i_n]; NOT is a free rail swap; each output
+    contributes both rails as primary outputs (positive first). *)
+
+val rail_pos : string -> string
+val rail_neg : string -> string
+
+val dual_rail_vector : t -> bool array -> bool array
+(** Expand a single-rail input vector into the dual-rail PI vector. *)
+
+val n_inputs : t -> int
+val n_outputs : t -> int
+val n_nodes : t -> int

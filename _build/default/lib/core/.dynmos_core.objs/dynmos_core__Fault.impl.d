@@ -1,0 +1,1 @@
+lib/core/fault.ml: Cell Dynmos_cell Dynmos_switchnet Fmt List Spnet Technology

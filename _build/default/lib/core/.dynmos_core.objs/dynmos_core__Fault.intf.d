@@ -1,0 +1,1 @@
+lib/core/fault.mli: Cell Dynmos_cell Fmt

@@ -1,0 +1,1 @@
+lib/core/fault_map.ml: Cell Dynmos_cell Dynmos_expr Dynmos_switchnet Expr Fault List Spnet String Technology Truth_table

@@ -1,0 +1,1 @@
+lib/core/fault_map.mli: Cell Dynmos_cell Dynmos_expr Expr Fault

@@ -1,0 +1,1 @@
+lib/core/faultlib.ml: Array Buffer Cell Cube Dynmos_cell Dynmos_expr Expr Fault Fault_map Fmt Hashtbl List Minimize Option String Technology Truth_table

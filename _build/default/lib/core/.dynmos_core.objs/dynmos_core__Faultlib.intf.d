@@ -1,0 +1,1 @@
+lib/core/faultlib.mli: Cell Dynmos_cell Dynmos_expr Expr Fault Fault_map Format Minimize Truth_table

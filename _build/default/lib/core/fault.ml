@@ -1,0 +1,132 @@
+open Dynmos_switchnet
+open Dynmos_cell
+
+(* The common physical fault model of the paper (Section 3):
+
+     - a connection is open
+     - a transistor is permanently open
+     - a transistor is permanently closed
+
+   applied to each structural element of a cell: the switching-network
+   transistors (with the paper's T1..Tn numbering), the clocking devices
+   (precharge T(n+1) for dynamic nMOS; precharge T1 / evaluate T2 for
+   domino CMOS), the domino output inverter, the input gate lines, and the
+   supply/clock connections.  Static CMOS additionally gets the pull-up
+   (dual network) transistor faults that produce the Fig. 1 sequential
+   behaviour, and static technologies get the classic stuck-at model the
+   paper prescribes for them. *)
+
+type connection = Precharge_path | Pulldown_path
+
+type physical =
+  | Network_open of int        (* SN transistor T_i permanently open *)
+  | Network_closed of int      (* SN transistor T_i permanently closed *)
+  | Input_gate_open of string  (* open line at the gate(s) driven by an input *)
+  | Pullup_open of int         (* static CMOS p-network transistor open *)
+  | Pullup_closed of int
+  | Precharge_open             (* dynamic nMOS T(n+1) / domino T1 *)
+  | Precharge_closed
+  | Evaluate_open              (* domino T2 *)
+  | Evaluate_closed
+  | Inverter_p_open            (* domino / static output inverter devices *)
+  | Inverter_p_closed
+  | Inverter_n_open
+  | Inverter_n_closed
+  | Connection_open of connection
+  | Stuck_at of string * bool  (* classic model (static CMOS, bipolar, nMOS) *)
+
+let equal (a : physical) (b : physical) = a = b
+
+(* --- Naming ----------------------------------------------------------- *)
+
+let switch_name cell id =
+  match Spnet.find_switch (Cell.network cell) id with
+  | None -> Fmt.str "T%d" id
+  | Some s ->
+      let occurrences = Spnet.switches_of_input (Cell.network cell) s.Spnet.input in
+      if List.length occurrences > 1 then Fmt.str "%s(T%d)" s.Spnet.input id
+      else s.Spnet.input
+
+let describe cell = function
+  | Network_open i -> Fmt.str "%s open" (switch_name cell i)
+  | Network_closed i -> Fmt.str "%s closed" (switch_name cell i)
+  | Input_gate_open v -> Fmt.str "gate line %s open" v
+  | Pullup_open i -> Fmt.str "pull-up T%d open" i
+  | Pullup_closed i -> Fmt.str "pull-up T%d closed" i
+  | Precharge_open -> "precharge open"
+  | Precharge_closed -> "precharge closed"
+  | Evaluate_open -> "evaluate open"
+  | Evaluate_closed -> "evaluate closed"
+  | Inverter_p_open -> "inverter p open"
+  | Inverter_p_closed -> "inverter p closed"
+  | Inverter_n_open -> "inverter n open"
+  | Inverter_n_closed -> "inverter n closed"
+  | Connection_open Precharge_path -> "precharge connection open"
+  | Connection_open Pulldown_path -> "pull-down connection open"
+  | Stuck_at (v, b) -> Fmt.str "s%c-%s" (if b then '1' else '0') v
+
+(* Paper-style class labels: "nMOS-i" (Fig. 6 numbering: T_i open is
+   nMOS-i, T_i closed is nMOS-(n+i), T(n+1) open/closed are nMOS-(2n+1) /
+   nMOS-(2n+2)) and "CMOS-1..4" for the domino clocking devices. *)
+let paper_label cell fault =
+  let n = Cell.n_transistors cell in
+  match (Cell.technology cell, fault) with
+  | Technology.Dynamic_nmos, Network_open i -> Some (Fmt.str "nMOS-%d" i)
+  | Technology.Dynamic_nmos, Network_closed i -> Some (Fmt.str "nMOS-%d" (n + i))
+  | Technology.Dynamic_nmos, Precharge_open -> Some (Fmt.str "nMOS-%d" ((2 * n) + 1))
+  | Technology.Dynamic_nmos, Precharge_closed -> Some (Fmt.str "nMOS-%d" ((2 * n) + 2))
+  | Technology.Domino_cmos, Evaluate_closed -> Some "CMOS-1"
+  | Technology.Domino_cmos, Evaluate_open -> Some "CMOS-2"
+  | Technology.Domino_cmos, Precharge_closed -> Some "CMOS-3"
+  | Technology.Domino_cmos, Precharge_open -> Some "CMOS-4"
+  | _ -> None
+
+let label cell fault =
+  match paper_label cell fault with Some l -> l | None -> describe cell fault
+
+(* --- Enumeration (the paper's Section-5 table order) ------------------- *)
+
+let network_faults cell =
+  List.concat_map
+    (fun s -> [ Network_closed s.Spnet.id; Network_open s.Spnet.id ])
+    (Spnet.switches (Cell.network cell))
+
+let input_gate_faults cell = List.map (fun v -> Input_gate_open v) (Cell.inputs cell)
+
+let stuck_at_faults cell =
+  List.concat_map (fun v -> [ Stuck_at (v, false); Stuck_at (v, true) ]) (Cell.inputs cell)
+  @ [ Stuck_at (Cell.output cell, false); Stuck_at (Cell.output cell, true) ]
+
+let enumerate cell =
+  match Cell.technology cell with
+  | Technology.Domino_cmos ->
+      network_faults cell @ input_gate_faults cell
+      @ [
+          Evaluate_open;
+          Evaluate_closed;
+          Precharge_closed;
+          Precharge_open;
+          Inverter_p_open;
+          Inverter_p_closed;
+          Inverter_n_open;
+          Inverter_n_closed;
+          Connection_open Pulldown_path;
+          Connection_open Precharge_path;
+        ]
+  | Technology.Dynamic_nmos ->
+      network_faults cell @ input_gate_faults cell
+      @ [
+          Precharge_open;
+          Precharge_closed;
+          Connection_open Precharge_path;
+          Connection_open Pulldown_path;
+        ]
+  | Technology.Static_cmos ->
+      stuck_at_faults cell @ network_faults cell
+      @ List.concat_map
+          (fun s -> [ Pullup_closed s.Spnet.id; Pullup_open s.Spnet.id ])
+          (Spnet.switches (Cell.network cell))
+  | Technology.Nmos_pulldown -> stuck_at_faults cell @ network_faults cell
+  | Technology.Bipolar -> stuck_at_faults cell
+
+let pp cell ppf fault = Fmt.string ppf (label cell fault)

@@ -1,0 +1,47 @@
+open Dynmos_cell
+
+(** The common physical fault model (paper, Section 3): open connections,
+    permanently open transistors, permanently closed transistors — applied
+    to every structural element of a cell. *)
+
+type connection = Precharge_path | Pulldown_path
+
+type physical =
+  | Network_open of int        (** SN transistor T_i permanently open *)
+  | Network_closed of int      (** SN transistor T_i permanently closed *)
+  | Input_gate_open of string  (** open line at the gate(s) driven by an input (A1 applies) *)
+  | Pullup_open of int         (** static CMOS p-network transistor open *)
+  | Pullup_closed of int
+  | Precharge_open             (** dynamic nMOS T(n+1) / domino T1 *)
+  | Precharge_closed
+  | Evaluate_open              (** domino T2 *)
+  | Evaluate_closed
+  | Inverter_p_open            (** domino / static output inverter devices *)
+  | Inverter_p_closed
+  | Inverter_n_open
+  | Inverter_n_closed
+  | Connection_open of connection
+  | Stuck_at of string * bool  (** classic model (static CMOS, bipolar, nMOS) *)
+
+val equal : physical -> physical -> bool
+
+val describe : Cell.t -> physical -> string
+(** Human-readable name in the paper's table style: ["a closed"],
+    ["s0-u"], ["inverter p open"].  Switches of multiply-used inputs are
+    disambiguated as ["a(T3) closed"]. *)
+
+val paper_label : Cell.t -> physical -> string option
+(** The paper's systematic label when one exists: ["nMOS-7"],
+    ["CMOS-2"], ... *)
+
+val label : Cell.t -> physical -> string
+(** {!paper_label} when defined, {!describe} otherwise. *)
+
+val enumerate : Cell.t -> physical list
+(** Complete fault universe of a cell in the paper's enumeration order
+    (per-switch closed/open pairs first — this is what makes the Fig. 9
+    table come out in the published class order — then gate-line opens,
+    then the technology-specific clocking/inverter/connection faults;
+    static technologies get the stuck-at model first). *)
+
+val pp : Cell.t -> physical Fmt.t

@@ -1,0 +1,291 @@
+open Dynmos_expr
+open Dynmos_cell
+
+(* Fault library generation (the paper's Section 5).
+
+   For a cell, every physical fault is mapped through [Fault_map] and the
+   combinational results are collapsed into fault-equivalence classes —
+   two faults are equivalent iff their faulty functions are semantically
+   equal.  Each class stores its function in minimum disjunctive form, so
+   the generated library reproduces the paper's Fig. 9 table verbatim.
+   Non-combinational effects (delay, the CMOS-1 redundancy, static-CMOS
+   sequential/contention cases) are collected separately: they are exactly
+   the faults the paper says need maximum-speed testing or cannot be
+   modelled at the logic level. *)
+
+type effect =
+  | Function of { sop : Minimize.sop; text : string; expr : Expr.t }
+  | Delay_fault of { observed_as : string option; factor : float }
+  | Sequential_fault of { retain_when : string }
+  | Contention_fault of { fight_when : string; resolves_to : string; factor : float }
+
+type entry = {
+  class_id : int;
+  members : (Fault.physical * string) list;  (* fault and its display label *)
+  effect : effect;
+  detectable : bool;
+}
+
+type t = {
+  cell : Cell.t;
+  vars : string array;
+  fault_free_text : string;
+  fault_free_table : Truth_table.t;
+  function_classes : entry list;
+  special_classes : entry list;
+  n_faults : int;
+}
+
+let minimize_text ~vars expr =
+  let sop = Minimize.of_table (Truth_table.of_expr ~vars expr) in
+  (sop, Minimize.to_string ~vars sop)
+
+let generate ?electrical cell =
+  let vars = Cell.input_vars cell in
+  let fault_free_table = Cell.logic_table cell in
+  let ff_sop = Minimize.of_table fault_free_table in
+  let fault_free_text = Minimize.to_string ~vars ff_sop in
+  let faults = Fault.enumerate cell in
+  (* Group combinational faults by the canonical text of their minimized
+     faulty function; first-occurrence order yields the paper's class
+     numbering. *)
+  let order = ref [] in
+  let groups : (string, (Fault.physical * string) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let specials = ref [] in
+  List.iter
+    (fun f ->
+      let lbl = Fault.label cell f in
+      match Fault_map.map ?electrical cell f with
+      | Fault_map.Combinational e ->
+          let _, text = minimize_text ~vars e in
+          (match Hashtbl.find_opt groups text with
+          | Some members -> members := (f, lbl) :: !members
+          | None ->
+              Hashtbl.add groups text (ref [ (f, lbl) ]);
+              order := text :: !order)
+      | Fault_map.Delay { observed_as; factor } ->
+          let observed_as =
+            Option.map (fun e -> snd (minimize_text ~vars e)) observed_as
+          in
+          specials := ((f, lbl), `Delay (observed_as, factor)) :: !specials
+      | Fault_map.Sequential { retain_when } ->
+          let _, text = minimize_text ~vars retain_when in
+          specials := ((f, lbl), `Sequential text) :: !specials
+      | Fault_map.Contention { fight_when; resolves_to; factor } ->
+          let _, fw = minimize_text ~vars fight_when in
+          let _, rt = minimize_text ~vars resolves_to in
+          specials := ((f, lbl), `Contention (fw, rt, factor)) :: !specials)
+    faults;
+  let next_id = ref 0 in
+  let function_classes =
+    List.rev_map
+      (fun text ->
+        let members = List.rev !(Hashtbl.find groups text) in
+        incr next_id;
+        let expr =
+          match members with
+          | (f, _) :: _ -> (
+              match Fault_map.map ?electrical cell f with
+              | Fault_map.Combinational e -> e
+              | _ -> assert false)
+          | [] -> assert false
+        in
+        let sop, _ = minimize_text ~vars expr in
+        {
+          class_id = !next_id;
+          members;
+          effect = Function { sop; text; expr };
+          detectable = not (String.equal text fault_free_text);
+        })
+      (List.rev !order)
+    |> List.rev
+  in
+  (* Group the special (non-combinational) effects by identical behaviour
+     as well. *)
+  let special_classes =
+    let collapsed = Hashtbl.create 8 in
+    let sp_order = ref [] in
+    List.iter
+      (fun ((f, lbl), eff) ->
+        let key =
+          match eff with
+          | `Delay (obs, factor) -> Fmt.str "delay:%a:%f" Fmt.(option string) obs factor
+          | `Sequential r -> "seq:" ^ r
+          | `Contention (fw, rt, factor) -> Fmt.str "cont:%s:%s:%f" fw rt factor
+        in
+        match Hashtbl.find_opt collapsed key with
+        | Some (members, _) -> members := (f, lbl) :: !members
+        | None ->
+            Hashtbl.add collapsed key (ref [ (f, lbl) ], eff);
+            sp_order := key :: !sp_order)
+      (List.rev !specials);
+    List.rev_map
+      (fun key ->
+        let members, eff = Hashtbl.find collapsed key in
+        incr next_id;
+        let effect =
+          match eff with
+          | `Delay (observed_as, factor) -> Delay_fault { observed_as; factor }
+          | `Sequential retain_when -> Sequential_fault { retain_when }
+          | `Contention (fight_when, resolves_to, factor) ->
+              Contention_fault { fight_when; resolves_to; factor }
+        in
+        let detectable =
+          match effect with
+          | Delay_fault { observed_as = None; _ } -> false (* CMOS-1: possibly undetectable *)
+          | _ -> true
+        in
+        { class_id = !next_id; members = List.rev !members; effect; detectable })
+      (List.rev !sp_order)
+    |> List.rev
+  in
+  {
+    cell;
+    vars;
+    fault_free_text;
+    fault_free_table;
+    function_classes;
+    special_classes;
+    n_faults = List.length faults;
+  }
+
+let entries t = t.function_classes @ t.special_classes
+
+let n_classes t = List.length (entries t)
+
+let lookup t fault =
+  List.find_opt
+    (fun e -> List.exists (fun (f, _) -> Fault.equal f fault) e.members)
+    (entries t)
+
+let detectable_function_classes t = List.filter (fun e -> e.detectable) t.function_classes
+
+(* Truth tables of the fault-free function and of every detectable function
+   class — the form fault simulation consumes. *)
+let tables t =
+  List.filter_map
+    (fun e ->
+      match e.effect with
+      | Function { expr; _ } when e.detectable ->
+          Some (e.class_id, Truth_table.of_expr ~vars:t.vars expr)
+      | Function _ | Delay_fault _ | Sequential_fault _ | Contention_fault _ -> None)
+    t.function_classes
+
+let members_text e = String.concat ", " (List.map snd e.members)
+
+let pp_table ppf t =
+  Fmt.pf ppf "Cell %s (%a), fault-free function: %s = %s@."
+    (Cell.name t.cell)
+    Technology.pp (Cell.technology t.cell)
+    (Cell.output t.cell) t.fault_free_text;
+  Fmt.pf ppf "%-6s %-28s %s@." "Class" "Fault" "Faulty function";
+  List.iter
+    (fun e ->
+      match e.effect with
+      | Function { text; _ } ->
+          Fmt.pf ppf "%-6d %-28s %s = %s%s@." e.class_id (members_text e)
+            (Cell.output t.cell) text
+            (if e.detectable then "" else "   (undetectable: equals fault-free)")
+      | _ -> ())
+    t.function_classes;
+  List.iter
+    (fun e ->
+      match e.effect with
+      | Delay_fault { observed_as; factor } ->
+          Fmt.pf ppf "%-6d %-28s delay x%.1f%s@." e.class_id (members_text e) factor
+            (match observed_as with
+            | Some f -> Fmt.str ", seen as %s = %s at max speed" (Cell.output t.cell) f
+            | None -> ", possibly undetectable (redundant for timing)")
+      | Sequential_fault { retain_when } ->
+          Fmt.pf ppf "%-6d %-28s SEQUENTIAL: retains state when %s@." e.class_id
+            (members_text e) retain_when
+      | Contention_fault { fight_when; resolves_to; factor } ->
+          Fmt.pf ppf "%-6d %-28s contention when %s, resolves to %s (delay x%.1f)@."
+            e.class_id (members_text e) fight_when resolves_to factor
+      | Function _ -> ())
+    t.special_classes
+
+(* --- Library emission -------------------------------------------------
+   The paper: "The internal representation of a library is a PASCAL
+   program performing the fault free and the faulty functions."  We emit
+   both Pascal (fidelity) and OCaml (practicality). *)
+
+let sop_to_infix ~and_op ~or_op ~not_op ~vars sop =
+  match sop with
+  | [] -> "false"
+  | _ when List.exists (fun c -> Cube.n_literals c = 0) sop -> "true"
+  | _ ->
+      String.concat (" " ^ or_op ^ " ")
+        (List.map
+           (fun c ->
+             let lits =
+               List.map
+                 (fun (i, pos) -> if pos then vars.(i) else not_op ^ " " ^ vars.(i))
+                 (Cube.literals c)
+             in
+             match lits with
+             | [ l ] -> l
+             | ls -> "(" ^ String.concat (" " ^ and_op ^ " ") ls ^ ")")
+           sop)
+
+let pascal_function ~vars ~name sop =
+  let params = String.concat ", " (Array.to_list vars) in
+  let body =
+    match sop with
+    | [] -> "false"
+    | _ when List.exists (fun c -> Cube.n_literals c = 0) sop -> "true"
+    | _ ->
+        String.concat " or "
+          (List.map
+             (fun c ->
+               let lits =
+                 List.map
+                   (fun (i, pos) -> if pos then vars.(i) else "not " ^ vars.(i))
+                   (Cube.literals c)
+               in
+               "(" ^ String.concat " and " lits ^ ")")
+             sop)
+  in
+  Fmt.str "function %s(%s : boolean) : boolean;@.begin@.  %s := %s@.end;@." name params name body
+
+let to_pascal t =
+  let buf = Buffer.create 1024 in
+  let add s = Buffer.add_string buf s in
+  add (Fmt.str "{ Fault library for cell %s (%s), generated automatically. }\n"
+         (Cell.name t.cell)
+         (Technology.to_string (Cell.technology t.cell)));
+  let ff_sop = Minimize.of_table t.fault_free_table in
+  add (pascal_function ~vars:t.vars ~name:(Cell.name t.cell ^ "_good") ff_sop);
+  List.iter
+    (fun e ->
+      match e.effect with
+      | Function { sop; _ } ->
+          add (Fmt.str "{ class %d: %s }\n" e.class_id (members_text e));
+          add (pascal_function ~vars:t.vars ~name:(Fmt.str "%s_fault_%d" (Cell.name t.cell) e.class_id) sop)
+      | _ -> ())
+    t.function_classes;
+  Buffer.contents buf
+
+let to_ocaml t =
+  let buf = Buffer.create 1024 in
+  let add s = Buffer.add_string buf s in
+  let vars = t.vars in
+  let params = String.concat " " (Array.to_list vars) in
+  let fn name sop =
+    add
+      (Fmt.str "let %s %s = %s\n" name params
+         (sop_to_infix ~and_op:"&&" ~or_op:"||" ~not_op:"not" ~vars sop))
+  in
+  add (Fmt.str "(* Fault library for cell %s (%s), generated automatically. *)\n"
+         (Cell.name t.cell)
+         (Technology.to_string (Cell.technology t.cell)));
+  fn (Cell.name t.cell ^ "_good") (Minimize.of_table t.fault_free_table);
+  List.iter
+    (fun e ->
+      match e.effect with
+      | Function { sop; _ } ->
+          add (Fmt.str "(* class %d: %s *)\n" e.class_id (members_text e));
+          fn (Fmt.str "%s_fault_%d" (Cell.name t.cell) e.class_id) sop
+      | _ -> ())
+    t.function_classes;
+  Buffer.contents buf

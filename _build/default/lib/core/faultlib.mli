@@ -1,0 +1,70 @@
+open Dynmos_expr
+open Dynmos_cell
+
+(** Fault library generation (the paper's Section 5).
+
+    Maps every physical fault of a cell through {!Fault_map}, collapses
+    combinational results into fault-equivalence classes (semantic equality
+    of the faulty functions), stores each class in minimum disjunctive
+    form, and emits the library as a program — Pascal, as in the paper, or
+    OCaml.  Applied to the paper's Fig. 9 gate this reproduces the
+    Section-5 table with its 10 classes. *)
+
+type effect =
+  | Function of { sop : Minimize.sop; text : string; expr : Expr.t }
+      (** faulty combinational function, minimized *)
+  | Delay_fault of { observed_as : string option; factor : float }
+      (** performance degradation; [observed_as] is what maximum-speed
+          sampling sees ([None]: possibly undetectable, CMOS-1) *)
+  | Sequential_fault of { retain_when : string }
+      (** static CMOS stuck-open memory states *)
+  | Contention_fault of { fight_when : string; resolves_to : string; factor : float }
+
+type entry = {
+  class_id : int;
+  members : (Fault.physical * string) list;  (** faults and display labels *)
+  effect : effect;
+  detectable : bool;
+      (** false for classes equal to the fault-free function and for the
+          possibly-undetectable CMOS-1 delay class *)
+}
+
+type t = {
+  cell : Cell.t;
+  vars : string array;
+  fault_free_text : string;
+  fault_free_table : Truth_table.t;
+  function_classes : entry list;  (** combinational classes, paper order *)
+  special_classes : entry list;   (** delay / sequential / contention *)
+  n_faults : int;
+}
+
+val generate : ?electrical:Fault_map.electrical -> Cell.t -> t
+(** Generate the complete library for a cell.  The default electrical
+    model resolves ratioed fights to hard logic faults (the paper's table
+    convention); pass {!Fault_map.weak_electrical} to obtain the case-b
+    delay classes instead. *)
+
+val entries : t -> entry list
+(** All classes, function classes first. *)
+
+val n_classes : t -> int
+
+val lookup : t -> Fault.physical -> entry option
+(** The equivalence class a physical fault landed in. *)
+
+val detectable_function_classes : t -> entry list
+
+val tables : t -> (int * Truth_table.t) list
+(** [(class_id, truth table)] for every detectable function class — the
+    form fault simulation consumes. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Print the library in the paper's Section-5 table format. *)
+
+val to_pascal : t -> string
+(** The library as a Pascal program ("the internal representation of a
+    library is a PASCAL program", Section 5). *)
+
+val to_ocaml : t -> string
+(** The library as OCaml source. *)

@@ -1,0 +1,1 @@
+lib/expr/cube.ml: Array Expr Int List String

@@ -1,0 +1,1 @@
+lib/expr/cube.mli: Expr

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Bool Fmt List Set String

@@ -1,0 +1,1 @@
+lib/expr/minimize.ml: Array Bytes Char Cube Expr Hashtbl Int List Option Set Stdlib String Truth_table

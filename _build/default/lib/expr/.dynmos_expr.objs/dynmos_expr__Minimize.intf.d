@@ -1,0 +1,1 @@
+lib/expr/minimize.mli: Cube Expr Truth_table

@@ -1,0 +1,1 @@
+lib/expr/parse.ml: Expr List Printf String

@@ -1,0 +1,1 @@
+lib/expr/truth_table.ml: Array Bytes Char Expr Fmt Hashtbl Set Stdlib String

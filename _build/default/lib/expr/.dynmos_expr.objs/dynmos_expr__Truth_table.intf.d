@@ -1,0 +1,1 @@
+lib/expr/truth_table.mli: Expr Fmt

@@ -1,0 +1,91 @@
+(* Cubes (product terms) over an indexed variable set.
+
+   A cube is a pair of bit masks: [care] marks the variables that appear as
+   literals, [value] gives each such literal's polarity.  Bits of [value]
+   outside [care] are kept at zero so that structural equality coincides
+   with semantic equality of cubes.  This representation supports the
+   Quine-McCluskey combining step (same care set, values differing in
+   exactly one bit) with a couple of word operations. *)
+
+type t = { care : int; value : int }
+
+let universe = { care = 0; value = 0 }
+
+let make ~care ~value = { care; value = value land care }
+
+let of_minterm ~n_vars row =
+  let mask = (1 lsl n_vars) - 1 in
+  { care = mask; value = row land mask }
+
+let care t = t.care
+let value t = t.value
+let equal a b = a.care = b.care && a.value = b.value
+let compare a b =
+  let c = Int.compare a.care b.care in
+  if c <> 0 then c else Int.compare a.value b.value
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let n_literals t = popcount t.care
+
+let covers t row = row land t.care = t.value
+
+let subsumes a b =
+  (* [a] covers every minterm of [b]: a's literals are a subset of b's and
+     agree in polarity. *)
+  a.care land b.care = a.care && b.value land a.care = a.value
+
+let combine a b =
+  if a.care <> b.care then None
+  else
+    let diff = a.value lxor b.value in
+    if diff <> 0 && diff land (diff - 1) = 0 then
+      Some { care = a.care land lnot diff; value = a.value land lnot diff }
+    else None
+
+let literals t =
+  let rec go i acc =
+    if 1 lsl i > t.care then List.rev acc
+    else if t.care land (1 lsl i) <> 0 then
+      go (i + 1) ((i, t.value land (1 lsl i) <> 0) :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let eval t row = covers t row
+
+let to_expr ~vars t =
+  match literals t with
+  | [] -> Expr.true_
+  | lits ->
+      Expr.and_
+        (List.map
+           (fun (i, pos) -> if pos then Expr.var vars.(i) else Expr.not_ (Expr.var vars.(i)))
+           lits)
+
+let to_string ~vars t =
+  match literals t with
+  | [] -> "1"
+  | lits ->
+      String.concat "*"
+        (List.map (fun (i, pos) -> if pos then vars.(i) else "!" ^ vars.(i)) lits)
+
+let minterms ~n_vars t =
+  (* Enumerate the free (don't-care) positions of the cube. *)
+  let free = ref [] in
+  for i = n_vars - 1 downto 0 do
+    if t.care land (1 lsl i) = 0 then free := i :: !free
+  done;
+  let free = Array.of_list !free in
+  let k = Array.length free in
+  let acc = ref [] in
+  for c = (1 lsl k) - 1 downto 0 do
+    let row = ref t.value in
+    for j = 0 to k - 1 do
+      if (c lsr j) land 1 = 1 then row := !row lor (1 lsl free.(j))
+    done;
+    acc := !row :: !acc
+  done;
+  !acc

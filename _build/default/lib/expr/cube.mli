@@ -1,0 +1,51 @@
+(** Cubes (product terms) over an indexed variable set.
+
+    A cube is a pair of bit masks: [care] marks variables appearing as
+    literals, [value] their polarities.  Used by the Quine-McCluskey
+    minimizer and by fault-simulation pattern expansion. *)
+
+type t
+
+val universe : t
+(** The cube with no literals (constant true / all minterms). *)
+
+val make : care:int -> value:int -> t
+(** Build a cube; [value] bits outside [care] are cleared. *)
+
+val of_minterm : n_vars:int -> int -> t
+(** Full cube for one minterm. *)
+
+val care : t -> int
+val value : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val n_literals : t -> int
+
+val covers : t -> int -> bool
+(** Does the cube contain the given minterm? *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff [a] covers every minterm of [b]. *)
+
+val combine : t -> t -> t option
+(** Quine-McCluskey merge: defined iff the cubes have the same literals and
+    differ in exactly one polarity; the result drops that variable. *)
+
+val literals : t -> (int * bool) list
+(** [(index, polarity)] pairs, ascending by index. *)
+
+val eval : t -> int -> bool
+(** Alias of {!covers}. *)
+
+val to_expr : vars:string array -> t -> Expr.t
+
+val to_string : vars:string array -> t -> string
+(** E.g. ["a*!b*c"]; the empty cube prints as ["1"]. *)
+
+val minterms : n_vars:int -> t -> int list
+(** All minterms covered by the cube, ascending. *)
+
+val popcount : int -> int
+(** Bit-population count (exposed for reuse). *)

@@ -1,0 +1,170 @@
+(* Boolean expressions.
+
+   This is the term language shared by the whole project: switching-network
+   transmission functions, cell logic functions, faulty functions produced by
+   the fault mapper, and the functions manipulated by PROTEST are all values
+   of [Expr.t].  Semantic questions (equality, satisfiability, probability)
+   are answered by [Truth_table]; this module only provides the syntax,
+   smart constructors performing cheap local simplification, evaluation and
+   substitution. *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let true_ = Const true
+let false_ = Const false
+let var v = Var v
+
+let not_ = function
+  | Const b -> Const (not b)
+  | Not e -> e
+  | e -> Not e
+
+(* [and_]/[or_] flatten nested conjunctions/disjunctions and apply the unit
+   and absorbing element laws.  They do not sort or deduplicate: syntactic
+   forms are kept close to what the user wrote so that printed functions are
+   recognizable; canonical comparisons go through truth tables. *)
+let and_ es =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | Const false :: _ -> None
+    | Const true :: rest -> flatten acc rest
+    | And inner :: rest -> (
+        match flatten acc inner with
+        | None -> None
+        | Some acc' -> flatten (List.rev acc') rest)
+    | e :: rest -> flatten (e :: acc) rest
+  in
+  match flatten [] es with
+  | None -> Const false
+  | Some [] -> Const true
+  | Some [ e ] -> e
+  | Some es -> And es
+
+let or_ es =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | Const true :: _ -> None
+    | Const false :: rest -> flatten acc rest
+    | Or inner :: rest -> (
+        match flatten acc inner with
+        | None -> None
+        | Some acc' -> flatten (List.rev acc') rest)
+    | e :: rest -> flatten (e :: acc) rest
+  in
+  match flatten [] es with
+  | None -> Const true
+  | Some [] -> Const false
+  | Some [ e ] -> e
+  | Some es -> Or es
+
+let xor a b =
+  match (a, b) with
+  | Const false, e | e, Const false -> e
+  | Const true, e | e, Const true -> not_ e
+  | a, b -> Xor (a, b)
+
+let ( && ) a b = and_ [ a; b ]
+let ( || ) a b = or_ [ a; b ]
+
+let rec eval env = function
+  | Const b -> b
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+
+module String_set = Set.Make (String)
+
+let support e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var v -> String_set.add v acc
+    | Not e -> go acc e
+    | And es | Or es -> List.fold_left go acc es
+    | Xor (a, b) -> go (go acc a) b
+  in
+  String_set.elements (go String_set.empty e)
+
+let rec subst f = function
+  | Const b -> Const b
+  | Var v -> ( match f v with Some e -> e | None -> Var v)
+  | Not e -> not_ (subst f e)
+  | And es -> and_ (List.map (subst f) es)
+  | Or es -> or_ (List.map (subst f) es)
+  | Xor (a, b) -> xor (subst f a) (subst f b)
+
+let cofactor v value e = subst (fun w -> if String.equal w v then Some (Const value) else None) e
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not e -> 1 + size e
+  | And es | Or es -> List.fold_left (fun n e -> n + size e) 1 es
+  | Xor (a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Const _ | Var _ -> 0
+  | Not e -> 1 + depth e
+  | And es | Or es -> 1 + List.fold_left (fun n e -> max n (depth e)) 0 es
+  | Xor (a, b) -> 1 + max (depth a) (depth b)
+
+(* Printing follows the paper's cell-description syntax: [*] for AND, [+]
+   for OR, [!] for NOT, [(…)] where precedence requires.  Precedence levels:
+   Or < Xor < And < Not/atom. *)
+let pp ppf e =
+  let rec go level ppf e =
+    let paren lvl body =
+      if level > lvl then Fmt.pf ppf "(%t)" body else body ppf
+    in
+    match e with
+    | Const true -> Fmt.string ppf "1"
+    | Const false -> Fmt.string ppf "0"
+    | Var v -> Fmt.string ppf v
+    | Not e -> Fmt.pf ppf "!%a" (go 3) e
+    | And es ->
+        paren 2 (fun ppf -> Fmt.(list ~sep:(any "*") (go 2)) ppf es)
+    | Xor (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a^%a" (go 2) a (go 2) b)
+    | Or es ->
+        paren 0 (fun ppf -> Fmt.(list ~sep:(any "+") (go 1)) ppf es)
+  in
+  go 0 ppf e
+
+let to_string e = Fmt.str "%a" pp e
+
+let rec compare a b =
+  match (a, b) with
+  | Const x, Const y -> Bool.compare x y
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | Var x, Var y -> String.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Not x, Not y -> compare x y
+  | Not _, _ -> -1
+  | _, Not _ -> 1
+  | And xs, And ys -> compare_lists xs ys
+  | And _, _ -> -1
+  | _, And _ -> 1
+  | Or xs, Or ys -> compare_lists xs ys
+  | Or _, _ -> -1
+  | _, Or _ -> 1
+  | Xor (a1, b1), Xor (a2, b2) ->
+      let c = compare a1 a2 in
+      if c <> 0 then c else compare b1 b2
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs ys
+
+let equal a b = compare a b = 0

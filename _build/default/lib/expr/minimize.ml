@@ -1,0 +1,288 @@
+(* Two-level minimization: Quine-McCluskey prime generation followed by an
+   exact (Petrick-style branch and bound) or greedy cover.
+
+   The paper's fault library stores every faulty function in "minimum
+   disjunctive form"; this module produces exactly that, deterministically,
+   so the Section-5 table of the paper can be reproduced character for
+   character.  Exact covering is used up to a configurable problem size
+   (cell functions are tiny), greedy set cover beyond it. *)
+
+type sop = Cube.t list
+
+let exact_cover_limit = ref 22
+
+(* --- Prime implicant generation ------------------------------------- *)
+
+module Cube_set = Set.Make (Cube)
+
+let primes_of_minterms ~n_vars minterms =
+  let current = ref (List.sort_uniq Cube.compare (List.map (Cube.of_minterm ~n_vars) minterms)) in
+  let primes = ref Cube_set.empty in
+  let continue = ref (!current <> []) in
+  while !continue do
+    (* Group cubes by (care mask, popcount of value) so only candidate pairs
+       are tried; two cubes combine only within adjacent popcount groups of
+       the same care mask. *)
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        let key = (Cube.care c, Cube.popcount (Cube.value c)) in
+        Hashtbl.replace tbl key (c :: (Option.value ~default:[] (Hashtbl.find_opt tbl key))))
+      !current;
+    let combined = Hashtbl.create 64 in
+    let next = ref Cube_set.empty in
+    List.iter
+      (fun c ->
+        let care = Cube.care c in
+        let ones = Cube.popcount (Cube.value c) in
+        let partners = Option.value ~default:[] (Hashtbl.find_opt tbl (care, ones + 1)) in
+        List.iter
+          (fun d ->
+            match Cube.combine c d with
+            | Some m ->
+                Hashtbl.replace combined c ();
+                Hashtbl.replace combined d ();
+                next := Cube_set.add m !next
+            | None -> ())
+          partners)
+      !current;
+    List.iter (fun c -> if not (Hashtbl.mem combined c) then primes := Cube_set.add c !primes) !current;
+    current := Cube_set.elements !next;
+    continue := !current <> []
+  done;
+  Cube_set.elements !primes
+
+(* --- Covering -------------------------------------------------------- *)
+
+(* Branch and bound over the prime implicant chart.  Cost of a cover is
+   (number of cubes, total literals); we search for the lexicographically
+   least cost and break remaining ties by the sorted cube list itself, so
+   results are deterministic. *)
+
+let cover_cost cubes =
+  (List.length cubes, List.fold_left (fun n c -> n + Cube.n_literals c) 0 cubes)
+
+let better a b =
+  let ca, cb = (cover_cost a, cover_cost b) in
+  if ca <> cb then Stdlib.compare ca cb < 0
+  else Stdlib.compare (List.sort Cube.compare a) (List.sort Cube.compare b) < 0
+
+let exact_cover primes minterms =
+  let primes = Array.of_list primes in
+  let n_primes = Array.length primes in
+  let covers_of_minterm =
+    List.map
+      (fun m ->
+        let who = ref [] in
+        for i = n_primes - 1 downto 0 do
+          if Cube.covers primes.(i) m then who := i :: !who
+        done;
+        (m, !who))
+      minterms
+  in
+  let best = ref None in
+  let rec go chosen uncovered =
+    (* A partial cover with [>= nb] cubes and minterms still uncovered can
+       only finish with more cubes than the incumbent: prune. *)
+    let prune =
+      match (!best, uncovered) with
+      | None, _ | _, [] -> false
+      | Some b, _ :: _ ->
+          let nb, _ = cover_cost b in
+          List.length chosen >= nb
+    in
+    if prune then ()
+    else
+      match uncovered with
+      | [] ->
+          let cand = List.map (fun i -> primes.(i)) chosen in
+          let is_better = match !best with None -> true | Some b -> better cand b in
+          if is_better then best := Some cand
+      | _ ->
+          (* Branch on a minterm with the fewest covering primes. *)
+          let m, who =
+            List.fold_left
+              (fun ((_, w) as acc) ((_, w') as x) ->
+                if List.length w' < List.length w then x else acc)
+              (List.hd uncovered) (List.tl uncovered)
+          in
+          ignore m;
+          List.iter
+            (fun i ->
+              let remaining =
+                List.filter (fun (m', _) -> not (Cube.covers primes.(i) m')) uncovered
+              in
+              go (i :: chosen) remaining)
+            who
+  in
+  go [] covers_of_minterm;
+  match !best with Some b -> b | None -> []
+
+let greedy_cover primes minterms =
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace remaining m ()) minterms;
+  let chosen = ref [] in
+  let primes = List.sort Cube.compare primes in
+  while Hashtbl.length remaining > 0 do
+    let gain c =
+      Hashtbl.fold (fun m () acc -> if Cube.covers c m then acc + 1 else acc) remaining 0
+    in
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> if gain c > 0 then Some (c, gain c) else None
+          | Some (_, g) -> if gain c > g then Some (c, gain c) else acc)
+        None primes
+    in
+    match best with
+    | None -> Hashtbl.reset remaining (* unreachable if primes cover all minterms *)
+    | Some (c, _) ->
+        chosen := c :: !chosen;
+        let hit = Hashtbl.fold (fun m () acc -> if Cube.covers c m then m :: acc else acc) remaining [] in
+        List.iter (Hashtbl.remove remaining) hit
+  done;
+  !chosen
+
+(* --- Large-arity fallback: greedy prime expansion --------------------- *)
+
+(* Quine-McCluskey enumerates every implicant, which explodes past ~10
+   variables.  For wide functions we instead expand each yet-uncovered
+   minterm into a prime directly (the espresso "expand" step): literals
+   are dropped greedily, left to right, as long as the grown cube stays
+   inside the ON-set.  The result is a deterministic prime and irredundant
+   cover, not guaranteed minimum. *)
+let expand_cover ~n_vars minterms =
+  let onset = Bytes.make (((1 lsl n_vars) + 7) / 8) '\000' in
+  let set_bit m =
+    Bytes.set onset (m lsr 3) (Char.chr (Char.code (Bytes.get onset (m lsr 3)) lor (1 lsl (m land 7))))
+  in
+  let get_bit m = Char.code (Bytes.get onset (m lsr 3)) land (1 lsl (m land 7)) <> 0 in
+  List.iter set_bit minterms;
+  let inside cube = List.for_all get_bit (Cube.minterms ~n_vars cube) in
+  let covered = Hashtbl.create 256 in
+  let cover = ref [] in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem covered m) then begin
+        let cube = ref (Cube.of_minterm ~n_vars m) in
+        for i = 0 to n_vars - 1 do
+          let cand = Cube.make ~care:(Cube.care !cube land lnot (1 lsl i)) ~value:(Cube.value !cube) in
+          if inside cand then cube := cand
+        done;
+        List.iter (fun m' -> Hashtbl.replace covered m' ()) (Cube.minterms ~n_vars !cube);
+        cover := !cube :: !cover
+      end)
+    minterms;
+  (* Drop cubes made redundant by later expansions.  Removal must be
+     sequential: removing two mutually-redundant cubes at once would
+     uncover minterms. *)
+  let cubes = ref (List.rev !cover) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rec scan kept = function
+      | [] -> List.rev kept
+      | c :: rest ->
+          let others = List.rev_append kept rest in
+          if
+            List.for_all
+              (fun m -> List.exists (fun d -> Cube.covers d m) others)
+              (Cube.minterms ~n_vars c)
+          then begin
+            changed := true;
+            scan kept rest
+          end
+          else scan (c :: kept) rest
+    in
+    cubes := scan [] !cubes
+  done;
+  List.sort Cube.compare !cubes
+
+(* --- Entry points ----------------------------------------------------- *)
+
+let exact_cover_minterm_limit = ref 64
+let qm_var_limit = ref 9
+
+let of_minterms ~n_vars minterms =
+  match minterms with
+  | [] -> []
+  | _ ->
+      let all = 1 lsl n_vars in
+      if List.length minterms = all then [ Cube.universe ]
+      else if n_vars > !qm_var_limit then expand_cover ~n_vars minterms
+      else
+        let primes = Array.of_list (primes_of_minterms ~n_vars minterms) in
+        let n_primes = Array.length primes in
+        (* One pass over the chart: per minterm, the list of covering
+           primes.  A prime covering some singly-covered minterm is
+           essential. *)
+        let coverers =
+          List.map
+            (fun m ->
+              let who = ref [] in
+              for i = n_primes - 1 downto 0 do
+                if Cube.covers primes.(i) m then who := i :: !who
+              done;
+              (m, !who))
+            minterms
+        in
+        let is_essential = Array.make n_primes false in
+        List.iter
+          (fun (_, who) -> match who with [ i ] -> is_essential.(i) <- true | _ -> ())
+          coverers;
+        let essential =
+          List.filteri (fun i _ -> is_essential.(i)) (Array.to_list primes)
+        in
+        let uncovered =
+          List.filter_map
+            (fun (m, who) -> if List.exists (fun i -> is_essential.(i)) who then None else Some m)
+            coverers
+        in
+        let rest_primes =
+          List.filteri (fun i _ -> not is_essential.(i)) (Array.to_list primes)
+        in
+        let extra =
+          if uncovered = [] then []
+          else if
+            List.length rest_primes <= !exact_cover_limit
+            && List.length uncovered <= !exact_cover_minterm_limit
+          then exact_cover rest_primes uncovered
+          else greedy_cover rest_primes uncovered
+        in
+        List.sort Cube.compare (essential @ extra)
+
+let of_table tt = of_minterms ~n_vars:(Truth_table.n_vars tt) (Truth_table.minterms tt)
+
+let of_expr ?vars e =
+  let tt = Truth_table.of_expr ?vars e in
+  (of_table tt, Truth_table.vars tt)
+
+let to_expr ~vars sop =
+  match sop with [] -> Expr.false_ | _ -> Expr.or_ (List.map (Cube.to_expr ~vars) sop)
+
+let to_string ~vars sop =
+  match sop with
+  | [] -> "0"
+  | _ ->
+      let key c =
+        (* Order terms by their literal index sequence so the printed form is
+           stable and matches the paper's left-to-right variable order. *)
+        List.map fst (Cube.literals c)
+      in
+      let sorted = List.sort (fun a b -> Stdlib.compare (key a, Cube.value a) (key b, Cube.value b)) sop in
+      String.concat "+" (List.map (Cube.to_string ~vars) sorted)
+
+let minimize_to_string ?vars e =
+  let sop, vars = of_expr ?vars e in
+  to_string ~vars sop
+
+let verify ~n_vars sop minterms =
+  let covered m = List.exists (fun c -> Cube.covers c m) sop in
+  let module IS = Set.Make (Int) in
+  let on = IS.of_list minterms in
+  let ok = ref true in
+  for m = 0 to (1 lsl n_vars) - 1 do
+    if covered m <> IS.mem m on then ok := false
+  done;
+  !ok

@@ -1,0 +1,43 @@
+(** Two-level minimization to "minimum disjunctive form".
+
+    Quine-McCluskey prime-implicant generation followed by an exact
+    branch-and-bound cover (Petrick-style) up to a size threshold, and a
+    greedy set cover beyond it.  Covers minimize (#cubes, #literals) in
+    lexicographic order with deterministic tie-breaking, so printed forms
+    are stable — this is what lets the paper's Section-5 fault table be
+    reproduced verbatim. *)
+
+type sop = Cube.t list
+(** A sum of products; the empty list is constant 0, [[Cube.universe]] is
+    constant 1. *)
+
+val exact_cover_limit : int ref
+(** Maximum number of non-essential primes for which the exact cover search
+    runs; larger charts fall back to greedy covering. *)
+
+val exact_cover_minterm_limit : int ref
+(** Companion bound on the number of uncovered minterms for the exact
+    search. *)
+
+val primes_of_minterms : n_vars:int -> int list -> Cube.t list
+(** All prime implicants of the function given by its ON-set. *)
+
+val of_minterms : n_vars:int -> int list -> sop
+(** Minimum disjunctive form of the function given by its ON-set. *)
+
+val of_table : Truth_table.t -> sop
+
+val of_expr : ?vars:string array -> Expr.t -> sop * string array
+(** Minimize an expression; returns the cover and the variable ordering the
+    cube indices refer to. *)
+
+val to_expr : vars:string array -> sop -> Expr.t
+
+val to_string : vars:string array -> sop -> string
+(** E.g. ["a*b+a*c+e"]; constant functions print as ["0"] / ["1"]. *)
+
+val minimize_to_string : ?vars:string array -> Expr.t -> string
+(** Convenience: minimize and print in one step. *)
+
+val verify : n_vars:int -> sop -> int list -> bool
+(** Check that a cover is exactly the given ON-set (used by tests). *)

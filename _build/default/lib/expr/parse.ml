@@ -1,0 +1,108 @@
+(* Recursive-descent parser for the paper's expression syntax:
+
+     expr   ::= term ('+' term)*
+     term   ::= factor ('*' factor)*
+     factor ::= '!' factor | ident | '0' | '1' | '(' expr ')'
+
+   Identifiers are [A-Za-z_][A-Za-z0-9_]*.  Used both standalone and by the
+   cell-description parser in [Dynmos_cell]. *)
+
+exception Error of { pos : int; message : string }
+
+let error pos message = raise (Error { pos; message })
+
+type token = Ident of string | Star | Plus | Caret | Bang | Lparen | Rparen | Zero | One
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '*' then (toks := (Star, !i) :: !toks; incr i)
+    else if c = '+' then (toks := (Plus, !i) :: !toks; incr i)
+    else if c = '^' then (toks := (Caret, !i) :: !toks; incr i)
+    else if c = '!' || c = '/' then (toks := (Bang, !i) :: !toks; incr i)
+    else if c = '(' then (toks := (Lparen, !i) :: !toks; incr i)
+    else if c = ')' then (toks := (Rparen, !i) :: !toks; incr i)
+    else if c = '0' then (toks := (Zero, !i) :: !toks; incr i)
+    else if c = '1' then (toks := (One, !i) :: !toks; incr i)
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      toks := (Ident (String.sub s start (!i - start)), start) :: !toks
+    end
+    else error !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+type state = { mutable rest : (token * int) list; len : int }
+
+let peek st = match st.rest with [] -> None | (t, p) :: _ -> Some (t, p)
+
+let advance st = match st.rest with [] -> () | _ :: r -> st.rest <- r
+
+let rec parse_or st =
+  let t = parse_xor st in
+  match peek st with
+  | Some (Plus, _) ->
+      advance st;
+      let rest = parse_or st in
+      Expr.or_ [ t; rest ]
+  | _ -> t
+
+and parse_xor st =
+  let t = parse_and st in
+  match peek st with
+  | Some (Caret, _) ->
+      advance st;
+      let rest = parse_xor st in
+      Expr.xor t rest
+  | _ -> t
+
+and parse_and st =
+  let f = parse_factor st in
+  match peek st with
+  | Some (Star, _) ->
+      advance st;
+      let rest = parse_and st in
+      Expr.and_ [ f; rest ]
+  | _ -> f
+
+and parse_factor st =
+  match peek st with
+  | Some (Bang, _) ->
+      advance st;
+      Expr.not_ (parse_factor st)
+  | Some (Ident v, _) ->
+      advance st;
+      Expr.var v
+  | Some (Zero, _) ->
+      advance st;
+      Expr.false_
+  | Some (One, _) ->
+      advance st;
+      Expr.true_
+  | Some (Lparen, _) ->
+      advance st;
+      let e = parse_or st in
+      (match peek st with
+      | Some (Rparen, _) -> advance st
+      | Some (_, p) -> error p "expected ')'"
+      | None -> error st.len "unexpected end of input, expected ')'");
+      e
+  | Some (_, p) -> error p "expected an identifier, constant, '!' or '('"
+  | None -> error st.len "unexpected end of input"
+
+let expr s =
+  let st = { rest = tokenize s; len = String.length s } in
+  let e = parse_or st in
+  match peek st with
+  | None -> e
+  | Some (_, p) -> error p "trailing input after expression"
+
+let expr_opt s = match expr s with e -> Some e | exception Error _ -> None

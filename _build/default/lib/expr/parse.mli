@@ -1,0 +1,15 @@
+(** Parser for the paper's expression syntax.
+
+    Grammar: [expr ::= xterm ('+' xterm)*], [xterm ::= term ('^' term)*],
+    [term ::= factor ('*' factor)*],
+    [factor ::= '!' factor | ident | '0' | '1' | '(' expr ')'].  ['/'] is
+    accepted as a synonym for ['!']. *)
+
+exception Error of { pos : int; message : string }
+(** Raised on malformed input with a byte offset. *)
+
+val expr : string -> Expr.t
+(** Parse a complete expression.  @raise Error on malformed input. *)
+
+val expr_opt : string -> Expr.t option
+(** Exception-free variant. *)

@@ -1,0 +1,1 @@
+lib/faultsim/diagnosis.ml: Array Compiled Dynmos_netlist Dynmos_sim Faultsim Fun Hashtbl List Netlist Option

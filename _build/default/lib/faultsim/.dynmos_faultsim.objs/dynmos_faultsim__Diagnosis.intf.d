@@ -1,0 +1,1 @@
+lib/faultsim/diagnosis.mli: Faultsim

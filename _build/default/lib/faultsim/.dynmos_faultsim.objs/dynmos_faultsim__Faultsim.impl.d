@@ -1,0 +1,1 @@
+lib/faultsim/faultsim.ml: Array Cell Compiled Dynmos_cell Dynmos_core Dynmos_netlist Dynmos_sim Dynmos_util Faultlib Fmt Hashtbl Int List Map Netlist Option Set String

@@ -1,0 +1,1 @@
+lib/faultsim/faultsim.mli: Compiled Dynmos_core Dynmos_netlist Dynmos_sim Dynmos_util Fault_map Faultlib Netlist Prng

@@ -1,0 +1,171 @@
+open Dynmos_netlist
+open Dynmos_sim
+
+(* Fault diagnosis from the generated libraries.
+
+   The paper's Section-5 table enumerates the *distinguishable* fault
+   classes of a cell — distinguishability is what makes the library a
+   diagnosis dictionary, not just a detection target.  This module
+   operationalizes that:
+
+   - [dictionary] records, per fault site, the response signature of a
+     test-pattern set (which patterns produce outputs differing from the
+     fault-free machine, and how);
+   - [diagnose] maps an observed faulty response back to the candidate
+     sites (fault classes) consistent with it;
+   - [distinguishing_pattern] searches for an input separating two sites;
+   - [pairwise_distinguishable] verifies the paper's implicit claim that
+     the table's classes are mutually distinguishable. *)
+
+type signature = {
+  site_id : int;
+  (* Per pattern, the faulty primary-output vector (as a bit-packed int,
+     one bit per PO). *)
+  responses : int array;
+}
+
+type dictionary = {
+  universe : Faultsim.universe;
+  patterns : bool array array;
+  good : int array;             (* fault-free responses, same packing *)
+  signatures : signature array; (* indexed by site id *)
+}
+
+let pack_outputs (po : bool array) =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) po;
+  !v
+
+let responses_of u ~override patterns =
+  Array.map
+    (fun p -> pack_outputs (Compiled.eval ?override u.Faultsim.compiled p))
+    patterns
+
+let dictionary u patterns =
+  let good = responses_of u ~override:None patterns in
+  let signatures =
+    Array.map
+      (fun site ->
+        {
+          site_id = site.Faultsim.sid;
+          responses =
+            responses_of u
+              ~override:(Some (site.Faultsim.gate.Netlist.id, site.Faultsim.fn))
+              patterns;
+        })
+      u.Faultsim.sites
+  in
+  { universe = u; patterns; good; signatures }
+
+(* Sites whose recorded signature matches the observed responses. *)
+let diagnose dict (observed : int array) =
+  if Array.length observed <> Array.length dict.patterns then
+    invalid_arg "Diagnosis.diagnose: response length";
+  Array.to_list dict.signatures
+  |> List.filter (fun s -> s.responses = observed)
+  |> List.map (fun s -> dict.universe.Faultsim.sites.(s.site_id))
+
+(* Convenience: simulate a fault and diagnose it from its own responses
+   (self-test of the dictionary's resolution). *)
+let diagnose_site dict site =
+  let observed =
+    responses_of dict.universe
+      ~override:(Some (site.Faultsim.gate.Netlist.id, site.Faultsim.fn))
+      dict.patterns
+  in
+  diagnose dict observed
+
+(* Does the observed response match the fault-free machine? *)
+let looks_fault_free dict observed = observed = dict.good
+
+(* A single input vector on which the two sites' faulty machines respond
+   differently (None if they are equivalent at the primary outputs). *)
+let distinguishing_pattern u a b =
+  let n_in = Compiled.n_inputs u.Faultsim.compiled in
+  if n_in > 22 then invalid_arg "Diagnosis.distinguishing_pattern: too many inputs";
+  let eval site p =
+    Compiled.eval ~override:(site.Faultsim.gate.Netlist.id, site.Faultsim.fn)
+      u.Faultsim.compiled p
+  in
+  let rec go row =
+    if row >= 1 lsl n_in then None
+    else
+      let p = Array.init n_in (fun i -> (row lsr i) land 1 = 1) in
+      if eval a p <> eval b p then Some p else go (row + 1)
+  in
+  go 0
+
+(* The resolution of a pattern set: groups of sites left indistinguishable
+   by it.  Singleton groups mean the set diagnoses down to one class. *)
+let equivalence_groups dict =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let key = Array.to_list s.responses in
+      Hashtbl.replace tbl key
+        (dict.universe.Faultsim.sites.(s.site_id)
+        :: Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    dict.signatures;
+  Hashtbl.fold (fun _ sites acc -> List.rev sites :: acc) tbl []
+  |> List.sort (fun a b ->
+         compare
+           (List.map (fun s -> s.Faultsim.sid) a)
+           (List.map (fun s -> s.Faultsim.sid) b))
+
+let pairwise_distinguishable u =
+  let sites = Array.to_list u.Faultsim.sites in
+  let rec pairs = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all (fun b -> distinguishing_pattern u a b <> None) rest && pairs rest
+  in
+  pairs sites
+
+(* Greedy adaptive construction of a diagnosing pattern set: repeatedly
+   pick the exhaustive pattern splitting the largest remaining ambiguity
+   group, until no pattern improves the partition. *)
+let diagnosing_patterns u =
+  let n_in = Compiled.n_inputs u.Faultsim.compiled in
+  if n_in > 16 then invalid_arg "Diagnosis.diagnosing_patterns: too many inputs";
+  let all = Faultsim.exhaustive_patterns n_in in
+  let response site p =
+    pack_outputs
+      (Compiled.eval ~override:(site.Faultsim.gate.Netlist.id, site.Faultsim.fn)
+         u.Faultsim.compiled p)
+  in
+  (* partition: list of groups of site ids *)
+  let refine groups p =
+    List.concat_map
+      (fun group ->
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun sid ->
+            let r = response u.Faultsim.sites.(sid) p in
+            Hashtbl.replace tbl r (sid :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
+          group;
+        Hashtbl.fold (fun _ g acc -> List.rev g :: acc) tbl [])
+      groups
+  in
+  let score groups = List.length groups in
+  let chosen = ref [] in
+  let groups = ref [ List.init (Faultsim.n_sites u) Fun.id ] in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        let g' = refine !groups p in
+        let s = score g' in
+        match !best with
+        | Some (_, sb) when sb >= s -> ()
+        | _ -> if s > score !groups then best := Some (p, s))
+      all;
+    match !best with
+    | Some (p, _) ->
+        chosen := p :: !chosen;
+        groups := refine !groups p;
+        improved := true
+    | None -> ()
+  done;
+  (Array.of_list (List.rev !chosen), !groups)

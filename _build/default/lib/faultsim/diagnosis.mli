@@ -1,0 +1,53 @@
+(** Fault diagnosis from the generated libraries.
+
+    The paper's Section-5 table enumerates *distinguishable* fault
+    classes — distinguishability is what makes a fault library a
+    diagnosis dictionary, not just a detection target.  This module
+    builds response dictionaries over pattern sets, maps observed
+    responses back to candidate fault classes, and constructs adaptive
+    diagnosing pattern sets. *)
+
+type signature = {
+  site_id : int;
+  responses : int array;
+      (** per pattern: the faulty primary outputs, bit-packed (bit i =
+          output i) *)
+}
+
+type dictionary = {
+  universe : Faultsim.universe;
+  patterns : bool array array;
+  good : int array;             (** fault-free responses, same packing *)
+  signatures : signature array; (** indexed by site id *)
+}
+
+val pack_outputs : bool array -> int
+
+val dictionary : Faultsim.universe -> bool array array -> dictionary
+(** Record every site's response signature over a pattern set. *)
+
+val diagnose : dictionary -> int array -> Faultsim.site list
+(** Sites consistent with an observed response sequence.
+    @raise Invalid_argument on a length mismatch. *)
+
+val diagnose_site : dictionary -> Faultsim.site -> Faultsim.site list
+(** Simulate a fault and look it up in the dictionary (resolution
+    self-test: the result always contains the site itself). *)
+
+val looks_fault_free : dictionary -> int array -> bool
+
+val distinguishing_pattern :
+  Faultsim.universe -> Faultsim.site -> Faultsim.site -> bool array option
+(** An input separating two faulty machines at the primary outputs;
+    [None] if they are output-equivalent. *)
+
+val equivalence_groups : dictionary -> Faultsim.site list list
+(** Partition of the sites by identical signatures under the dictionary's
+    patterns (singletons = fully diagnosed). *)
+
+val pairwise_distinguishable : Faultsim.universe -> bool
+(** Are all sites mutually distinguishable by some input? *)
+
+val diagnosing_patterns : Faultsim.universe -> bool array array * int list list
+(** Greedy adaptive diagnosing set: patterns chosen to maximally split
+    ambiguity groups, plus the final partition (site-id groups). *)

@@ -1,0 +1,351 @@
+open Dynmos_cell
+open Dynmos_core
+open Dynmos_netlist
+open Dynmos_sim
+
+(* Fault simulation over netlists.
+
+   The fault universe of a network is the union, over its gates, of the
+   detectable *function classes* of each gate's fault library — this is
+   exactly what the paper's model buys: because every physical fault of a
+   dynamic gate is combinational, the classical injection-based machinery
+   (serial, bit-parallel, deductive) applies unchanged.  Three engines are
+   provided and cross-checked in tests:
+
+   - serial: re-simulate the whole circuit per fault;
+   - parallel: 62 patterns per machine word, one pass per fault;
+   - deductive: one pass per pattern, propagating fault lists (sets of
+     site ids whose effect inverts the net) through the gates. *)
+
+type site = {
+  sid : int;
+  gate : Netlist.gate;
+  entry : Faultlib.entry;
+  fn : Compiled.gate_fn;  (* the faulty function, compiled *)
+}
+
+type universe = {
+  compiled : Compiled.t;
+  sites : site array;
+  libraries : (string * Faultlib.t) list;  (* per distinct cell *)
+}
+
+let site_label u site =
+  ignore u;
+  Fmt.str "%s/class%d(%s)" site.gate.Netlist.gname site.entry.Faultlib.class_id
+    (String.concat "," (List.map snd site.entry.Faultlib.members))
+
+let universe ?electrical netlist =
+  let compiled = Compiled.compile netlist in
+  let libraries =
+    List.map (fun c -> (Cell.name c, Faultlib.generate ?electrical c)) (Netlist.distinct_cells netlist)
+  in
+  let sites = ref [] in
+  let sid = ref 0 in
+  Array.iter
+    (fun g ->
+      let lib = List.assoc (Cell.name g.Netlist.cell) libraries in
+      List.iter
+        (fun (class_id, table) ->
+          let entry =
+            List.find
+              (fun e -> e.Faultlib.class_id = class_id)
+              (Faultlib.entries lib)
+          in
+          sites := { sid = !sid; gate = g; entry; fn = Compiled.fn_of_table table } :: !sites;
+          incr sid)
+        (Faultlib.tables lib))
+    (Netlist.gate_array netlist);
+  { compiled; sites = Array.of_list (List.rev !sites); libraries }
+
+let n_sites u = Array.length u.sites
+
+(* --- Results ------------------------------------------------------------ *)
+
+type summary = {
+  n_sites : int;
+  n_patterns : int;
+  first_detection : int option array;  (* per site: index of first detecting pattern *)
+}
+
+let n_detected s =
+  Array.fold_left (fun acc d -> match d with Some _ -> acc + 1 | None -> acc) 0 s.first_detection
+
+let coverage s =
+  if s.n_sites = 0 then 1.0 else float_of_int (n_detected s) /. float_of_int s.n_sites
+
+let undetected u s =
+  let acc = ref [] in
+  Array.iteri
+    (fun i d -> if d = None then acc := u.sites.(i) :: !acc)
+    s.first_detection;
+  List.rev !acc
+
+(* Fraction of sites detected within the first k patterns, for k = 0..n. *)
+let coverage_curve s =
+  let counts = Array.make (s.n_patterns + 1) 0 in
+  Array.iter
+    (function Some p -> counts.(p + 1) <- counts.(p + 1) + 1 | None -> ())
+    s.first_detection;
+  let total = float_of_int (max 1 s.n_sites) in
+  let acc = ref 0 in
+  Array.map
+    (fun c ->
+      acc := !acc + c;
+      float_of_int !acc /. total)
+    counts
+
+let merge_detection a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | (Some _ as d), None | None, (Some _ as d) -> d
+  | None, None -> None
+
+(* --- Serial -------------------------------------------------------------- *)
+
+let detects u site pattern =
+  let good = Compiled.eval u.compiled pattern in
+  let faulty = Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern in
+  good <> faulty
+
+let run_serial ?(drop = true) u (patterns : bool array array) =
+  let n = n_sites u in
+  let first = Array.make n None in
+  Array.iteri
+    (fun pi pattern ->
+      let good = Compiled.eval u.compiled pattern in
+      Array.iter
+        (fun site ->
+          if (not drop) || first.(site.sid) = None then
+            let faulty =
+              Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern
+            in
+            if faulty <> good then
+              first.(site.sid) <- merge_detection first.(site.sid) (Some pi))
+        u.sites)
+    patterns;
+  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+
+(* --- Bit-parallel (62 patterns per word) --------------------------------- *)
+
+let word_bits = 62
+
+let pack_patterns n_inputs (patterns : bool array array) ~from ~len =
+  let words = Array.make n_inputs 0 in
+  for j = 0 to len - 1 do
+    let p = patterns.(from + j) in
+    for i = 0 to n_inputs - 1 do
+      if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
+    done
+  done;
+  words
+
+let run_parallel ?(drop = true) u (patterns : bool array array) =
+  let n = n_sites u in
+  let first = Array.make n None in
+  let n_inputs = Compiled.n_inputs u.compiled in
+  let total = Array.length patterns in
+  let chunk_start = ref 0 in
+  while !chunk_start < total do
+    let len = min word_bits (total - !chunk_start) in
+    let words = pack_patterns n_inputs patterns ~from:!chunk_start ~len in
+    let mask = if len >= word_bits then max_int else (1 lsl len) - 1 in
+    let good = Compiled.outputs_of_nets u.compiled (Compiled.eval_words u.compiled words) in
+    Array.iter
+      (fun site ->
+        if (not drop) || first.(site.sid) = None then begin
+          let faulty =
+            Compiled.outputs_of_nets u.compiled
+              (Compiled.eval_words ~override:(site.gate.Netlist.id, site.fn) u.compiled words)
+          in
+          let diff = ref 0 in
+          Array.iteri (fun k g -> diff := !diff lor (g lxor faulty.(k))) good;
+          let diff = !diff land mask in
+          if diff <> 0 then begin
+            (* First detecting pattern: lowest set bit. *)
+            let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
+            let j = lowest 0 in
+            first.(site.sid) <- merge_detection first.(site.sid) (Some (!chunk_start + j))
+          end
+        end)
+      u.sites;
+    chunk_start := !chunk_start + len
+  done;
+  { n_sites = n; n_patterns = total; first_detection = first }
+
+(* --- Deductive ------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+(* One pass per pattern: each net carries the set of fault sites whose
+   presence would invert the net's good value.  A gate's output list is
+   computed by re-evaluating its function with the inputs inverted exactly
+   on the faults' membership pattern (this handles multiple faulted inputs
+   from reconvergent fan-out correctly), plus the gate's own local faults
+   whose faulty function differs under the applied input vector. *)
+let run_deductive ?(drop = true) u (patterns : bool array array) =
+  let n = n_sites u in
+  let first = Array.make n None in
+  let compiled = u.compiled in
+  let n_nets = Compiled.n_nets compiled in
+  let gates = Compiled.gates compiled in
+  (* Local sites per gate id. *)
+  let local = Hashtbl.create 64 in
+  Array.iter
+    (fun site ->
+      let k = site.gate.Netlist.id in
+      Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
+    u.sites;
+  let dropped = Array.make n false in
+  Array.iteri
+    (fun pi pattern ->
+      let values = Compiled.eval_nets compiled pattern in
+      let lists : Int_set.t array = Array.make n_nets Int_set.empty in
+      Array.iter
+        (fun cg ->
+          let ins = cg.Compiled.ins in
+          let arity = Array.length ins in
+          let in_vals = Array.map (fun i -> values.(i)) ins in
+          let good_out = values.(cg.Compiled.out) in
+          let candidates =
+            Array.fold_left (fun acc i -> Int_set.union acc lists.(i)) Int_set.empty ins
+          in
+          let propagated =
+            Int_set.filter
+              (fun f ->
+                let flipped =
+                  Array.init arity (fun k ->
+                      if Int_set.mem f lists.(ins.(k)) then not in_vals.(k) else in_vals.(k))
+                in
+                let words = Array.map (fun b -> if b then 1 else 0) flipped in
+                Compiled.eval_fn cg.Compiled.fn words land 1 = 1 <> good_out)
+              candidates
+          in
+          let with_local =
+            List.fold_left
+              (fun acc site ->
+                if drop && dropped.(site.sid) then acc
+                else
+                  let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                  let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                  if fv <> good_out then Int_set.add site.sid acc else acc)
+              propagated
+              (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
+          in
+          lists.(cg.Compiled.out) <- with_local)
+        gates;
+      (* Any fault reaching a primary output is detected by this pattern. *)
+      Array.iter
+        (fun po ->
+          Int_set.iter
+            (fun f ->
+              first.(f) <- merge_detection first.(f) (Some pi);
+              if drop then dropped.(f) <- true)
+            lists.(po))
+        (Compiled.po_indices compiled))
+    patterns;
+  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+
+(* --- Concurrent ------------------------------------------------------------ *)
+
+(* Concurrent fault simulation: the third classical engine the paper
+   names.  Instead of re-simulating whole circuits (serial/parallel) or
+   propagating pure difference sets (deductive), each gate carries a list
+   of *diverged* faulty machines — (site, faulty output value) pairs that
+   differ from the good value at that gate's output.  A faulty machine is
+   spawned at its own gate, propagated while its gate-input values differ
+   from the good ones, and dies when its outputs reconverge.  On purely
+   combinational single-pass evaluation this specializes to keeping, per
+   net, the set of (site, value) pairs with value <> good value; the
+   engine's characteristic bookkeeping is the explicit faulty *value*
+   (not just membership), which is what lets it extend to sequential
+   circuits — and what the paper points out breaks for static-CMOS
+   stuck-opens, whose faulty machines are not combinational at all. *)
+
+module Int_map = Map.Make (Int)
+
+let run_concurrent ?(drop = true) u (patterns : bool array array) =
+  let n = n_sites u in
+  let first = Array.make n None in
+  let compiled = u.compiled in
+  let n_nets = Compiled.n_nets compiled in
+  let gates = Compiled.gates compiled in
+  let local = Hashtbl.create 64 in
+  Array.iter
+    (fun site ->
+      let k = site.gate.Netlist.id in
+      Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
+    u.sites;
+  let dropped = Array.make n false in
+  Array.iteri
+    (fun pi pattern ->
+      let values = Compiled.eval_nets compiled pattern in
+      (* Per net: the diverged machines as a map site -> faulty value
+         (present only when it differs from the good value). *)
+      let diverged : bool Int_map.t array = Array.make n_nets Int_map.empty in
+      Array.iter
+        (fun cg ->
+          let ins = cg.Compiled.ins in
+          let arity = Array.length ins in
+          let in_vals = Array.map (fun i -> values.(i)) ins in
+          let good_out = values.(cg.Compiled.out) in
+          (* Machines appearing on any input. *)
+          let candidates =
+            Array.fold_left
+              (fun acc i ->
+                Int_map.fold (fun site _ acc -> Int_map.add site () acc) diverged.(i) acc)
+              Int_map.empty ins
+          in
+          let out_map = ref Int_map.empty in
+          Int_map.iter
+            (fun site () ->
+              let faulty_ins =
+                Array.init arity (fun k ->
+                    match Int_map.find_opt site diverged.(ins.(k)) with
+                    | Some v -> v
+                    | None -> in_vals.(k))
+              in
+              let words = Array.map (fun b -> if b then 1 else 0) faulty_ins in
+              let fn =
+                if cg.Compiled.g.Netlist.id = u.sites.(site).gate.Netlist.id then
+                  u.sites.(site).fn
+                else cg.Compiled.fn
+              in
+              let fv = Compiled.eval_fn fn words land 1 = 1 in
+              if fv <> good_out then out_map := Int_map.add site fv !out_map)
+            candidates;
+          (* Spawn local machines at this gate (their inputs equal the
+             good inputs; their gate function is the faulty one). *)
+          List.iter
+            (fun site ->
+              if not (drop && dropped.(site.sid)) then
+                if not (Int_map.mem site.sid !out_map) then begin
+                  let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                  let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                  if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
+                end)
+            (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
+          diverged.(cg.Compiled.out) <- !out_map)
+        gates;
+      Array.iter
+        (fun po ->
+          Int_map.iter
+            (fun site _ ->
+              first.(site) <- merge_detection first.(site) (Some pi);
+              if drop then dropped.(site) <- true)
+            diverged.(po))
+        (Compiled.po_indices compiled))
+    patterns;
+  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+
+(* --- Random-pattern driver ------------------------------------------------ *)
+
+let random_patterns ?(weights : float array option) prng ~n_inputs ~count =
+  Array.init count (fun _ ->
+      Array.init n_inputs (fun i ->
+          let p = match weights with Some w -> w.(i) | None -> 0.5 in
+          Dynmos_util.Prng.bernoulli prng p))
+
+let exhaustive_patterns n_inputs =
+  Array.init (1 lsl n_inputs) (fun row ->
+      Array.init n_inputs (fun i -> (row lsr i) land 1 = 1))

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Cell Dynmos_cell Fmt Hashtbl List Option Stdlib String Technology

@@ -1,0 +1,208 @@
+open Dynmos_cell
+
+(* Gate-level combinational networks of library cells.
+
+   Nets are named; every net is driven by exactly one primary input or one
+   gate output.  Gates are stored in topological order after [Builder.finish]
+   validates the structure, so simulators can evaluate in a single pass.
+   Clocking discipline is derived, not stored: domino networks use a single
+   clock (Fig. 5), dynamic nMOS networks assign alternating phases by
+   logic level (Fig. 7). *)
+
+type gate = {
+  id : int;                       (* dense, assigned in creation order *)
+  gname : string;
+  cell : Cell.t;
+  input_nets : string list;       (* positional: nth net drives nth cell input *)
+  output_net : string;
+  level : int;                    (* longest path from a primary input *)
+}
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  gates : gate array;             (* topological order *)
+  gate_of_net : (string, gate) Hashtbl.t;
+  fanout : (string, gate list) Hashtbl.t;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+module Builder = struct
+  type pending = { pname : string; pcell : Cell.t; pinputs : string list; poutput : string }
+
+  type b = {
+    bname : string;
+    mutable binputs : string list;
+    mutable boutputs : string list;
+    mutable bgates : pending list;
+    mutable counter : int;
+  }
+
+  let create bname = { bname; binputs = []; boutputs = []; bgates = []; counter = 0 }
+
+  let input b net =
+    if List.mem net b.binputs then invalid "duplicate primary input %s" net;
+    b.binputs <- net :: b.binputs;
+    net
+
+  let inputs b nets = List.map (fun n -> ignore (input b n)) nets |> ignore
+
+  let add b ?name cell ~inputs ~output =
+    if List.length inputs <> Cell.arity cell then
+      invalid "gate %s: cell %s expects %d inputs, got %d"
+        (Option.value ~default:output name) (Cell.name cell) (Cell.arity cell)
+        (List.length inputs);
+    b.counter <- b.counter + 1;
+    let pname =
+      match name with Some n -> n | None -> Fmt.str "g%d_%s" b.counter (Cell.name cell)
+    in
+    b.bgates <- { pname; pcell = cell; pinputs = inputs; poutput = output } :: b.bgates;
+    output
+
+  let output b net =
+    if not (List.mem net b.boutputs) then b.boutputs <- net :: b.boutputs
+
+  let finish b =
+    let inputs = List.rev b.binputs in
+    let outputs = List.rev b.boutputs in
+    let pending = List.rev b.bgates in
+    (* Single-driver check. *)
+    let driver = Hashtbl.create 64 in
+    List.iter (fun net -> Hashtbl.replace driver net `Input) inputs;
+    List.iter
+      (fun p ->
+        if Hashtbl.mem driver p.poutput then invalid "net %s driven twice" p.poutput;
+        Hashtbl.replace driver p.poutput (`Gate p))
+      pending;
+    List.iter
+      (fun p ->
+        List.iter
+          (fun net -> if not (Hashtbl.mem driver net) then invalid "net %s is undriven" net)
+          p.pinputs)
+      pending;
+    List.iter
+      (fun net -> if not (Hashtbl.mem driver net) then invalid "primary output %s is undriven" net)
+      outputs;
+    (* Topological sort (DFS from outputs would drop unobserved gates; we
+       keep every gate, so iterate over all of them) with cycle detection,
+       computing levels. *)
+    let level = Hashtbl.create 64 in
+    List.iter (fun net -> Hashtbl.replace level net 0) inputs;
+    let order = ref [] in
+    let visiting = Hashtbl.create 64 in
+    let rec visit_net net =
+      match Hashtbl.find_opt level net with
+      | Some l -> l
+      | None -> (
+          match Hashtbl.find_opt driver net with
+          | Some (`Gate p) ->
+              if Hashtbl.mem visiting net then invalid "combinational cycle through net %s" net;
+              Hashtbl.replace visiting net ();
+              let l = 1 + List.fold_left (fun acc n -> max acc (visit_net n)) 0 p.pinputs in
+              Hashtbl.remove visiting net;
+              Hashtbl.replace level net l;
+              order := (p, l) :: !order;
+              l
+          | Some `Input | None -> assert false)
+    in
+    List.iter (fun p -> ignore (visit_net p.poutput)) pending;
+    let ordered = List.rev !order in
+    (* [visit_net] appends a gate only after its transitive fan-in, so the
+       reversed accumulation is already topological. *)
+    let gates =
+      Array.of_list
+        (List.mapi
+           (fun i (p, l) ->
+             {
+               id = i;
+               gname = p.pname;
+               cell = p.pcell;
+               input_nets = p.pinputs;
+               output_net = p.poutput;
+               level = l;
+             })
+           ordered)
+    in
+    let gate_of_net = Hashtbl.create 64 in
+    Array.iter (fun g -> Hashtbl.replace gate_of_net g.output_net g) gates;
+    let fanout = Hashtbl.create 64 in
+    Array.iter
+      (fun g ->
+        List.iter
+          (fun net ->
+            Hashtbl.replace fanout net (g :: Option.value ~default:[] (Hashtbl.find_opt fanout net)))
+          g.input_nets)
+      gates;
+    Hashtbl.iter
+      (fun net gs -> Hashtbl.replace fanout net (List.rev gs))
+      (Hashtbl.copy fanout);
+    { name = b.bname; inputs; outputs; gates; gate_of_net; fanout }
+end
+
+let name t = t.name
+let inputs t = t.inputs
+let outputs t = t.outputs
+let gates t = Array.to_list t.gates
+let gate_array t = t.gates
+let n_gates t = Array.length t.gates
+
+let gate_of_net t net = Hashtbl.find_opt t.gate_of_net net
+
+let fanout t net = Option.value ~default:[] (Hashtbl.find_opt t.fanout net)
+
+let nets t =
+  t.inputs @ List.map (fun g -> g.output_net) (Array.to_list t.gates)
+
+let n_nets t = List.length (nets t)
+
+let depth t = Array.fold_left (fun acc g -> max acc g.level) 0 t.gates
+
+let technologies t =
+  List.sort_uniq Stdlib.compare
+    (Array.to_list (Array.map (fun g -> Cell.technology g.cell) t.gates))
+
+let single_technology t = match technologies t with [ tech ] -> Some tech | _ -> None
+
+(* Fig. 7: a dynamic nMOS network needs two non-overlapping clocks; gates
+   alternate phases by level parity.  Domino networks use one clock. *)
+let clock_phase g = if g.level mod 2 = 1 then `Phi1 else `Phi2
+
+(* A domino network is legal when every gate is domino and every gate input
+   is a primary input or another domino gate's output (monotone rising
+   evaluation; no races or spikes, Fig. 5). *)
+let check_domino t =
+  Array.for_all (fun g -> Cell.technology g.cell = Technology.Domino_cmos) t.gates
+
+let distinct_cells t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun g -> Hashtbl.replace tbl (Cell.name g.cell) g.cell) t.gates;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (Cell.name a) (Cell.name b))
+
+let n_transistors t =
+  Array.fold_left
+    (fun acc g ->
+      let sn = Cell.n_transistors g.cell in
+      let clocking =
+        match Cell.technology g.cell with
+        | Technology.Domino_cmos -> 4 (* T1, T2, inverter p+n *)
+        | Technology.Dynamic_nmos -> 1 (* T(n+1) *)
+        | Technology.Static_cmos -> sn (* dual pull-up network *)
+        | Technology.Nmos_pulldown -> 1 (* depletion load *)
+        | Technology.Bipolar -> 0
+      in
+      acc + sn + clocking)
+    0 t.gates
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>network %s: %d inputs, %d outputs, %d gates, depth %d@,%a@]" t.name
+    (List.length t.inputs) (List.length t.outputs) (n_gates t) (depth t)
+    Fmt.(
+      list ~sep:cut (fun ppf g ->
+          Fmt.pf ppf "  %s = %s(%s)  [level %d]" g.output_net (Cell.name g.cell)
+            (String.concat "," g.input_nets) g.level))
+    (Array.to_list t.gates)

@@ -1,0 +1,81 @@
+open Dynmos_cell
+
+(** Gate-level combinational networks of library cells.
+
+    Nets are named and single-driven; gates are stored in topological
+    order after validation, so simulators evaluate in one pass.  Clocking
+    discipline is derived: domino networks use a single clock (paper
+    Fig. 5), dynamic nMOS networks alternate two non-overlapping phases by
+    logic level (Fig. 7). *)
+
+type gate = {
+  id : int;                  (** dense index in topological order *)
+  gname : string;
+  cell : Cell.t;
+  input_nets : string list;  (** positional: nth net drives nth cell input *)
+  output_net : string;
+  level : int;               (** longest path from a primary input *)
+}
+
+type t
+
+exception Invalid of string
+
+(** Imperative construction API; [finish] validates (single driver, no
+    undriven nets, acyclicity) and freezes the network. *)
+module Builder : sig
+  type b
+
+  val create : string -> b
+
+  val input : b -> string -> string
+  (** Declare a primary input; returns the net name for convenience. *)
+
+  val inputs : b -> string list -> unit
+
+  val add : b -> ?name:string -> Cell.t -> inputs:string list -> output:string -> string
+  (** Instantiate a cell; returns the output net name.
+      @raise Invalid on arity mismatch. *)
+
+  val output : b -> string -> unit
+  (** Mark a net as primary output (idempotent). *)
+
+  val finish : b -> t
+  (** @raise Invalid on double-driven/undriven nets or cycles. *)
+end
+
+val name : t -> string
+val inputs : t -> string list
+val outputs : t -> string list
+val gates : t -> gate list
+val gate_array : t -> gate array
+val n_gates : t -> int
+
+val gate_of_net : t -> string -> gate option
+(** The driving gate of a net ([None] for primary inputs). *)
+
+val fanout : t -> string -> gate list
+
+val nets : t -> string list
+(** All nets: primary inputs first, then gate outputs in topological order. *)
+
+val n_nets : t -> int
+
+val depth : t -> int
+(** Maximum gate level. *)
+
+val technologies : t -> Technology.t list
+val single_technology : t -> Technology.t option
+
+val clock_phase : gate -> [ `Phi1 | `Phi2 ]
+(** Two-phase assignment for dynamic nMOS networks (by level parity). *)
+
+val check_domino : t -> bool
+(** All gates domino (single-clock monotone network, Fig. 5). *)
+
+val distinct_cells : t -> Cell.t list
+
+val n_transistors : t -> int
+(** Total transistor count including clocking devices and inverters. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/protest/detect_prob.ml: Array Compiled Dynmos_expr Dynmos_faultsim Dynmos_netlist Dynmos_sim Dynmos_util Faultsim Float Netlist Prng Signal_prob Truth_table

@@ -1,0 +1,1 @@
+lib/protest/detect_prob.mli: Compiled Dynmos_faultsim Dynmos_sim Dynmos_util Faultsim Prng

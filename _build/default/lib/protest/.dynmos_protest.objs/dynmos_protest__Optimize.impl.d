@@ -1,0 +1,1 @@
+lib/protest/optimize.ml: Array Detect_prob Dynmos_faultsim Dynmos_sim Faultsim Float List Test_length

@@ -1,0 +1,1 @@
+lib/protest/optimize.mli: Dynmos_faultsim Faultsim

@@ -1,0 +1,1 @@
+lib/protest/protest.ml: Array Compiled Detect_prob Dynmos_faultsim Dynmos_netlist Dynmos_sim Dynmos_util Faultsim Fmt Netlist Optimize Option Prng Signal_prob Test_length

@@ -1,0 +1,1 @@
+lib/protest/protest.mli: Dynmos_core Dynmos_faultsim Dynmos_netlist Fault_map Faultsim Format Netlist Optimize

@@ -1,0 +1,1 @@
+lib/protest/signal_prob.ml: Array Compiled Dynmos_expr Dynmos_sim Dynmos_util Float Prng Truth_table

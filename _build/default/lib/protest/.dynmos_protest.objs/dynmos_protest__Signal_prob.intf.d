@@ -1,0 +1,1 @@
+lib/protest/signal_prob.mli: Compiled Dynmos_sim Dynmos_util Prng

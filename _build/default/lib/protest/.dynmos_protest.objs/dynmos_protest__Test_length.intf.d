@@ -1,0 +1,1 @@
+lib/protest/test_length.mli:

@@ -1,0 +1,140 @@
+open Dynmos_util
+open Dynmos_expr
+open Dynmos_sim
+open Dynmos_netlist
+open Dynmos_faultsim
+
+(* Fault detection probability (PROTEST feature 2, Fig. 8): for each fault
+   the probability that one random pattern (with the given input signal
+   probabilities) detects it.
+
+   [exact] enumerates the weighted input space with bit-parallel
+   simulation.  [estimate] is the production path: a COP-style
+   controllability/observability product —
+     controllability from [Signal_prob.propagate];
+     observability propagated backwards through boolean-difference
+     probabilities of each gate (exact per gate, independence assumed);
+     detection ~= P(local fault effect) x O(gate output).
+   [monte_carlo] samples. *)
+
+(* --- Exact ---------------------------------------------------------------- *)
+
+let pattern_weight pi_weights pattern =
+  let w = ref 1.0 in
+  Array.iteri
+    (fun i b -> w := !w *. (if b then pi_weights.(i) else 1.0 -. pi_weights.(i)))
+    pattern;
+  !w
+
+let exact (u : Faultsim.universe) ~pi_weights =
+  let compiled = u.Faultsim.compiled in
+  let n_in = Compiled.n_inputs compiled in
+  if n_in > 22 then invalid_arg "Detect_prob.exact: too many primary inputs";
+  let patterns = Faultsim.exhaustive_patterns n_in in
+  let probs = Array.make (Faultsim.n_sites u) 0.0 in
+  (* Chunked bit-parallel evaluation: 62 patterns at a time. *)
+  let total = Array.length patterns in
+  let from = ref 0 in
+  while !from < total do
+    let len = min 62 (total - !from) in
+    let words = Array.make n_in 0 in
+    let weights = Array.make len 0.0 in
+    for j = 0 to len - 1 do
+      let p = patterns.(!from + j) in
+      weights.(j) <- pattern_weight pi_weights p;
+      for i = 0 to n_in - 1 do
+        if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
+      done
+    done;
+    let good = Compiled.outputs_of_nets compiled (Compiled.eval_words compiled words) in
+    Array.iter
+      (fun site ->
+        let faulty =
+          Compiled.outputs_of_nets compiled
+            (Compiled.eval_words
+               ~override:(site.Faultsim.gate.Netlist.id, site.Faultsim.fn)
+               compiled words)
+        in
+        let diff = ref 0 in
+        Array.iteri (fun k g -> diff := !diff lor (g lxor faulty.(k))) good;
+        for j = 0 to len - 1 do
+          if (!diff lsr j) land 1 = 1 then
+            probs.(site.Faultsim.sid) <- probs.(site.Faultsim.sid) +. weights.(j)
+        done)
+      u.Faultsim.sites;
+    from := !from + len
+  done;
+  probs
+
+(* --- Estimated (controllability / observability) -------------------------- *)
+
+(* P(flipping input k flips the gate output) under independent input
+   probabilities: the boolean difference probability. *)
+let sensitization_prob (fn : Compiled.gate_fn) probs k =
+  let tt = fn.Compiled.table in
+  let n = Truth_table.n_vars tt in
+  let total = ref 0.0 in
+  for row = 0 to (1 lsl n) - 1 do
+    let row' = row lxor (1 lsl k) in
+    if Truth_table.get tt row <> Truth_table.get tt row' then begin
+      let p = ref 1.0 in
+      for i = 0 to n - 1 do
+        p := !p *. (if (row lsr i) land 1 = 1 then probs.(i) else 1.0 -. probs.(i))
+      done;
+      total := !total +. !p
+    end
+  done;
+  !total
+
+let observability compiled ~pi_weights =
+  let controllability = Signal_prob.propagate compiled ~pi_weights in
+  let n_nets = Compiled.n_nets compiled in
+  let obs = Array.make n_nets 0.0 in
+  Array.iter (fun po -> obs.(po) <- 1.0) (Compiled.po_indices compiled);
+  (* Walk gates in reverse topological order; fan-out branches combine by
+     the standard COP approximation O = max over branches. *)
+  let gates = Compiled.gates compiled in
+  for gi = Array.length gates - 1 downto 0 do
+    let cg = gates.(gi) in
+    let in_probs = Array.map (fun i -> controllability.(i)) cg.Compiled.ins in
+    Array.iteri
+      (fun k net ->
+        let through = obs.(cg.Compiled.out) *. sensitization_prob cg.Compiled.fn in_probs k in
+        obs.(net) <- Float.max obs.(net) through)
+      cg.Compiled.ins
+  done;
+  (controllability, obs)
+
+let estimate (u : Faultsim.universe) ~pi_weights =
+  let compiled = u.Faultsim.compiled in
+  let controllability, obs = observability compiled ~pi_weights in
+  Array.map
+    (fun site ->
+      let cg = (Compiled.gates compiled).(site.Faultsim.gate.Netlist.id) in
+      let in_probs = Array.map (fun i -> controllability.(i)) cg.Compiled.ins in
+      (* Probability the faulty and good gate outputs differ locally. *)
+      let good_tt = cg.Compiled.fn.Compiled.table in
+      let bad_tt = site.Faultsim.fn.Compiled.table in
+      let local = Truth_table.detection_prob ~weights:in_probs ~good:good_tt ~faulty:bad_tt () in
+      local *. obs.(cg.Compiled.out))
+    u.Faultsim.sites
+
+(* --- Monte Carlo ------------------------------------------------------------ *)
+
+let monte_carlo prng (u : Faultsim.universe) ~pi_weights ~samples =
+  let compiled = u.Faultsim.compiled in
+  let n_in = Compiled.n_inputs compiled in
+  let hits = Array.make (Faultsim.n_sites u) 0 in
+  for _ = 1 to samples do
+    let pattern = Array.init n_in (fun i -> Prng.bernoulli prng pi_weights.(i)) in
+    let good = Compiled.eval compiled pattern in
+    Array.iter
+      (fun site ->
+        let faulty =
+          Compiled.eval ~override:(site.Faultsim.gate.Netlist.id, site.Faultsim.fn) compiled
+            pattern
+        in
+        if faulty <> good then hits.(site.Faultsim.sid) <- hits.(site.Faultsim.sid) + 1)
+      u.Faultsim.sites
+  done;
+  Array.map (fun h -> float_of_int h /. float_of_int samples) hits

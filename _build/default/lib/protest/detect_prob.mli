@@ -1,0 +1,27 @@
+open Dynmos_util
+open Dynmos_sim
+open Dynmos_faultsim
+
+(** Fault detection probabilities (PROTEST Fig. 8, feature 2): per fault
+    site, the probability that one weighted random pattern detects it. *)
+
+val exact : Faultsim.universe -> pi_weights:float array -> float array
+(** Weighted enumeration of the input space (bit-parallel).  Indexed by
+    site id.  @raise Invalid_argument beyond 22 primary inputs. *)
+
+val estimate : Faultsim.universe -> pi_weights:float array -> float array
+(** Production estimator: COP-style controllability/observability product
+    with exact per-gate boolean-difference probabilities (independence
+    assumed across nets). *)
+
+val monte_carlo :
+  Prng.t -> Faultsim.universe -> pi_weights:float array -> samples:int -> float array
+
+val observability : Compiled.t -> pi_weights:float array -> float array * float array
+(** (controllability, observability) per net — the internals of
+    {!estimate}, exposed for inspection and tests. *)
+
+val sensitization_prob : Compiled.gate_fn -> float array -> int -> float
+(** Boolean-difference probability of one gate input. *)
+
+val pattern_weight : float array -> bool array -> float

@@ -1,0 +1,91 @@
+open Dynmos_util
+open Dynmos_expr
+open Dynmos_sim
+
+(* Signal probability estimation (PROTEST feature 1, Fig. 8).
+
+   [propagate] is the production estimator: exact for each gate under the
+   assumption that its inputs are independent (Parker-McCluskey style),
+   hence approximate in the presence of reconvergent fan-out — this is the
+   estimator the original tool used.  [exact] evaluates the full input
+   distribution (exponential, for validation on small circuits) and
+   [monte_carlo] samples it (for larger validation). *)
+
+let check_weights weights =
+  Array.iter
+    (fun p -> if not (p >= 0.0 && p <= 1.0) then invalid_arg "Signal_prob: weight outside [0,1]")
+    weights
+
+(* Probability that a gate function is 1 when input k is 1 independently
+   with probability probs.(k): exact sum over the gate's truth table. *)
+let gate_prob (fn : Compiled.gate_fn) (probs : float array) =
+  let tt = fn.Compiled.table in
+  let n = Truth_table.n_vars tt in
+  let total = ref 0.0 in
+  for row = 0 to (1 lsl n) - 1 do
+    if Truth_table.get tt row then begin
+      let p = ref 1.0 in
+      for i = 0 to n - 1 do
+        p := !p *. (if (row lsr i) land 1 = 1 then probs.(i) else 1.0 -. probs.(i))
+      done;
+      total := !total +. !p
+    end
+  done;
+  !total
+
+let propagate compiled ~pi_weights =
+  check_weights pi_weights;
+  let n_in = Compiled.n_inputs compiled in
+  if Array.length pi_weights <> n_in then invalid_arg "Signal_prob.propagate: PI arity";
+  let probs = Array.make (Compiled.n_nets compiled) 0.0 in
+  Array.blit pi_weights 0 probs 0 n_in;
+  Array.iter
+    (fun cg ->
+      let in_probs = Array.map (fun i -> probs.(i)) cg.Compiled.ins in
+      probs.(cg.Compiled.out) <- gate_prob cg.Compiled.fn in_probs)
+    (Compiled.gates compiled);
+  probs
+
+let exact compiled ~pi_weights =
+  check_weights pi_weights;
+  let n_in = Compiled.n_inputs compiled in
+  if n_in > 22 then invalid_arg "Signal_prob.exact: too many primary inputs";
+  let n_nets = Compiled.n_nets compiled in
+  let probs = Array.make n_nets 0.0 in
+  for row = 0 to (1 lsl n_in) - 1 do
+    let w = ref 1.0 in
+    let pi = Array.init n_in (fun i -> (row lsr i) land 1 = 1) in
+    for i = 0 to n_in - 1 do
+      w := !w *. (if pi.(i) then pi_weights.(i) else 1.0 -. pi_weights.(i))
+    done;
+    if !w > 0.0 then begin
+      let nets = Compiled.eval_nets compiled pi in
+      Array.iteri (fun i v -> if v then probs.(i) <- probs.(i) +. !w) nets
+    end
+  done;
+  probs
+
+let monte_carlo prng compiled ~pi_weights ~samples =
+  check_weights pi_weights;
+  let n_in = Compiled.n_inputs compiled in
+  let n_nets = Compiled.n_nets compiled in
+  let counts = Array.make n_nets 0 in
+  for _ = 1 to samples do
+    let pi = Array.init n_in (fun i -> Prng.bernoulli prng pi_weights.(i)) in
+    let nets = Compiled.eval_nets compiled pi in
+    Array.iteri (fun i v -> if v then counts.(i) <- counts.(i) + 1) nets
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) counts
+
+(* Error statistics of the estimator against the exact distribution. *)
+let estimator_error compiled ~pi_weights =
+  let est = propagate compiled ~pi_weights in
+  let ex = exact compiled ~pi_weights in
+  let n = Array.length est in
+  let max_err = ref 0.0 and sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e = Float.abs (est.(i) -. ex.(i)) in
+    max_err := Float.max !max_err e;
+    sum := !sum +. e
+  done;
+  (!max_err, !sum /. float_of_int n)

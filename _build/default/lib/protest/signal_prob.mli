@@ -1,0 +1,25 @@
+open Dynmos_util
+open Dynmos_sim
+
+(** Signal probability estimation (PROTEST Fig. 8, feature 1).
+
+    [propagate] is the production estimator: exact per gate assuming
+    independent inputs (approximate under reconvergent fan-out).  [exact]
+    enumerates the input distribution; [monte_carlo] samples it. *)
+
+val gate_prob : Compiled.gate_fn -> float array -> float
+(** Probability a gate function is 1 given independent input
+    1-probabilities. *)
+
+val propagate : Compiled.t -> pi_weights:float array -> float array
+(** Estimated probability that each net is 1 (indexed like compiled
+    nets). *)
+
+val exact : Compiled.t -> pi_weights:float array -> float array
+(** Exact distribution by enumeration.
+    @raise Invalid_argument beyond 22 primary inputs. *)
+
+val monte_carlo : Prng.t -> Compiled.t -> pi_weights:float array -> samples:int -> float array
+
+val estimator_error : Compiled.t -> pi_weights:float array -> float * float
+(** (max, mean) absolute error of [propagate] against [exact]. *)

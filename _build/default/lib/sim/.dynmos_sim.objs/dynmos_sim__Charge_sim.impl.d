@@ -1,0 +1,1 @@
+lib/sim/charge_sim.ml: Bool Cell Dynmos_cell Dynmos_core Dynmos_expr Dynmos_switchnet Expr Fault Fault_map List Logic Option Spnet String Technology

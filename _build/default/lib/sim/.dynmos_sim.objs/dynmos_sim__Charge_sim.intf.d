@@ -1,0 +1,1 @@
+lib/sim/charge_sim.mli: Cell Dynmos_cell Dynmos_core Fault Fault_map Logic

@@ -1,0 +1,1 @@
+lib/sim/compiled.ml: Array Cell Cube Dynmos_cell Dynmos_expr Dynmos_netlist Expr Hashtbl List Minimize Netlist Truth_table

@@ -1,0 +1,1 @@
+lib/sim/compiled.mli: Dynmos_expr Dynmos_netlist Expr Netlist Truth_table

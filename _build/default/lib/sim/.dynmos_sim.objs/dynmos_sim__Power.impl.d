@@ -1,0 +1,1 @@
+lib/sim/power.ml: Array Cell Compiled Dynmos_cell Dynmos_netlist Dynmos_util Float Netlist Prng Technology

@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Array Compiled Dynmos_netlist Float List Netlist

@@ -1,0 +1,1 @@
+lib/sim/two_phase.ml: Array Compiled Dynmos_cell Dynmos_netlist List Netlist Technology

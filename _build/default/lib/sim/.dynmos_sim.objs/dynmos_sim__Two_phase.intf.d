@@ -1,0 +1,1 @@
+lib/sim/two_phase.mli: Compiled Dynmos_netlist Netlist

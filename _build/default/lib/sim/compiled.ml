@@ -1,0 +1,180 @@
+open Dynmos_expr
+open Dynmos_cell
+open Dynmos_netlist
+
+(* Compiled form of a netlist for fast simulation.
+
+   Nets get dense indices (primary inputs first, then gate outputs in
+   topological order).  Every distinct cell function is compiled once into
+   a cube cover over the gate's input positions, so evaluation is pure
+   word arithmetic: the same cover evaluates one pattern (ints 0/1) or 62
+   packed patterns per machine word — the representation bit-parallel
+   fault simulation uses. *)
+
+type gate_fn = {
+  arity : int;
+  cubes : (int * int) array;  (* (care, value) over input positions *)
+  table : Truth_table.t;      (* over the cell's formal inputs *)
+}
+
+type cgate = {
+  g : Netlist.gate;
+  ins : int array;  (* net indices, positional *)
+  out : int;        (* net index *)
+  fn : gate_fn;
+}
+
+type t = {
+  netlist : Netlist.t;
+  n_nets : int;
+  n_inputs : int;
+  po : int array;       (* net indices of the primary outputs *)
+  cgates : cgate array; (* topological order *)
+  index_of_net : (string, int) Hashtbl.t;
+  net_names : string array;
+}
+
+let fn_of_table table =
+  let sop = Minimize.of_table table in
+  {
+    arity = Truth_table.n_vars table;
+    cubes = Array.of_list (List.map (fun c -> (Cube.care c, Cube.value c)) sop);
+    table;
+  }
+
+let fn_of_cell cell = fn_of_table (Cell.logic_table cell)
+
+let compile netlist =
+  let index_of_net = Hashtbl.create 64 in
+  let next = ref 0 in
+  let assign net =
+    Hashtbl.replace index_of_net net !next;
+    incr next
+  in
+  List.iter assign (Netlist.inputs netlist);
+  let n_inputs = !next in
+  Array.iter (fun g -> assign g.Netlist.output_net) (Netlist.gate_array netlist);
+  let n_nets = !next in
+  let idx net = Hashtbl.find index_of_net net in
+  (* Compile each distinct cell once. *)
+  let fns = Hashtbl.create 16 in
+  let fn_of cell =
+    match Hashtbl.find_opt fns (Cell.name cell) with
+    | Some fn -> fn
+    | None ->
+        let fn = fn_of_cell cell in
+        Hashtbl.add fns (Cell.name cell) fn;
+        fn
+  in
+  let cgates =
+    Array.map
+      (fun g ->
+        { g; ins = Array.of_list (List.map idx g.input_nets); out = idx g.output_net; fn = fn_of g.cell })
+      (Netlist.gate_array netlist)
+  in
+  let po = Array.of_list (List.map idx (Netlist.outputs netlist)) in
+  let net_names = Array.make n_nets "" in
+  Hashtbl.iter (fun net i -> net_names.(i) <- net) index_of_net;
+  { netlist; n_nets; n_inputs; po; cgates; index_of_net; net_names }
+
+let netlist t = t.netlist
+let n_nets t = t.n_nets
+let n_inputs t = t.n_inputs
+let n_outputs t = Array.length t.po
+let po_indices t = t.po
+let net_index t net = Hashtbl.find_opt t.index_of_net net
+let net_name t i = t.net_names.(i)
+let gates t = t.cgates
+
+(* Evaluate one gate function on word-packed inputs: bit j of the result is
+   the function applied to bit j of each input word. *)
+let eval_fn fn (input_words : int array) =
+  let out = ref 0 in
+  Array.iter
+    (fun (care, value) ->
+      let m = ref (-1) in
+      let rec lits i =
+        if 1 lsl i <= care then begin
+          if care land (1 lsl i) <> 0 then
+            m := !m land (if value land (1 lsl i) <> 0 then input_words.(i) else lnot input_words.(i));
+          lits (i + 1)
+        end
+      in
+      lits 0;
+      out := !out lor !m)
+    fn.cubes;
+  !out
+
+(* [override] substitutes the function of one gate (fault injection). *)
+let eval_words ?override t (pi_words : int array) =
+  if Array.length pi_words <> t.n_inputs then invalid_arg "Compiled.eval_words: PI arity";
+  let nets = Array.make t.n_nets 0 in
+  Array.blit pi_words 0 nets 0 t.n_inputs;
+  Array.iter
+    (fun cg ->
+      let fn =
+        match override with
+        | Some (gid, fn') when gid = cg.g.id -> fn'
+        | _ -> cg.fn
+      in
+      let ins = Array.map (fun i -> nets.(i)) cg.ins in
+      nets.(cg.out) <- eval_fn fn ins)
+    t.cgates;
+  nets
+
+let outputs_of_nets t nets = Array.map (fun i -> nets.(i)) t.po
+
+let eval ?override t (pi : bool array) =
+  let words = Array.map (fun b -> if b then 1 else 0) pi in
+  let nets = eval_words ?override t words in
+  Array.map (fun i -> nets.(i) land 1 = 1) t.po
+
+let eval_nets ?override t (pi : bool array) =
+  let words = Array.map (fun b -> if b then 1 else 0) pi in
+  let nets = eval_words ?override t words in
+  Array.map (fun w -> w land 1 = 1) nets
+
+(* Reference evaluation through the cell logic expressions (no cube
+   compilation) — used to cross-check the compiled path in tests. *)
+let eval_reference t (pi : bool array) =
+  let env = Hashtbl.create 64 in
+  List.iteri (fun i net -> Hashtbl.replace env net pi.(i)) (Netlist.inputs t.netlist);
+  Array.iter
+    (fun cg ->
+      let formal = Cell.inputs cg.g.cell in
+      let binding = List.combine formal cg.g.input_nets in
+      let lookup v =
+        match List.assoc_opt v binding with
+        | Some net -> Hashtbl.find env net
+        | None -> invalid_arg ("eval_reference: free variable " ^ v)
+      in
+      Hashtbl.replace env cg.g.output_net (Expr.eval lookup (Cell.logic cg.g.cell)))
+    t.cgates;
+  Array.of_list (List.map (Hashtbl.find env) (Netlist.outputs t.netlist))
+
+(* The global function of one primary output as an expression over the
+   primary inputs (cone extraction); feasible for small networks and used
+   by PROTEST's exact analyses. *)
+let output_expr t net =
+  let cache = Hashtbl.create 64 in
+  let rec expr_of net =
+    match Hashtbl.find_opt cache net with
+    | Some e -> e
+    | None ->
+        let e =
+          match Netlist.gate_of_net t.netlist net with
+          | None -> Expr.var net
+          | Some g ->
+              let formal = Cell.inputs g.cell in
+              let binding = List.combine formal g.input_nets in
+              Expr.subst
+                (fun v ->
+                  match List.assoc_opt v binding with
+                  | Some inner -> Some (expr_of inner)
+                  | None -> None)
+                (Cell.logic g.cell)
+        in
+        Hashtbl.replace cache net e;
+        e
+  in
+  expr_of net

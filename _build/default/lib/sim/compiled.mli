@@ -1,0 +1,65 @@
+open Dynmos_expr
+open Dynmos_netlist
+
+(** Compiled netlists for fast simulation.
+
+    Nets get dense indices (primary inputs first, then gate outputs in
+    topological order); every distinct cell function is compiled once to a
+    cube cover evaluated with word arithmetic, so the same code evaluates
+    one pattern or 62 packed patterns per word (bit-parallel fault
+    simulation). *)
+
+type gate_fn = {
+  arity : int;
+  cubes : (int * int) array;  (** (care, value) masks over input positions *)
+  table : Truth_table.t;
+}
+
+type cgate = {
+  g : Netlist.gate;
+  ins : int array;  (** input net indices, positional *)
+  out : int;
+  fn : gate_fn;
+}
+
+type t
+
+val compile : Netlist.t -> t
+
+val fn_of_table : Truth_table.t -> gate_fn
+(** Compile an arbitrary gate function (e.g. a faulty class function). *)
+
+val netlist : t -> Netlist.t
+val n_nets : t -> int
+val n_inputs : t -> int
+val n_outputs : t -> int
+val po_indices : t -> int array
+val net_index : t -> string -> int option
+val net_name : t -> int -> string
+val gates : t -> cgate array
+
+val eval_fn : gate_fn -> int array -> int
+(** Word-parallel single-gate evaluation: bit j of the result applies the
+    function to bit j of each input word. *)
+
+val eval_words : ?override:int * gate_fn -> t -> int array -> int array
+(** Evaluate 62 packed patterns; returns the word for every net.
+    [override = (gate_id, fn)] substitutes one gate's function (fault
+    injection). *)
+
+val outputs_of_nets : t -> int array -> int array
+(** Select the primary-output words from an [eval_words] result. *)
+
+val eval : ?override:int * gate_fn -> t -> bool array -> bool array
+(** Single-pattern convenience: primary inputs to primary outputs. *)
+
+val eval_nets : ?override:int * gate_fn -> t -> bool array -> bool array
+(** Single-pattern evaluation returning every net's value. *)
+
+val eval_reference : t -> bool array -> bool array
+(** Reference evaluation through the cell expressions (cross-checks the
+    compiled path in tests). *)
+
+val output_expr : t -> string -> Expr.t
+(** Global function of a net over the primary inputs (cone extraction);
+    for small networks and PROTEST's exact analyses. *)

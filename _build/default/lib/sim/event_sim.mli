@@ -1,0 +1,27 @@
+(** Event-driven unit-delay simulation with transition counting.
+
+    Supports the Fig. 5 claim: static implementations glitch (races and
+    spikes) while domino evaluation is monotone — every net transitions at
+    most once per cycle. *)
+
+type t
+
+val create : Compiled.t -> t
+
+val settle : t -> bool array -> unit
+(** Initialize the state to the steady response of a vector. *)
+
+val apply : t -> bool array -> int array * bool array
+(** Drive a new vector with unit gate delays from the current state;
+    returns per-net transition counts until quiescence and the final
+    primary-output values. *)
+
+val total_gate_transitions : t -> int array -> int
+
+val glitch_count : int array -> int
+(** Number of nets that changed value more than once while settling. *)
+
+val domino_evaluate : Compiled.t -> bool array -> int array * bool array
+(** One domino precharge/evaluate cycle of a (monotone) network starting
+    from the all-low precharged state; per-net transition counts are 0 or
+    1 when the network is properly monotone. *)

@@ -1,0 +1,122 @@
+open Dynmos_cell
+open Dynmos_netlist
+
+(* Two-phase dynamic nMOS networks (the paper's Fig. 7).
+
+   "Obviously the inputs of the gate are blocked when the output z is
+   valid.  Therefore one has to use at least two non-overlapping clocks
+   in order to build a combinational network by dynamic nMOS gates."
+
+   Gates alternate clock phases by logic level ([Netlist.clock_phase]);
+   a gate's output becomes valid when its phase ends and is consumed by
+   gates of the opposite phase while it precharges again.  The network is
+   therefore a wave pipeline: a vector advances one level per half-cycle
+   and a new vector may enter every full cycle.
+
+   The simulator keeps one charge node per gate output: precharge drives
+   it high at the start of the gate's own phase, evaluation at the end of
+   the phase pulls it down when the (compiled, already inverted) gate
+   function says so; between evaluations the node floats and holds.
+   Primary inputs are assumed to come from input latches valid in both
+   phases. *)
+
+type t = {
+  compiled : Compiled.t;
+  values : bool array;       (* current held value per net *)
+  valid : bool array;        (* has the net been evaluated at least once *)
+  mutable next_phase : [ `Phi1 | `Phi2 ];
+}
+
+exception Not_dynamic_nmos
+
+let create compiled =
+  (match Netlist.single_technology (Compiled.netlist compiled) with
+  | Some Technology.Dynamic_nmos -> ()
+  | Some _ | None -> raise Not_dynamic_nmos);
+  {
+    compiled;
+    values = Array.make (Compiled.n_nets compiled) true (* precharged *);
+    valid = Array.make (Compiled.n_nets compiled) false;
+    next_phase = `Phi1;
+  }
+
+(* The Fig. 7 composition rule: every gate-to-gate edge must connect
+   opposite phases (odd level difference), otherwise the consumer samples
+   its driver while that driver is precharging. *)
+let check_discipline netlist =
+  List.for_all
+    (fun g ->
+      List.for_all
+        (fun net ->
+          match Netlist.gate_of_net netlist net with
+          | None -> true (* primary inputs are valid in both phases *)
+          | Some driver -> (driver.Netlist.level - g.Netlist.level) mod 2 <> 0)
+        g.Netlist.input_nets)
+    (Netlist.gates netlist)
+
+let phase t = t.next_phase
+
+(* One half-cycle: the gates of [t.next_phase] precharge-and-evaluate
+   against the currently held values; all other nodes hold their charge. *)
+let half_cycle t (pi : bool array) =
+  let compiled = t.compiled in
+  let n_in = Compiled.n_inputs compiled in
+  if Array.length pi <> n_in then invalid_arg "Two_phase.half_cycle: PI arity";
+  Array.blit pi 0 t.values 0 n_in;
+  for i = 0 to n_in - 1 do
+    t.valid.(i) <- true
+  done;
+  let p = t.next_phase in
+  Array.iter
+    (fun cg ->
+      if Netlist.clock_phase cg.Compiled.g = p then begin
+        let ins = Array.map (fun i -> if t.values.(i) then 1 else 0) cg.Compiled.ins in
+        t.values.(cg.Compiled.out) <- Compiled.eval_fn cg.Compiled.fn ins land 1 = 1;
+        t.valid.(cg.Compiled.out) <-
+          Array.for_all (fun i -> t.valid.(i)) cg.Compiled.ins
+      end)
+    (Compiled.gates compiled);
+  t.next_phase <- (match p with `Phi1 -> `Phi2 | `Phi2 -> `Phi1)
+
+let outputs t = Array.map (fun i -> t.values.(i)) (Compiled.po_indices t.compiled)
+
+let outputs_valid t =
+  Array.for_all (fun i -> t.valid.(i)) (Compiled.po_indices t.compiled)
+
+(* Hold one vector at the inputs until every output has been evaluated
+   from it: [depth] half-cycles flush the wave through. *)
+let run_vector t pi =
+  let depth = Netlist.depth (Compiled.netlist t.compiled) in
+  Array.fill t.valid 0 (Array.length t.valid) false;
+  for _ = 1 to max 1 depth + 1 do
+    half_cycle t pi
+  done;
+  outputs t
+
+(* Pipelined operation: feed a new vector every full cycle (two
+   half-cycles); each result emerges [ceil(depth/2)] cycles later.
+   Returns the outputs observed after each full cycle, including the
+   fill latency (entries before the first valid result are [None]). *)
+let run_stream t (vectors : bool array list) =
+  let depth = Netlist.depth (Compiled.netlist t.compiled) in
+  let latency = (depth + 1) / 2 in
+  let results = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun pi ->
+      half_cycle t pi;
+      half_cycle t pi;
+      incr count;
+      results := (if !count > latency then Some (outputs t) else None) :: !results)
+    vectors;
+  (* Flush the pipeline with the last vector held. *)
+  (match vectors with
+  | [] -> ()
+  | _ ->
+      let last = List.nth vectors (List.length vectors - 1) in
+      for _ = 1 to latency do
+        half_cycle t last;
+        half_cycle t last;
+        results := Some (outputs t) :: !results
+      done);
+  List.rev !results

@@ -1,0 +1,41 @@
+open Dynmos_netlist
+
+(** Two-phase dynamic nMOS network simulation (the paper's Fig. 7).
+
+    Gates alternate clock phases by logic level; a gate's output is valid
+    while it precharges and is consumed by opposite-phase gates, so a
+    vector advances one level per half-cycle (wave pipelining). *)
+
+type t
+
+exception Not_dynamic_nmos
+
+val create : Compiled.t -> t
+(** @raise Not_dynamic_nmos unless every gate is dynamic nMOS. *)
+
+val check_discipline : Netlist.t -> bool
+(** The Fig. 7 composition rule: every gate-to-gate edge connects
+    opposite phases (odd level difference).  Primary inputs are assumed
+    valid in both phases. *)
+
+val phase : t -> [ `Phi1 | `Phi2 ]
+(** The phase the next {!half_cycle} will fire. *)
+
+val half_cycle : t -> bool array -> unit
+(** Precharge-and-evaluate the gates of the pending phase against the
+    currently held values; other nodes hold their charge. *)
+
+val outputs : t -> bool array
+val outputs_valid : t -> bool
+(** Have all primary outputs been evaluated from applied inputs? *)
+
+val run_vector : t -> bool array -> bool array
+(** Hold one vector at the inputs until the wave has flushed through
+    (depth+1 half-cycles); returns the primary outputs, which then equal
+    the combinational function. *)
+
+val run_stream : t -> bool array list -> bool array option list
+(** Pipelined operation: a new vector every full cycle, results emerging
+    after the fill latency ([None] until then).  Wave-consistent only for
+    networks whose primary inputs feed level-1 gates exclusively (deeper
+    PI fan-in mixes waves — real designs retime such inputs). *)

@@ -1,0 +1,1 @@
+lib/switchnet/graph.ml: Array Dynmos_expr Fun Int List Minimize Spnet String Truth_table

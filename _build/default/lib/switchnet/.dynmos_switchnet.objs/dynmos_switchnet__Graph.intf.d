@@ -1,0 +1,1 @@
+lib/switchnet/graph.mli: Dynmos_expr Expr Spnet

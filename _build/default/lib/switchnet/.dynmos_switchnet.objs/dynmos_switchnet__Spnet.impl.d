@@ -1,0 +1,1 @@
+lib/switchnet/spnet.ml: Array Dynmos_expr Expr Fmt List Option String

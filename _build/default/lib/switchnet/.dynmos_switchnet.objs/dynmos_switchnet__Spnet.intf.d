@@ -1,0 +1,1 @@
+lib/switchnet/spnet.mli: Dynmos_expr Expr Fmt

@@ -1,0 +1,132 @@
+open Dynmos_expr
+
+(* General switch graphs.
+
+   Series-parallel trees cover everything the paper's cell language can
+   describe, but real pass-transistor networks (and the nMOS literature the
+   paper cites, Tsai '83) also contain bridge topologies.  This module keeps
+   an explicit node/edge representation, computes transmission functions by
+   assignment enumeration, and supports the same open/closed/gate-open
+   fault injections, so the SP analysis can be cross-checked against a
+   topology-agnostic model. *)
+
+type node = int
+
+let source : node = 0
+let drain : node = 1
+
+type edge = { id : int; u : node; v : node; switch : Spnet.switch }
+
+type t = { n_nodes : int; edges : edge list }
+
+let create ~n_nodes edges =
+  if n_nodes < 2 then invalid_arg "Graph.create: need at least terminals S and D";
+  List.iter
+    (fun e ->
+      if e.u < 0 || e.u >= n_nodes || e.v < 0 || e.v >= n_nodes then
+        invalid_arg "Graph.create: edge endpoint out of range")
+    edges;
+  { n_nodes; edges }
+
+let edges t = t.edges
+let n_nodes t = t.n_nodes
+
+let inputs t =
+  List.sort_uniq String.compare (List.map (fun e -> e.switch.Spnet.input) t.edges)
+
+(* Convert an SP tree to a graph by structural recursion, allocating
+   internal nodes for series junctions. *)
+let of_spnet sp =
+  let next = ref 2 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let edges = ref [] in
+  let eid = ref 0 in
+  let add u v switch =
+    incr eid;
+    edges := { id = !eid; u; v; switch } :: !edges
+  in
+  let rec go u v = function
+    | Spnet.Switch s -> add u v s
+    | Spnet.Series ts ->
+        let rec chain u = function
+          | [] -> ()
+          | [ t ] -> go u v t
+          | t :: rest ->
+              let mid = fresh () in
+              go u mid t;
+              chain mid rest
+        in
+        chain u ts
+    | Spnet.Parallel ts -> List.iter (go u v) ts
+  in
+  go source drain sp;
+  { n_nodes = !next; edges = List.rev !edges }
+
+type fault = Spnet.fault
+
+let edge_conducts ?fault env e =
+  let s = e.switch in
+  let healthy () =
+    let gate = if s.Spnet.negated then not (env s.Spnet.input) else env s.Spnet.input in
+    match s.Spnet.polarity with Spnet.N -> gate | Spnet.P -> not gate
+  in
+  match fault with
+  | Some f when Spnet.fault_switch_id f = s.Spnet.id -> (
+      match f with
+      | Spnet.Switch_open _ -> false
+      | Spnet.Switch_closed _ -> true
+      | Spnet.Gate_open _ -> ( match s.Spnet.polarity with Spnet.N -> false | Spnet.P -> true))
+  | _ -> healthy ()
+
+(* Union-find based connectivity between S and D under an assignment. *)
+let conducts ?fault t env =
+  let parent = Array.init t.n_nodes Fun.id in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  List.iter (fun e -> if edge_conducts ?fault env e then union e.u e.v) t.edges;
+  find source = find drain
+
+let env_of_row inputs row name =
+  let rec idx i = function
+    | [] -> invalid_arg ("Graph: unknown input " ^ name)
+    | x :: rest -> if String.equal x name then i else idx (i + 1) rest
+  in
+  (row lsr (idx 0 inputs)) land 1 = 1
+
+let transmission ?fault t =
+  let ins = inputs t in
+  let n = List.length ins in
+  if n > Truth_table.max_vars then invalid_arg "Graph.transmission: too many inputs";
+  let on = ref [] in
+  for row = (1 lsl n) - 1 downto 0 do
+    if conducts ?fault t (env_of_row ins row) then on := row :: !on
+  done;
+  let vars = Array.of_list ins in
+  let sop = Minimize.of_minterms ~n_vars:n !on in
+  Minimize.to_expr ~vars sop
+
+let all_faults t =
+  List.concat_map
+    (fun e -> [ Spnet.Switch_closed e.switch.Spnet.id; Spnet.Switch_open e.switch.Spnet.id ])
+    (List.sort (fun a b -> Int.compare a.switch.Spnet.id b.switch.Spnet.id) t.edges)
+
+(* A bridge network: the classic 5-switch Wheatstone topology, which is not
+   series-parallel.  Used by tests and examples. *)
+let bridge ~a ~b ~c ~d ~e =
+  let sw id input = { Spnet.id; input; negated = false; polarity = Spnet.N; r_on = Spnet.default_r_on } in
+  let m1 = 2 and m2 = 3 in
+  create ~n_nodes:4
+    [
+      { id = 1; u = source; v = m1; switch = sw 1 a };
+      { id = 2; u = source; v = m2; switch = sw 2 b };
+      { id = 3; u = m1; v = drain; switch = sw 3 c };
+      { id = 4; u = m2; v = drain; switch = sw 4 d };
+      { id = 5; u = m1; v = m2; switch = sw 5 e };
+    ]

@@ -1,0 +1,44 @@
+open Dynmos_expr
+
+(** General switch graphs.
+
+    Topology-agnostic model of a switching network between terminals S and
+    D.  Covers bridge (non-series-parallel) networks and cross-checks the
+    {!Spnet} analysis: converting an SP tree with {!of_spnet} and taking
+    {!transmission} must agree with [Spnet.transmission]. *)
+
+type node = int
+
+val source : node
+val drain : node
+
+type edge = { id : int; u : node; v : node; switch : Spnet.switch }
+
+type t
+
+val create : n_nodes:int -> edge list -> t
+(** @raise Invalid_argument on out-of-range endpoints or [n_nodes < 2]. *)
+
+val edges : t -> edge list
+val n_nodes : t -> int
+
+val inputs : t -> string list
+(** Sorted distinct gate signals. *)
+
+val of_spnet : Spnet.t -> t
+(** Structural conversion; internal series nodes are allocated fresh. *)
+
+type fault = Spnet.fault
+
+val conducts : ?fault:fault -> t -> (string -> bool) -> bool
+(** Is there a conducting S--D path under the assignment (union-find)? *)
+
+val transmission : ?fault:fault -> t -> Expr.t
+(** Transmission function by assignment enumeration, returned in minimum
+    disjunctive form. *)
+
+val all_faults : t -> fault list
+(** Closed/open faults for every edge, ordered by switch id. *)
+
+val bridge : a:string -> b:string -> c:string -> d:string -> e:string -> t
+(** The 5-switch Wheatstone bridge (not series-parallel); for tests. *)

@@ -1,0 +1,164 @@
+open Dynmos_expr
+
+(* Series-parallel switching networks (the paper's Fig. 3).
+
+   A network SN has two terminals S and D; switches are interconnected at
+   source and drain and their gates are driven by input signals.  The
+   transmission function T(i1..in) is true iff a conducting path S--D
+   exists.  The paper describes networks exactly in this series/parallel
+   style ([x1 := a*(b+c)]), so the primary representation is the SP tree;
+   the general graph form (with bridges) lives in [Graph].
+
+   Every switch carries a unique 1-based id assigned in left-to-right
+   traversal order of the defining expression — this makes our transistor
+   numbering match the paper's T1..Tn convention, which matters for
+   reproducing the Section-5 fault table ordering. *)
+
+type polarity = N | P
+
+type switch = {
+  id : int;
+  input : string;
+  negated : bool;  (* gate driven by the complement of [input] (dual rail) *)
+  polarity : polarity;
+  r_on : float;    (* on-resistance, for ratioed-fault analysis *)
+}
+
+type t = Switch of switch | Series of t list | Parallel of t list
+
+exception Not_series_parallel of Expr.t
+
+let default_r_on = 1.0
+
+let of_expr ?(polarity = N) ?(r_on = default_r_on) expr =
+  let counter = ref 0 in
+  let fresh input negated =
+    incr counter;
+    Switch { id = !counter; input; negated; polarity; r_on }
+  in
+  let rec go = function
+    | Expr.Var v -> fresh v false
+    | Expr.Not (Expr.Var v) -> fresh v true
+    | Expr.And es -> Series (List.map go es)
+    | Expr.Or es -> Parallel (List.map go es)
+    | (Expr.Const _ | Expr.Not _ | Expr.Xor _) as e -> raise (Not_series_parallel e)
+  in
+  go expr
+
+let rec switches = function
+  | Switch s -> [ s ]
+  | Series ts | Parallel ts -> List.concat_map switches ts
+
+let n_switches t = List.length (switches t)
+
+let find_switch t id = List.find_opt (fun s -> s.id = id) (switches t)
+
+let inputs t =
+  List.sort_uniq String.compare (List.map (fun s -> s.input) (switches t))
+
+(* A switch conducts when its (possibly negated) gate signal matches its
+   polarity: N conducts on high, P conducts on low. *)
+let switch_literal s =
+  let v = if s.negated then Expr.not_ (Expr.var s.input) else Expr.var s.input in
+  match s.polarity with N -> v | P -> Expr.not_ v
+
+let rec transmission = function
+  | Switch s -> switch_literal s
+  | Series ts -> Expr.and_ (List.map transmission ts)
+  | Parallel ts -> Expr.or_ (List.map transmission ts)
+
+type fault =
+  | Switch_open of int     (* channel never conducts *)
+  | Switch_closed of int   (* channel always conducts *)
+  | Gate_open of int       (* gate line open: floats low by assumption A1 *)
+
+let fault_switch_id = function Switch_open i | Switch_closed i | Gate_open i -> i
+
+(* Under assumption A1 a floating gate reads logic low, so a gate-open
+   N-switch never conducts while a gate-open P-switch always conducts. *)
+let faulty_literal f s =
+  if fault_switch_id f <> s.id then switch_literal s
+  else
+    match f with
+    | Switch_open _ -> Expr.false_
+    | Switch_closed _ -> Expr.true_
+    | Gate_open _ -> ( match s.polarity with N -> Expr.false_ | P -> Expr.true_)
+
+let faulty_transmission t f =
+  let rec go = function
+    | Switch s -> faulty_literal f s
+    | Series ts -> Expr.and_ (List.map go ts)
+    | Parallel ts -> Expr.or_ (List.map go ts)
+  in
+  go t
+
+let faulty_transmission_multi t faults =
+  let rec go = function
+    | Switch s -> (
+        match List.find_opt (fun f -> fault_switch_id f = s.id) faults with
+        | Some f -> faulty_literal f s
+        | None -> switch_literal s)
+    | Series ts -> Expr.and_ (List.map go ts)
+    | Parallel ts -> Expr.or_ (List.map go ts)
+  in
+  go t
+
+let switches_of_input t input =
+  List.filter (fun s -> String.equal s.input input) (switches t)
+
+let all_faults t =
+  List.concat_map (fun s -> [ Switch_closed s.id; Switch_open s.id ]) (switches t)
+
+(* Dual network: series<->parallel with each switch replaced by the
+   complementary device on the *same* gate signal, so its conduction
+   condition is complemented.  This is how a static-CMOS pull-up is derived
+   from the pull-down network. *)
+let rec dual = function
+  | Switch s -> Switch { s with polarity = (match s.polarity with N -> P | P -> N) }
+  | Series ts -> Parallel (List.map dual ts)
+  | Parallel ts -> Series (List.map dual ts)
+
+(* Effective S--D resistance under an input assignment, treating conducting
+   switches as their on-resistance and open switches as infinite.  [None]
+   means no conducting path. *)
+let resistance t env =
+  let conducting s =
+    let gate = if s.negated then not (env s.input) else env s.input in
+    match s.polarity with N -> gate | P -> not gate
+  in
+  let rec go = function
+    | Switch s -> if conducting s then Some s.r_on else None
+    | Series ts ->
+        List.fold_left
+          (fun acc t ->
+            match (acc, go t) with Some r1, Some r2 -> Some (r1 +. r2) | _ -> None)
+          (Some 0.0) ts
+    | Parallel ts ->
+        let gs = List.filter_map (fun t -> Option.map (fun r -> 1.0 /. r) (go t)) ts in
+        if gs = [] then None else Some (1.0 /. List.fold_left ( +. ) 0.0 gs)
+  in
+  go t
+
+let min_resistance t =
+  (* Minimum over all input assignments that produce a conducting path;
+     the worst case for a ratioed fight against the precharge device. *)
+  let ins = inputs t in
+  let n = List.length ins in
+  let arr = Array.of_list ins in
+  let best = ref None in
+  for v = 0 to (1 lsl n) - 1 do
+    let env name =
+      let rec idx i = if String.equal arr.(i) name then i else idx (i + 1) in
+      (v lsr (idx 0)) land 1 = 1
+    in
+    match resistance t env with
+    | Some r -> ( match !best with Some b when b <= r -> () | _ -> best := Some r)
+    | None -> ()
+  done;
+  !best
+
+let rec pp ppf = function
+  | Switch s ->
+      Fmt.pf ppf "%s%s:T%d" (if s.negated then "!" else "") s.input s.id
+  | Series ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any "*") pp) ts
+  | Parallel ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any "+") pp) ts

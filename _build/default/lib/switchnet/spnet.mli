@@ -1,0 +1,78 @@
+open Dynmos_expr
+
+(** Series-parallel switching networks (the paper's Fig. 3).
+
+    A network has two terminals S and D; the transmission function
+    T(i1..in) is true iff a conducting path between them exists.  Switches
+    are numbered T1.. in left-to-right traversal order of the defining
+    expression, matching the paper's convention. *)
+
+type polarity = N | P
+
+type switch = {
+  id : int;       (** 1-based transistor number *)
+  input : string; (** gate signal *)
+  negated : bool; (** gate driven by the complement (dual rail) *)
+  polarity : polarity;
+  r_on : float;   (** on-resistance for ratioed-fault analysis *)
+}
+
+type t = Switch of switch | Series of t list | Parallel of t list
+
+exception Not_series_parallel of Expr.t
+
+val default_r_on : float
+
+val of_expr : ?polarity:polarity -> ?r_on:float -> Expr.t -> t
+(** Build a network from a [*]/[+] expression; [Var] and [Not (Var _)]
+    become switches.  @raise Not_series_parallel on constants, [Xor] or
+    negations of compound expressions. *)
+
+val switches : t -> switch list
+(** All switches in traversal (id) order. *)
+
+val n_switches : t -> int
+val find_switch : t -> int -> switch option
+
+val inputs : t -> string list
+(** Sorted distinct gate signals. *)
+
+val switch_literal : switch -> Expr.t
+(** Conduction condition of one switch. *)
+
+val transmission : t -> Expr.t
+(** The transmission function T. *)
+
+type fault =
+  | Switch_open of int     (** channel never conducts *)
+  | Switch_closed of int   (** channel always conducts *)
+  | Gate_open of int       (** gate line open: floats low by assumption A1 *)
+
+val fault_switch_id : fault -> int
+
+val faulty_transmission : t -> fault -> Expr.t
+(** Transmission function with one switch faulted. *)
+
+val faulty_transmission_multi : t -> fault list -> Expr.t
+(** Transmission function with several switches faulted at once (at most
+    one fault per switch id is honoured; the first match wins). *)
+
+val switches_of_input : t -> string -> switch list
+(** All switches whose gate is driven by the given input. *)
+
+val all_faults : t -> fault list
+(** [Switch_closed i; Switch_open i] for every switch, in id order (the
+    paper's enumeration order for the Section-5 table). *)
+
+val dual : t -> t
+(** Series/parallel dual with complemented gates (static-CMOS pull-up from
+    a pull-down network; dual-rail complement network). *)
+
+val resistance : t -> (string -> bool) -> float option
+(** Effective S--D resistance under an assignment; [None] if no path. *)
+
+val min_resistance : t -> float option
+(** Minimum conducting-path resistance over all assignments (the worst case
+    for a ratioed fight against a stuck-closed precharge device). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,78 @@
+(* Deterministic pseudo-random number generation for the whole project.
+
+   Library code never uses [Stdlib.Random]: every stochastic component
+   (random pattern generators, weighted pattern sources, circuit
+   generators, Monte-Carlo estimators) takes an explicit [Prng.t] so that
+   all experiments are reproducible bit-for-bit.  The generator is
+   xoshiro256** seeded through splitmix64, which is more than adequate
+   for test-pattern generation. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 seed =
+  let z = ref (Int64.add seed 0x9E3779B97F4A7C15L) in
+  let next () =
+    z := Int64.add !z 0x9E3779B97F4A7C15L;
+    let a = !z in
+    let a = Int64.mul (Int64.logxor a (Int64.shift_right_logical a 30)) 0xBF58476D1CE4E5B9L in
+    let a = Int64.mul (Int64.logxor a (Int64.shift_right_logical a 27)) 0x94D049BB133111EBL in
+    Int64.logxor a (Int64.shift_right_logical a 31)
+  in
+  next
+
+let create seed =
+  let next = splitmix64 (Int64.of_int seed) in
+  let s0 = next () in
+  let s1 = next () in
+  let s2 = next () in
+  let s3 = next () in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let x = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 x;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  bits62 t mod bound
+
+let float t =
+  (* 53 uniformly distributed mantissa bits in [0,1). *)
+  let x = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let split t =
+  let next = splitmix64 (next_int64 t) in
+  let s0 = next () in
+  let s1 = next () in
+  let s2 = next () in
+  let s3 = next () in
+  { s0; s1; s2; s3 }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

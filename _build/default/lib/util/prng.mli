@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (xoshiro256 star-star).
+
+    All stochastic components of the library take an explicit generator so
+    that experiments are reproducible.  The stdlib [Random] module is not
+    used anywhere in library code. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed (via splitmix64
+    state expansion). Equal seeds yield equal streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits62 : t -> int
+(** Next 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform float in [0, 1) with 53 random bits. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly chosen element of a non-empty array. *)

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Cell Cell_parser Dynmos_cell Dynmos_expr Expr Fmt List Parse Stdcells Technology Truth_table

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Boolnet Char Compiled Dynmos_cell Dynmos_circuits Dynmos_netlist Dynmos_sim Fmt Generators List Netlist Stdcells String Technology

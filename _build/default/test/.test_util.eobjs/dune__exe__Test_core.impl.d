@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cell Dynmos_cell Dynmos_core Dynmos_expr Dynmos_switchnet Expr Fault Fault_map Faultlib Fmt List Parse QCheck2 QCheck_alcotest Stdcells String Technology Truth_table

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Cube Dynmos_expr Expr Fmt Int List Minimize Parse QCheck2 QCheck_alcotest Set String Truth_table

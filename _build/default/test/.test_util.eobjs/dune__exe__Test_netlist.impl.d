@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Dynmos_cell Dynmos_netlist List Netlist Option Stdcells Technology

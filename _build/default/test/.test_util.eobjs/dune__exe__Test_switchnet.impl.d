@@ -1,0 +1,1 @@
+test/test_switchnet.ml: Alcotest Dynmos_expr Dynmos_switchnet Expr Fmt Graph List Parse QCheck2 QCheck_alcotest Spnet String Truth_table

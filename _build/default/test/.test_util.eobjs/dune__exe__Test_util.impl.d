@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dynmos_util Float Fmt Fun List Prng String

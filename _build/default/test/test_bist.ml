@@ -1,0 +1,308 @@
+open Dynmos_cell
+open Dynmos_sim
+open Dynmos_faultsim
+open Dynmos_bist
+open Dynmos_circuits
+
+(* Tests for the self-test hardware models: LFSR maximality, MISR
+   signatures, BILBO modes, nonlinear FSRs, weighted generation and
+   whole-circuit self-test sessions (including at-speed delay-fault
+   detection). *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* --- LFSR ----------------------------------------------------------------- *)
+
+let test_lfsr_periods () =
+  (* Maximal length 2^w - 1 for every width up to 16, both forms. *)
+  for w = 2 to 16 do
+    let fib = Lfsr.create ~form:Lfsr.Fibonacci w in
+    check_i (Fmt.str "fibonacci w=%d" w) ((1 lsl w) - 1) (Lfsr.period fib);
+    let gal = Lfsr.create ~form:Lfsr.Galois w in
+    check_i (Fmt.str "galois w=%d" w) ((1 lsl w) - 1) (Lfsr.period gal)
+  done
+
+let test_lfsr_state_coverage () =
+  (* A maximal LFSR visits every non-zero state exactly once per period. *)
+  let l = Lfsr.create 6 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 63 do
+    Hashtbl.replace seen (Lfsr.state l) ();
+    ignore (Lfsr.step l)
+  done;
+  check_i "63 distinct states" 63 (Hashtbl.length seen);
+  check "zero never visited" false (Hashtbl.mem seen 0)
+
+let test_lfsr_guards () =
+  let fails f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "zero seed" true (fails (fun () -> Lfsr.create ~seed:0 4));
+  check "width 1" true (fails (fun () -> Lfsr.create 1));
+  check "width 33" true (fails (fun () -> Lfsr.create 33));
+  check "bits bound" true (fails (fun () -> Lfsr.bits (Lfsr.create 4) 5))
+
+let test_lfsr_patterns () =
+  let l = Lfsr.create ~seed:0b0101 4 in
+  let p = Lfsr.next_pattern l 4 in
+  check "pattern is the state" true (p = [| true; false; true; false |]);
+  check "state advanced" true (Lfsr.state l <> 0b0101)
+
+let test_lfsr_balance () =
+  (* Over a full period every bit is 1 in 2^(w-1) of the states. *)
+  let l = Lfsr.create 8 in
+  let ones = Array.make 8 0 in
+  for _ = 1 to 255 do
+    let bits = Lfsr.bits l 8 in
+    Array.iteri (fun i b -> if b then ones.(i) <- ones.(i) + 1) bits;
+    ignore (Lfsr.step l)
+  done;
+  Array.iteri (fun i c -> check_i (Fmt.str "bit %d ones" i) 128 c) ones
+
+(* --- MISR ------------------------------------------------------------------ *)
+
+let test_misr_signature () =
+  let responses = List.init 20 (fun i -> [| i mod 2 = 0; i mod 3 = 0 |]) in
+  let m1 = Misr.create 8 in
+  let s1 = Misr.run m1 responses in
+  let m2 = Misr.create 8 in
+  let s2 = Misr.run m2 responses in
+  check "deterministic" true (s1 = s2);
+  (* a single flipped response bit changes the signature *)
+  let corrupted =
+    List.mapi (fun i r -> if i = 7 then [| not r.(0); r.(1) |] else r) responses
+  in
+  let m3 = Misr.create 8 in
+  check "sensitive" true (Misr.run m3 corrupted <> s1);
+  Alcotest.(check (float 1e-12)) "aliasing bound" (1.0 /. 256.0) (Misr.aliasing_bound ~width:8)
+
+let test_misr_aliasing_rate () =
+  (* Random error sequences alias with probability about 2^-width. *)
+  let open Dynmos_util in
+  let prng = Prng.create 13 in
+  let width = 8 in
+  let trials = 3000 in
+  let aliased = ref 0 in
+  for _ = 1 to trials do
+    let responses = List.init 12 (fun _ -> [| Prng.bool prng; Prng.bool prng |]) in
+    let errors = List.init 12 (fun _ -> [| Prng.bernoulli prng 0.2; Prng.bernoulli prng 0.2 |]) in
+    let has_error = List.exists (fun e -> e.(0) || e.(1)) errors in
+    if has_error then begin
+      let good = Misr.run (Misr.create width) responses in
+      let bad =
+        Misr.run (Misr.create width)
+          (List.map2 (fun r e -> [| r.(0) <> e.(0); r.(1) <> e.(1) |]) responses errors)
+      in
+      if good = bad then incr aliased
+    end
+  done;
+  let rate = float_of_int !aliased /. float_of_int trials in
+  check "aliasing near 2^-8" true (rate < 4.0 /. 256.0)
+
+(* --- BILBO ------------------------------------------------------------------ *)
+
+let test_bilbo_modes () =
+  check "controls 11" true (Bilbo.mode_of_controls ~b1:true ~b2:true = Bilbo.Normal);
+  check "controls 00" true (Bilbo.mode_of_controls ~b1:false ~b2:false = Bilbo.Scan);
+  check "controls 10" true (Bilbo.mode_of_controls ~b1:true ~b2:false = Bilbo.Prpg);
+  check "controls 01" true (Bilbo.mode_of_controls ~b1:false ~b2:true = Bilbo.Misr);
+  (* Normal: parallel latch *)
+  let b = Bilbo.create 4 in
+  Bilbo.set_mode b Bilbo.Normal;
+  ignore (Bilbo.step b [| true; false; true; false |]);
+  check_i "latched" 0b0101 (Bilbo.state b);
+  (* Scan: shift with serial input *)
+  Bilbo.set_mode b Bilbo.Scan;
+  ignore (Bilbo.step b ~serial:true [||]);
+  check_i "shifted" 0b1010 (Bilbo.state b);
+  (* PRPG behaves like the LFSR of the same width/seed *)
+  let b2 = Bilbo.create ~seed:1 4 in
+  Bilbo.set_mode b2 Bilbo.Prpg;
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 15 do
+    Hashtbl.replace seen (Bilbo.state b2) ();
+    ignore (Bilbo.step b2 [||])
+  done;
+  check_i "PRPG maximal" 15 (Hashtbl.length seen);
+  (* MISR mode: injecting data changes the state evolution *)
+  let b3 = Bilbo.create ~seed:3 4 in
+  Bilbo.set_mode b3 Bilbo.Misr;
+  ignore (Bilbo.step b3 [| true; true; false; false |]);
+  let with_data = Bilbo.state b3 in
+  let b4 = Bilbo.create ~seed:3 4 in
+  Bilbo.set_mode b4 Bilbo.Misr;
+  ignore (Bilbo.step b4 [| false; false; false; false |]);
+  check "data injected" true (with_data <> Bilbo.state b4)
+
+let test_bilbo_scan_out () =
+  let b = Bilbo.create 4 in
+  Bilbo.set_state b 0b1101;
+  Bilbo.set_mode b Bilbo.Scan;
+  let bits = Bilbo.scan_out b in
+  check "scan order LSB first" true (bits = [ true; false; true; true ])
+
+(* --- NLFSR ------------------------------------------------------------------ *)
+
+let test_nlfsr_de_bruijn () =
+  (* The de-Bruijn modification reaches period 2^w including the zero
+     state. *)
+  for w = 3 to 10 do
+    let n = Nlfsr.of_lfsr ~de_bruijn:true w in
+    check_i (Fmt.str "de bruijn w=%d" w) (1 lsl w)
+      (match Nlfsr.period n with Some p -> p | None -> -1)
+  done
+
+let test_nlfsr_linear_matches_lfsr () =
+  (* Without nonlinear terms, of_lfsr reproduces the Fibonacci LFSR
+     sequence. *)
+  let w = 6 in
+  let n = Nlfsr.of_lfsr w in
+  let l = Lfsr.create ~form:Lfsr.Fibonacci w in
+  let ok = ref true in
+  for _ = 1 to 100 do
+    if Nlfsr.state n <> Lfsr.state l then ok := false;
+    ignore (Nlfsr.step n);
+    ignore (Lfsr.step l)
+  done;
+  check "sequences equal" true !ok
+
+let test_nlfsr_nonlinear_term () =
+  (* A genuine AND term gives a different (still eventually periodic)
+     sequence. *)
+  let n = Nlfsr.create ~width:4 ~terms:[ [ 3 ]; [ 0; 1 ] ] ~seed:1 () in
+  check "steps run" true
+    (let _ = Nlfsr.step n in
+     let _ = Nlfsr.step n in
+     true);
+  check "guards" true
+    (match Nlfsr.create ~width:4 ~terms:[ [ 9 ] ] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Weighted generation ------------------------------------------------------ *)
+
+let test_quantize () =
+  let q = Weighted_gen.quantize ~resolution:4 [| 0.5; 0.93; 0.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "0.5 stays" 0.5 q.(0);
+  Alcotest.(check (float 1e-9)) "0.93 -> 15/16" 0.9375 q.(1);
+  Alcotest.(check (float 1e-9)) "0 clamped" 0.0625 q.(2);
+  Alcotest.(check (float 1e-9)) "1 clamped" 0.9375 q.(3)
+
+let test_weighted_frequencies () =
+  let g = Weighted_gen.create ~resolution:4 [| 0.75; 0.25; 0.5 |] in
+  let n = 8000 in
+  let ones = Array.make 3 0 in
+  for _ = 1 to n do
+    let p = Weighted_gen.next_pattern g in
+    Array.iteri (fun i b -> if b then ones.(i) <- ones.(i) + 1) p
+  done;
+  let freq i = float_of_int ones.(i) /. float_of_int n in
+  check "w0 ~ 0.75" true (Float.abs (freq 0 -. 0.75) < 0.03);
+  check "w1 ~ 0.25" true (Float.abs (freq 1 -. 0.25) < 0.03);
+  check "w2 ~ 0.5" true (Float.abs (freq 2 -. 0.5) < 0.03)
+
+(* --- Self-test sessions --------------------------------------------------------- *)
+
+let test_selftest_detects_faults () =
+  let nl = Generators.c17 ~style:`Domino () in
+  let u = Faultsim.universe nl in
+  let compiled = u.Faultsim.compiled in
+  (* A few hundred cycles catch every detectable fault of this small
+     circuit through the signature. *)
+  let all_caught =
+    Array.for_all
+      (fun site ->
+        (Selftest.test_fault ~seed:5 compiled ~n_cycles:300 site).Selftest.detected)
+      u.Faultsim.sites
+  in
+  check "signature catches all" true all_caught
+
+let test_selftest_golden_deterministic () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 4 in
+  let c = Compiled.compile nl in
+  let s1 = Selftest.golden (Selftest.make_session ~seed:3 c ~n_cycles:100) in
+  let s2 = Selftest.golden (Selftest.make_session ~seed:3 c ~n_cycles:100) in
+  check "golden reproducible" true (s1 = s2);
+  let s3 = Selftest.golden (Selftest.make_session ~seed:4 c ~n_cycles:100) in
+  check "seed matters" true (s1 <> s3)
+
+let test_selftest_sources () =
+  let nl = Generators.c17 ~style:`Domino () in
+  let u = Faultsim.universe nl in
+  let compiled = u.Faultsim.compiled in
+  let site = u.Faultsim.sites.(0) in
+  List.iter
+    (fun source ->
+      let o = Selftest.test_fault ~seed:7 ~source compiled ~n_cycles:300 site in
+      check "source detects" true o.Selftest.detected)
+    [ `Lfsr; `Bilbo; `Weighted (Array.make (Compiled.n_inputs compiled) 0.5) ]
+
+let test_at_speed_selftest () =
+  (* The Section-4(b) claim: a session at maximum speed catches a delay
+     fault; the same session at a relaxed clock misses it. *)
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 6 in
+  let c = Compiled.compile nl in
+  let delays = Timing.nominal_delays c in
+  (* Clock at the true worst case: the full propagate chain (c0=1, all p,
+     no g). *)
+  let propagate =
+    Array.of_list
+      (List.map (fun n -> n.[0] = 'c' || n.[0] = 'p') (Dynmos_netlist.Netlist.inputs nl))
+  in
+  let period = Timing.critical_path c delays propagate in
+  let fast =
+    Selftest.test_delay_fault ~seed:11 c ~n_cycles:200 ~gate_id:0 ~factor:3.0 ~period
+  in
+  check "at-speed detects" true fast.Selftest.detected;
+  let slow_clock =
+    Selftest.test_delay_fault ~seed:11 c ~n_cycles:200 ~gate_id:0 ~factor:3.0
+      ~period:(period *. 10.0)
+  in
+  check "slow clock misses" false slow_clock.Selftest.detected
+
+let test_selftest_coverage () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 4 in
+  let u = Faultsim.universe nl in
+  let cov = Selftest.coverage ~seed:21 u ~n_cycles:400 in
+  check "near-full coverage" true (cov > 0.95)
+
+let () =
+  Alcotest.run "bist"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "maximal periods" `Quick test_lfsr_periods;
+          Alcotest.test_case "state coverage" `Quick test_lfsr_state_coverage;
+          Alcotest.test_case "guards" `Quick test_lfsr_guards;
+          Alcotest.test_case "patterns" `Quick test_lfsr_patterns;
+          Alcotest.test_case "bit balance" `Quick test_lfsr_balance;
+        ] );
+      ( "misr",
+        [
+          Alcotest.test_case "signatures" `Quick test_misr_signature;
+          Alcotest.test_case "aliasing rate" `Quick test_misr_aliasing_rate;
+        ] );
+      ( "bilbo",
+        [
+          Alcotest.test_case "four modes" `Quick test_bilbo_modes;
+          Alcotest.test_case "scan out" `Quick test_bilbo_scan_out;
+        ] );
+      ( "nlfsr",
+        [
+          Alcotest.test_case "de Bruijn period" `Quick test_nlfsr_de_bruijn;
+          Alcotest.test_case "linear matches LFSR" `Quick test_nlfsr_linear_matches_lfsr;
+          Alcotest.test_case "nonlinear terms" `Quick test_nlfsr_nonlinear_term;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "quantize" `Quick test_quantize;
+          Alcotest.test_case "frequencies" `Quick test_weighted_frequencies;
+        ] );
+      ( "selftest",
+        [
+          Alcotest.test_case "detects all faults" `Slow test_selftest_detects_faults;
+          Alcotest.test_case "golden deterministic" `Quick test_selftest_golden_deterministic;
+          Alcotest.test_case "all sources" `Quick test_selftest_sources;
+          Alcotest.test_case "at-speed delay detection" `Quick test_at_speed_selftest;
+          Alcotest.test_case "coverage" `Quick test_selftest_coverage;
+        ] );
+    ]

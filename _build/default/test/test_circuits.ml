@@ -1,0 +1,191 @@
+open Dynmos_cell
+open Dynmos_netlist
+open Dynmos_sim
+open Dynmos_circuits
+
+(* Tests for the benchmark generators: functional correctness of every
+   circuit family in both realizations, dual-rail invariants and
+   deterministic seeding. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let check_realizations name bn =
+  let static = Boolnet.to_static bn in
+  let domino = Boolnet.to_domino_dual_rail bn in
+  let cs = Compiled.compile static in
+  let cd = Compiled.compile domino in
+  let n = Boolnet.n_inputs bn in
+  let rows = 1 lsl n in
+  for row = 0 to min (rows - 1) 255 do
+    let pi = Array.init n (fun i -> (row lsr i) land 1 = 1) in
+    let reference =
+      List.map snd (Boolnet.eval bn (List.mapi (fun i nm -> (nm, pi.(i))) bn.Boolnet.inputs))
+    in
+    let got_static = Array.to_list (Compiled.eval cs pi) in
+    if got_static <> reference then
+      Alcotest.fail (Fmt.str "%s static mismatch at row %d" name row);
+    let dr = Boolnet.dual_rail_vector bn pi in
+    let got_domino = Array.to_list (Compiled.eval cd dr) in
+    (* Domino POs come in (positive, negative) pairs per output. *)
+    let rec pairs = function
+      | p :: q :: rest -> (p, q) :: pairs rest
+      | [] -> []
+      | [ _ ] -> Alcotest.fail "odd number of domino POs"
+    in
+    List.iter2
+      (fun (p, q) r ->
+        if p <> r then Alcotest.fail (Fmt.str "%s domino pos rail wrong at %d" name row);
+        if q <> not r then Alcotest.fail (Fmt.str "%s domino neg rail wrong at %d" name row))
+      (pairs got_domino) reference
+  done
+
+let test_parity () = check_realizations "parity5" (Generators.parity_boolnet 5)
+let test_adder () = check_realizations "adder2" (Generators.ripple_adder_boolnet 2)
+let test_decoder () = check_realizations "decoder3" (Generators.decoder_boolnet 3)
+let test_equality () = check_realizations "eq3" (Generators.equality_boolnet 3)
+let test_c17 () = check_realizations "c17" (Generators.c17_boolnet ())
+let test_mux () = check_realizations "mux2" (Generators.mux_tree_boolnet 2)
+
+let test_adder_adds () =
+  (* End-to-end arithmetic check of the 3-bit ripple adder. *)
+  let bn = Generators.ripple_adder_boolnet 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      for cin = 0 to 1 do
+        let env =
+          List.init 3 (fun i -> (Fmt.str "a%d" i, (a lsr i) land 1 = 1))
+          @ List.init 3 (fun i -> (Fmt.str "b%d" i, (b lsr i) land 1 = 1))
+          @ [ ("cin", cin = 1) ]
+        in
+        let out = Boolnet.eval bn env in
+        let sum = ref 0 in
+        List.iter
+          (fun (name, v) ->
+            if v then
+              match name with
+              | "s0" -> sum := !sum + 1
+              | "s1" -> sum := !sum + 2
+              | "s2" -> sum := !sum + 4
+              | "cout" -> sum := !sum + 8
+              | _ -> ())
+          out;
+        if !sum <> a + b + cin then
+          Alcotest.fail (Fmt.str "%d + %d + %d gave %d" a b cin !sum)
+      done
+    done
+  done;
+  check "adder adds" true true
+
+let test_decoder_one_hot () =
+  let bn = Generators.decoder_boolnet 3 in
+  for row = 0 to 7 do
+    let env = List.mapi (fun i nm -> (nm, (row lsr i) land 1 = 1)) bn.Boolnet.inputs in
+    let out = Boolnet.eval bn env in
+    let ones = List.filter snd out in
+    check_i (Fmt.str "one-hot at %d" row) 1 (List.length ones);
+    check "right line" true (fst (List.hd ones) = Fmt.str "d%d" row)
+  done
+
+let test_carry_chain_function () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 3 in
+  let c = Compiled.compile nl in
+  (* inputs: c0, g0..g2, p0..p2 *)
+  let eval ~c0 ~g ~p =
+    let pi =
+      Array.of_list
+        (List.map
+           (fun name ->
+             match name.[0] with
+             | 'c' -> c0
+             | 'g' -> List.nth g (Char.code name.[1] - Char.code '0')
+             | 'p' -> List.nth p (Char.code name.[1] - Char.code '0')
+             | _ -> false)
+           (Netlist.inputs nl))
+    in
+    (Compiled.eval c pi).(0)
+  in
+  check "generate" true (eval ~c0:false ~g:[ false; false; true ] ~p:[ false; false; false ]);
+  check "propagate" true (eval ~c0:true ~g:[ false; false; false ] ~p:[ true; true; true ]);
+  check "killed" false (eval ~c0:true ~g:[ false; false; false ] ~p:[ true; false; true ])
+
+let test_trees () =
+  let nl = Generators.and_tree ~fanin:3 ~technology:Technology.Domino_cmos 9 in
+  let c = Compiled.compile nl in
+  check "all ones" true (Compiled.eval c (Array.make 9 true)).(0);
+  let one_zero = Array.make 9 true in
+  one_zero.(4) <- false;
+  check "one zero kills" false (Compiled.eval c one_zero).(0);
+  (* static variant computes the same function *)
+  let nls = Generators.and_tree ~fanin:3 ~technology:Technology.Static_cmos 9 in
+  let cs = Compiled.compile nls in
+  check "static agrees" true ((Compiled.eval cs (Array.make 9 true)).(0) = true);
+  let nlo = Generators.or_tree ~technology:Technology.Dynamic_nmos 5 in
+  let co = Compiled.compile nlo in
+  check "or tree zero" false (Compiled.eval co (Array.make 5 false)).(0);
+  let one = Array.make 5 false in
+  one.(2) <- true;
+  check "or tree one" true (Compiled.eval co one).(0)
+
+let test_random_monotone_deterministic () =
+  let a = Generators.random_monotone ~seed:42 ~n_inputs:6 ~n_gates:10 ~technology:Technology.Domino_cmos () in
+  let b = Generators.random_monotone ~seed:42 ~n_inputs:6 ~n_gates:10 ~technology:Technology.Domino_cmos () in
+  let c = Generators.random_monotone ~seed:43 ~n_inputs:6 ~n_gates:10 ~technology:Technology.Domino_cmos () in
+  check "same seed same structure" true
+    (List.map (fun g -> g.Netlist.output_net) (Netlist.gates a)
+    = List.map (fun g -> g.Netlist.output_net) (Netlist.gates b));
+  check_i "gate count" 10 (Netlist.n_gates a);
+  check "monotone legal domino" true (Netlist.check_domino a);
+  check "different seed differs" true
+    (Fmt.str "%a" Netlist.pp a <> Fmt.str "%a" Netlist.pp c)
+
+let test_fig5_network () =
+  let nl = Generators.fig5_network () in
+  let c = Compiled.compile nl in
+  (* z1 = (i1 + i2) * i3 *)
+  check "110" true (Compiled.eval c [| true; false; true |]).(0);
+  check "001" false (Compiled.eval c [| false; false; true |]).(0);
+  check "domino legal" true (Netlist.check_domino nl)
+
+let test_single_cell_wrap () =
+  let nl = Generators.single_cell Stdcells.fig9 in
+  check_i "one gate" 1 (Netlist.n_gates nl);
+  Alcotest.(check (list string)) "inputs preserved" [ "a"; "b"; "c"; "d"; "e" ]
+    (Netlist.inputs nl)
+
+let test_dual_rail_vector () =
+  let bn = Generators.parity_boolnet 2 in
+  let v = Boolnet.dual_rail_vector bn [| true; false |] in
+  check "expanded" true (v = [| true; false; false; true |]);
+  check "arity guard" true
+    (match Boolnet.dual_rail_vector bn [| true |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "realizations",
+        [
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "ripple adder" `Quick test_adder;
+          Alcotest.test_case "decoder" `Quick test_decoder;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "c17" `Quick test_c17;
+          Alcotest.test_case "mux tree" `Quick test_mux;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "adder adds" `Quick test_adder_adds;
+          Alcotest.test_case "decoder one-hot" `Quick test_decoder_one_hot;
+          Alcotest.test_case "carry chain" `Quick test_carry_chain_function;
+          Alcotest.test_case "trees" `Quick test_trees;
+          Alcotest.test_case "fig5 network" `Quick test_fig5_network;
+          Alcotest.test_case "single cell wrap" `Quick test_single_cell_wrap;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "random deterministic" `Quick test_random_monotone_deterministic;
+          Alcotest.test_case "dual-rail vectors" `Quick test_dual_rail_vector;
+        ] );
+    ]

@@ -1,0 +1,473 @@
+open Dynmos_expr
+open Dynmos_cell
+open Dynmos_core
+
+(* Tests for the paper's contribution: the physical fault model, the
+   Section-3 case analysis (Fault_map), and the Section-5 fault library
+   generation with its Fig. 9 table. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+let e = Parse.expr
+let equal_fn = Truth_table.equal_exprs
+
+let combinational_equal logical expr =
+  match logical with
+  | Fault_map.Combinational f -> equal_fn f expr
+  | Fault_map.Delay _ | Fault_map.Sequential _ | Fault_map.Contention _ -> false
+
+(* --- Fault enumeration --------------------------------------------------- *)
+
+let test_enumerate_domino () =
+  let fs = Fault.enumerate Stdcells.fig9 in
+  (* 5 switches x 2 + 5 gate-line opens + T1/T2 x 2 + inverter x 4 +
+     2 connection opens = 25. *)
+  check_i "25 faults" 25 (List.length fs);
+  check "starts closed/open T1" true
+    (match fs with Fault.Network_closed 1 :: Fault.Network_open 1 :: _ -> true | _ -> false)
+
+let test_enumerate_dynamic_nmos () =
+  let c = Stdcells.nand 3 Technology.Dynamic_nmos in
+  let fs = Fault.enumerate c in
+  (* 3 switches x 2 + 3 gate lines + precharge x 2 + 2 connections = 13 *)
+  check_i "13 faults" 13 (List.length fs)
+
+let test_enumerate_static () =
+  let c = Stdcells.nor 2 Technology.Static_cmos in
+  let fs = Fault.enumerate c in
+  (* stuck-at: (2 inputs + output) x 2 = 6; n-net 2x2, p-net 2x2 *)
+  check_i "14 faults" 14 (List.length fs)
+
+let test_enumerate_bipolar () =
+  (* Bipolar cells are described functionally (transmission-preserving). *)
+  let c = Stdcells.and_gate 2 Technology.Bipolar in
+  check_i "stuck-at only" 6 (List.length (Fault.enumerate c))
+
+let test_labels () =
+  let c9 = Stdcells.fig9 in
+  check_s "CMOS-1" "CMOS-1" (Fault.label c9 Fault.Evaluate_closed);
+  check_s "CMOS-2" "CMOS-2" (Fault.label c9 Fault.Evaluate_open);
+  check_s "CMOS-3" "CMOS-3" (Fault.label c9 Fault.Precharge_closed);
+  check_s "CMOS-4" "CMOS-4" (Fault.label c9 Fault.Precharge_open);
+  check_s "switch name" "a closed" (Fault.label c9 (Fault.Network_closed 1));
+  let dn = Stdcells.nand 3 Technology.Dynamic_nmos in
+  (* n = 3: T_i open = nMOS-i, T_i closed = nMOS-(3+i), precharge
+     open/closed = nMOS-7/nMOS-8.  Labels use the paper numbering. *)
+  check_s "nMOS-1" "nMOS-1" (Fault.label dn (Fault.Network_open 1));
+  check_s "nMOS-5" "nMOS-5" (Fault.label dn (Fault.Network_closed 2));
+  check_s "nMOS-7" "nMOS-7" (Fault.label dn Fault.Precharge_open);
+  check_s "nMOS-8" "nMOS-8" (Fault.label dn Fault.Precharge_closed);
+  check_s "stuck-at label" "s0-a" (Fault.describe dn (Fault.Stuck_at ("a", false)));
+  (* multiply-used inputs get disambiguated *)
+  let c =
+    Cell.make ~technology:Technology.Domino_cmos ~inputs:[ "a"; "b"; "c" ] ~output:"z"
+      [ ("z", e "a*b+a*c") ]
+  in
+  check_s "disambiguated" "a(T1) closed" (Fault.describe c (Fault.Network_closed 1))
+
+(* --- Section 3: the domino CMOS case analysis ------------------------------ *)
+
+let test_domino_clocking_faults () =
+  let c = Stdcells.fig9 in
+  (* CMOS-2: s0-z *)
+  check "CMOS-2 -> s0-z" true (combinational_equal (Fault_map.map c Fault.Evaluate_open) (e "0"));
+  (* CMOS-4: s1-z *)
+  check "CMOS-4 -> s1-z" true (combinational_equal (Fault_map.map c Fault.Precharge_open) (e "1"));
+  (* CMOS-1: timing only, possibly undetectable *)
+  check "CMOS-1 -> delay, unobservable" true
+    (match Fault_map.map c Fault.Evaluate_closed with
+    | Fault_map.Delay { observed_as = None; _ } -> true
+    | _ -> false);
+  (* CMOS-3 case a (strong precharge): hard s0-z *)
+  check "CMOS-3a -> s0-z" true
+    (combinational_equal
+       (Fault_map.map ~electrical:Fault_map.default_electrical c Fault.Precharge_closed)
+       (e "0"));
+  (* CMOS-3 case b (weak precharge): delay fault seen as s0-z at speed *)
+  check "CMOS-3b -> delay seen as s0-z" true
+    (match Fault_map.map ~electrical:Fault_map.weak_electrical c Fault.Precharge_closed with
+    | Fault_map.Delay { observed_as = Some f; _ } -> equal_fn f (e "0")
+    | _ -> false)
+
+let test_domino_inverter_faults () =
+  let c = Stdcells.fig9 in
+  check "inv p open -> s0-z" true
+    (combinational_equal (Fault_map.map c Fault.Inverter_p_open) (e "0"));
+  check "inv n open -> s1-z (A2)" true
+    (combinational_equal (Fault_map.map c Fault.Inverter_n_open) (e "1"));
+  (* closed inverter devices: ratioed -> delay under symmetric strengths *)
+  check "inv p closed -> delay to 1" true
+    (match Fault_map.map c Fault.Inverter_p_closed with
+    | Fault_map.Delay { observed_as = Some f; _ } -> equal_fn f (e "1")
+    | Fault_map.Combinational f -> equal_fn f (e "1")
+    | _ -> false)
+
+let test_domino_connection_faults () =
+  let c = Stdcells.fig9 in
+  check "pulldown conn open -> s0-z" true
+    (combinational_equal (Fault_map.map c (Fault.Connection_open Fault.Pulldown_path)) (e "0"));
+  check "precharge conn open -> s1-z" true
+    (combinational_equal (Fault_map.map c (Fault.Connection_open Fault.Precharge_path)) (e "1"))
+
+let test_domino_network_faults () =
+  let c = Stdcells.fig9 in
+  check "a closed" true
+    (combinational_equal (Fault_map.map c (Fault.Network_closed 1)) (e "b+c+d*e"));
+  check "a open" true (combinational_equal (Fault_map.map c (Fault.Network_open 1)) (e "d*e"));
+  check "gate line a open" true
+    (combinational_equal (Fault_map.map c (Fault.Input_gate_open "a")) (e "d*e"))
+
+(* --- Section 3: the dynamic nMOS case analysis ------------------------------ *)
+
+let test_dynamic_nmos_faults () =
+  let c = Stdcells.nand 3 Technology.Dynamic_nmos in
+  (* T_i open: input reads s-a-0 in T; z = !(T) *)
+  check "nMOS-1: T1 open" true
+    (combinational_equal (Fault_map.map c (Fault.Network_open 1)) (e "1"));
+  (* T = a*b*c with a=0 is 0, so z = !0 = 1 constantly *)
+  check "nMOS-(n+1): T1 closed = s1-a" true
+    (combinational_equal (Fault_map.map c (Fault.Network_closed 1)) (e "!(b*c)"));
+  (* The paper's "very interesting fact": both precharge faults are s0-z. *)
+  check "precharge open -> s0-z" true
+    (combinational_equal (Fault_map.map c Fault.Precharge_open) (e "0"));
+  check "precharge closed -> s0-z" true
+    (combinational_equal (Fault_map.map c Fault.Precharge_closed) (e "0"));
+  check "S(n+2)/S(n+3) open -> s1-z" true
+    (combinational_equal (Fault_map.map c (Fault.Connection_open Fault.Pulldown_path)) (e "1"))
+
+let test_dynamic_nmos_multi_occurrence () =
+  (* In dynamic nMOS a stuck-closed transistor charges its *input*, so all
+     switches driven by that input conduct — unlike domino where only the
+     faulty channel is shorted. *)
+  let dyn =
+    Cell.make ~technology:Technology.Dynamic_nmos ~inputs:[ "a"; "b"; "c" ] ~output:"z"
+      [ ("z", e "a*b+a*c") ]
+  in
+  check "dynamic: input stuck 1" true
+    (combinational_equal (Fault_map.map dyn (Fault.Network_closed 1)) (e "!(b+c)"));
+  let dom =
+    Cell.make ~technology:Technology.Domino_cmos ~inputs:[ "a"; "b"; "c" ] ~output:"z"
+      [ ("z", e "a*b+a*c") ]
+  in
+  check "domino: single channel shorted" true
+    (combinational_equal (Fault_map.map dom (Fault.Network_closed 1)) (e "b+a*c"))
+
+(* --- Section 1: the static CMOS problem cases ------------------------------- *)
+
+let test_static_stuck_open_sequential () =
+  let nor = Stdcells.fig1_nor in
+  (* Fig. 1: pull-down transistor of input A open -> memory exactly at
+     A=1, B=0. *)
+  (match Fault_map.map nor (Fault.Network_open 1) with
+  | Fault_map.Sequential { retain_when } ->
+      check "fig1 retain condition" true (equal_fn retain_when (e "a*!b"))
+  | _ -> Alcotest.fail "expected sequential behaviour");
+  (* Pull-up switch open: NOR pull-up is serial !a*!b; opening either
+     leaves 00 floating. *)
+  match Fault_map.map nor (Fault.Pullup_open 1) with
+  | Fault_map.Sequential { retain_when } ->
+      check "pull-up retain at 00" true (equal_fn retain_when (e "!a*!b"))
+  | _ -> Alcotest.fail "expected sequential behaviour"
+
+let test_static_stuck_closed_contention () =
+  (* Fig. 2: inverter with the pull-up permanently closed fights the
+     pull-down at a=1 and degrades into a slow pull-down inverter. *)
+  let inv = Stdcells.fig2_inverter in
+  match Fault_map.map inv (Fault.Pullup_closed 1) with
+  | Fault_map.Contention { fight_when; resolves_to; factor } ->
+      check "fight at a=1" true (equal_fn fight_when (e "a"));
+      check "resolves to !a" true (equal_fn resolves_to (e "!a"));
+      check "slower" true (factor > 1.0)
+  | _ -> Alcotest.fail "expected contention"
+
+let test_static_stuck_at () =
+  let nand2 = Stdcells.nand 2 Technology.Static_cmos in
+  check "input s-a-0" true
+    (combinational_equal (Fault_map.map nand2 (Fault.Stuck_at ("a", false))) (e "1"));
+  check "input s-a-1" true
+    (combinational_equal (Fault_map.map nand2 (Fault.Stuck_at ("a", true))) (e "!b"));
+  check "output s-a-1" true
+    (combinational_equal (Fault_map.map nand2 (Fault.Stuck_at ("z", true))) (e "1"))
+
+let test_nmos_pulldown_faults () =
+  (* Ratioed static nMOS: the depletion load always loses, so switch
+     faults stay combinational (the paper's reference [2]). *)
+  let c = Stdcells.nor 2 Technology.Nmos_pulldown in
+  check "pull-down open" true
+    (combinational_equal (Fault_map.map c (Fault.Network_open 1)) (e "!b"));
+  check "pull-down closed" true
+    (combinational_equal (Fault_map.map c (Fault.Network_closed 1)) (e "0"))
+
+let test_inapplicable () =
+  let fails f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "evaluate fault on static" true
+    (fails (fun () -> Fault_map.map (Stdcells.nor 2 Technology.Static_cmos) Fault.Evaluate_open));
+  check "pullup fault on domino" true
+    (fails (fun () -> Fault_map.map Stdcells.fig9 (Fault.Pullup_open 1)))
+
+(* --- Claim 2: never sequential ----------------------------------------------- *)
+
+let test_never_sequential () =
+  check "fig9" true (Fault_map.never_sequential Stdcells.fig9);
+  check "dynamic nand" true
+    (Fault_map.never_sequential (Stdcells.nand 4 Technology.Dynamic_nmos));
+  check "dynamic nor" true (Fault_map.never_sequential (Stdcells.nor 3 Technology.Dynamic_nmos));
+  check "domino ao" true
+    (Fault_map.never_sequential (Stdcells.ao ~groups:[ 2; 2 ] Technology.Domino_cmos));
+  (* the check is false for static technologies by definition *)
+  check "static is not" false (Fault_map.never_sequential Stdcells.fig1_nor)
+
+(* --- Section 5: fault library generation -------------------------------------- *)
+
+let fig9_lib () = Faultlib.generate Stdcells.fig9
+
+let test_fig9_table_classes () =
+  let lib = fig9_lib () in
+  check_s "fault free" "a*b+a*c+d*e" lib.Faultlib.fault_free_text;
+  let texts =
+    List.filter_map
+      (fun en ->
+        match en.Faultlib.effect with Faultlib.Function { text; _ } -> Some text | _ -> None)
+      lib.Faultlib.function_classes
+  in
+  (* The paper's table, classes 1-10 in order. *)
+  Alcotest.(check (list string))
+    "the ten classes"
+    [
+      "b+c+d*e" (* 1: a closed *);
+      "d*e" (* 2: a open *);
+      "a+d*e" (* 3: b closed, c closed *);
+      "a*c+d*e" (* 4: b open *);
+      "a*b+d*e" (* 5: c open *);
+      "a*b+a*c+e" (* 6: d closed *);
+      "a*b+a*c" (* 7: d open, e open *);
+      "a*b+a*c+d" (* 8: e closed *);
+      "0" (* 9: CMOS-2, CMOS-3 *);
+      "1" (* 10: CMOS-4 *);
+    ]
+    texts
+
+let test_fig9_equivalences () =
+  let lib = fig9_lib () in
+  let members_of i =
+    let entry = List.nth lib.Faultlib.function_classes (i - 1) in
+    List.map snd entry.Faultlib.members
+  in
+  check "class 3 groups b and c closed" true
+    (List.mem "b closed" (members_of 3) && List.mem "c closed" (members_of 3));
+  check "class 7 groups d and e open" true
+    (List.mem "d open" (members_of 7) && List.mem "e open" (members_of 7));
+  check "class 9 groups CMOS-2 and CMOS-3" true
+    (List.mem "CMOS-2" (members_of 9) && List.mem "CMOS-3" (members_of 9));
+  check "class 10 is CMOS-4" true (List.mem "CMOS-4" (members_of 10));
+  (* gate-line opens fold into the transistor-open classes *)
+  check "gate line a joins class 2" true (List.mem "gate line a open" (members_of 2))
+
+let test_fig9_specials () =
+  let lib = fig9_lib () in
+  check "CMOS-1 is a special class" true
+    (List.exists
+       (fun en ->
+         List.exists (fun (_, l) -> l = "CMOS-1") en.Faultlib.members
+         &&
+         match en.Faultlib.effect with
+         | Faultlib.Delay_fault { observed_as = None; _ } -> true
+         | _ -> false)
+       lib.Faultlib.special_classes);
+  (* CMOS-1 flagged as possibly undetectable *)
+  check "CMOS-1 not detectable" true
+    (match Faultlib.lookup lib Fault.Evaluate_closed with
+    | Some en -> not en.Faultlib.detectable
+    | None -> false)
+
+let test_lookup_and_tables () =
+  let lib = fig9_lib () in
+  (match Faultlib.lookup lib (Fault.Network_closed 2) with
+  | Some en -> check_i "b closed in class 3" 3 en.Faultlib.class_id
+  | None -> Alcotest.fail "lookup failed");
+  check_i "ten detectable function tables" 10 (List.length (Faultlib.tables lib));
+  check_i "classes total" (List.length (Faultlib.entries lib)) (Faultlib.n_classes lib);
+  (* every table differs from the fault-free one *)
+  check "tables differ from good" true
+    (List.for_all
+       (fun (_, tt) -> not (Truth_table.equal tt lib.Faultlib.fault_free_table))
+       (Faultlib.tables lib))
+
+let test_undetectable_redundancy () =
+  (* A redundant structure: z = a + a*b; the switch for b stuck open
+     leaves the function unchanged -> undetectable class. *)
+  let c =
+    Cell.make ~technology:Technology.Domino_cmos ~inputs:[ "a"; "b" ] ~output:"z"
+      [ ("z", e "a+a*b") ]
+  in
+  let lib = Faultlib.generate c in
+  (match Faultlib.lookup lib (Fault.Network_open 3) with
+  | Some en ->
+      check "b open undetectable" false en.Faultlib.detectable;
+      check "it equals fault-free" true
+        (match en.Faultlib.effect with
+        | Faultlib.Function { text; _ } -> String.equal text lib.Faultlib.fault_free_text
+        | _ -> false)
+  | None -> Alcotest.fail "lookup failed");
+  check "detectable excludes it" true
+    (List.for_all (fun en -> en.Faultlib.detectable) (Faultlib.detectable_function_classes lib))
+
+let test_weak_electrical_library () =
+  (* Under weak precharge the CMOS-3 fault leaves class 9 and becomes a
+     delay class. *)
+  let lib = Faultlib.generate ~electrical:Fault_map.weak_electrical Stdcells.fig9 in
+  match Faultlib.lookup lib Fault.Precharge_closed with
+  | Some en ->
+      check "CMOS-3 weak is delay" true
+        (match en.Faultlib.effect with
+        | Faultlib.Delay_fault { observed_as = Some "0"; _ } -> true
+        | _ -> false)
+  | None -> Alcotest.fail "lookup failed"
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_emission () =
+  let lib = fig9_lib () in
+  let pas = Faultlib.to_pascal lib in
+  check "pascal good function" true (contains pas "function fig9_good(a, b, c, d, e : boolean)");
+  check "pascal fault 1" true (contains pas "function fig9_fault_1");
+  check "pascal and/or" true (contains pas "(a and b) or (a and c) or (d and e)");
+  let ml = Faultlib.to_ocaml lib in
+  check "ocaml good function" true (contains ml "let fig9_good a b c d e");
+  check "ocaml class comment" true (contains ml "(* class 2:");
+  check "emitted body" true (contains ml "(a && b) || (a && c) || (d && e)")
+
+let test_pp_table () =
+  let s = Fmt.str "%a" (fun ppf l -> Faultlib.pp_table ppf l) (fig9_lib ()) in
+  check "header" true (contains s "u = a*b+a*c+d*e");
+  check "class 9 line" true (contains s "u = 0");
+  check "CMOS-1 line" true (contains s "possibly undetectable")
+
+(* QCheck: on random domino cells, every fault maps to a combinational or
+   delay effect and the library partitions all faults. *)
+let gen_sp_expr =
+  let open QCheck2.Gen in
+  let var = map (fun i -> Expr.var (Fmt.str "v%d" i)) (int_bound 3) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then var
+         else
+           frequency
+             [
+               (2, var);
+               (3, map2 (fun a b -> Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+               (3, map2 (fun a b -> Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+             ])
+
+let cell_of_expr technology expr =
+  let inputs = Expr.support expr in
+  match inputs with
+  | [] -> None
+  | _ -> (
+      match Cell.make ~technology ~inputs ~output:"zz" [ ("zz", expr) ] with
+      | c -> Some c
+      | exception Cell.Invalid _ -> None)
+
+let qcheck_dynamic_never_sequential =
+  QCheck2.Test.make ~name:"dynamic cells never sequential (random SNs)" ~count:100 gen_sp_expr
+    (fun expr ->
+      match cell_of_expr Technology.Domino_cmos expr with
+      | None -> true
+      | Some c -> (
+          Fault_map.never_sequential c
+          &&
+          match cell_of_expr Technology.Dynamic_nmos expr with
+          | None -> true
+          | Some d -> Fault_map.never_sequential d))
+
+let qcheck_library_partitions =
+  QCheck2.Test.make ~name:"library covers every enumerated fault" ~count:60 gen_sp_expr
+    (fun expr ->
+      match cell_of_expr Technology.Domino_cmos expr with
+      | None -> true
+      | Some c ->
+          let lib = Faultlib.generate c in
+          let faults = Fault.enumerate c in
+          List.length faults = lib.Faultlib.n_faults
+          && List.for_all (fun f -> Faultlib.lookup lib f <> None) faults)
+
+let qcheck_open_is_stuck0_in_transmission =
+  (* Paper nMOS-i: an open SN transistor appears as s-a-0 of its input in
+     the transmission function (for single-occurrence inputs). *)
+  QCheck2.Test.make ~name:"open switch = input s-a-0 (single occurrence)" ~count:100 gen_sp_expr
+    (fun expr ->
+      match cell_of_expr Technology.Domino_cmos expr with
+      | None -> true
+      | Some c ->
+          let net = Cell.network c in
+          List.for_all
+            (fun s ->
+              let occurrences =
+                Dynmos_switchnet.Spnet.switches_of_input net s.Dynmos_switchnet.Spnet.input
+              in
+              List.length occurrences > 1
+              ||
+              match Fault_map.map c (Fault.Network_open s.Dynmos_switchnet.Spnet.id) with
+              | Fault_map.Combinational f ->
+                  equal_fn f (Expr.cofactor s.Dynmos_switchnet.Spnet.input false (Cell.logic c))
+              | _ -> false)
+            (Dynmos_switchnet.Spnet.switches net))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "domino fig9" `Quick test_enumerate_domino;
+          Alcotest.test_case "dynamic nMOS" `Quick test_enumerate_dynamic_nmos;
+          Alcotest.test_case "static CMOS" `Quick test_enumerate_static;
+          Alcotest.test_case "bipolar" `Quick test_enumerate_bipolar;
+          Alcotest.test_case "labels" `Quick test_labels;
+        ] );
+      ( "fault_map_domino",
+        [
+          Alcotest.test_case "clocking (CMOS-1..4)" `Quick test_domino_clocking_faults;
+          Alcotest.test_case "output inverter" `Quick test_domino_inverter_faults;
+          Alcotest.test_case "connection opens" `Quick test_domino_connection_faults;
+          Alcotest.test_case "network faults" `Quick test_domino_network_faults;
+        ] );
+      ( "fault_map_dynamic_nmos",
+        [
+          Alcotest.test_case "case analysis" `Quick test_dynamic_nmos_faults;
+          Alcotest.test_case "input-charging vs channel-short" `Quick
+            test_dynamic_nmos_multi_occurrence;
+        ] );
+      ( "fault_map_static",
+        [
+          Alcotest.test_case "stuck-open is sequential (fig1)" `Quick
+            test_static_stuck_open_sequential;
+          Alcotest.test_case "stuck-closed contention (fig2)" `Quick
+            test_static_stuck_closed_contention;
+          Alcotest.test_case "stuck-at model" `Quick test_static_stuck_at;
+          Alcotest.test_case "nMOS pull-down" `Quick test_nmos_pulldown_faults;
+          Alcotest.test_case "inapplicable combinations" `Quick test_inapplicable;
+        ] );
+      ("claim", [ Alcotest.test_case "never sequential" `Quick test_never_sequential ]);
+      ( "faultlib",
+        [
+          Alcotest.test_case "fig9 table classes" `Quick test_fig9_table_classes;
+          Alcotest.test_case "fig9 equivalences" `Quick test_fig9_equivalences;
+          Alcotest.test_case "fig9 special classes" `Quick test_fig9_specials;
+          Alcotest.test_case "lookup and tables" `Quick test_lookup_and_tables;
+          Alcotest.test_case "undetectable redundancy" `Quick test_undetectable_redundancy;
+          Alcotest.test_case "weak electrical variant" `Quick test_weak_electrical_library;
+          Alcotest.test_case "pascal/ocaml emission" `Quick test_emission;
+          Alcotest.test_case "table printing" `Quick test_pp_table;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_dynamic_never_sequential;
+          QCheck_alcotest.to_alcotest qcheck_library_partitions;
+          QCheck_alcotest.to_alcotest qcheck_open_is_stuck0_in_transmission;
+        ] );
+    ]

@@ -1,0 +1,349 @@
+open Dynmos_expr
+
+(* Tests for the Boolean expression layer: smart constructors, evaluation,
+   truth tables, cubes, two-level minimization and the parser. *)
+
+let check = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+let check_i = Alcotest.(check int)
+
+let e = Parse.expr
+
+let env_of_string vars s v =
+  let rec idx i = function
+    | [] -> invalid_arg ("no var " ^ v)
+    | x :: rest -> if String.equal x v then i else idx (i + 1) rest
+  in
+  s.[idx 0 vars] = '1'
+
+(* --- Smart constructors -------------------------------------------------- *)
+
+let test_constructors () =
+  check_s "and flattens" "a*b*c" (Expr.to_string (Expr.and_ [ e "a*b"; e "c" ]));
+  check_s "or flattens" "a+b+c" (Expr.to_string (Expr.or_ [ e "a+b"; e "c" ]));
+  check_s "and absorbs false" "0" (Expr.to_string (Expr.and_ [ e "a"; Expr.false_ ]));
+  check_s "or absorbs true" "1" (Expr.to_string (Expr.or_ [ e "a"; Expr.true_ ]));
+  check_s "and drops true" "a" (Expr.to_string (Expr.and_ [ Expr.true_; e "a" ]));
+  check_s "or drops false" "a" (Expr.to_string (Expr.or_ [ Expr.false_; e "a" ]));
+  check_s "empty and" "1" (Expr.to_string (Expr.and_ []));
+  check_s "empty or" "0" (Expr.to_string (Expr.or_ []));
+  check_s "double negation" "a" (Expr.to_string (Expr.not_ (Expr.not_ (e "a"))));
+  check_s "not of const" "0" (Expr.to_string (Expr.not_ Expr.true_));
+  check_s "xor with false" "a" (Expr.to_string (Expr.xor (e "a") Expr.false_));
+  check_s "xor with true" "!a" (Expr.to_string (Expr.xor (e "a") Expr.true_))
+
+let test_pp_parens () =
+  check_s "or under and" "a*(b+c)" (Expr.to_string (e "a*(b+c)"));
+  check_s "no spurious parens" "a*b+c" (Expr.to_string (e "(a*b)+c"));
+  check_s "not of compound" "!(a+b)" (Expr.to_string (Expr.not_ (e "a+b")));
+  check_s "nested" "(a+b)*(c+d)" (Expr.to_string (e "(a+b)*(c+d)"))
+
+(* --- Evaluation ----------------------------------------------------------- *)
+
+let test_eval () =
+  let f = e "a*(b+c)+d*e" in
+  let vars = [ "a"; "b"; "c"; "d"; "e" ] in
+  check "10100" true (Expr.eval (env_of_string vars "10100") f);
+  check "11000" true (Expr.eval (env_of_string vars "11000") f);
+  check "10000" false (Expr.eval (env_of_string vars "10000") f);
+  check "00011" true (Expr.eval (env_of_string vars "00011") f);
+  check "00010" false (Expr.eval (env_of_string vars "00010") f);
+  check "xor eval" true (Expr.eval (env_of_string [ "a"; "b" ] "10") (Expr.xor (e "a") (e "b")))
+
+let test_support () =
+  Alcotest.(check (list string))
+    "sorted support" [ "a"; "b"; "c"; "d"; "e" ]
+    (Expr.support (e "d*e+a*(b+c)"));
+  Alcotest.(check (list string)) "dedup" [ "a" ] (Expr.support (e "a*a+a"))
+
+let test_subst_cofactor () =
+  let f = e "a*(b+c)" in
+  check_s "cofactor a=1" "b+c" (Expr.to_string (Expr.cofactor "a" true f));
+  check_s "cofactor a=0" "0" (Expr.to_string (Expr.cofactor "a" false f));
+  check_s "subst" "x*y*(b+c)"
+    (Expr.to_string (Expr.subst (fun v -> if v = "a" then Some (e "x*y") else None) f))
+
+(* --- Parser --------------------------------------------------------------- *)
+
+let test_parse_errors () =
+  let fails s = match Parse.expr s with _ -> false | exception Parse.Error _ -> true in
+  check "empty" true (fails "");
+  check "unbalanced" true (fails "(a+b");
+  check "trailing" true (fails "a b");
+  check "bad char" true (fails "a & b");
+  check "missing operand" true (fails "a+*b");
+  check "opt form" true (Parse.expr_opt "a+" = None);
+  check "opt ok" true (Parse.expr_opt "a+b" <> None)
+
+let test_parse_ok () =
+  check_s "slash negation" "!a" (Expr.to_string (e "/a"));
+  check_s "constants" "1" (Expr.to_string (e "1"));
+  check_s "precedence" "a+b*c" (Expr.to_string (e "a+b*c"));
+  check "precedence semantics" true
+    (Expr.eval (env_of_string [ "a"; "b"; "c" ] "100") (e "a+b*c"))
+
+(* --- Truth tables ---------------------------------------------------------- *)
+
+let test_truth_table_basic () =
+  let tt = Truth_table.of_expr (e "a*b") in
+  check_i "rows" 4 (Truth_table.n_rows tt);
+  check "row 3" true (Truth_table.get tt 3);
+  check "row 1" false (Truth_table.get tt 1);
+  check_i "count" 1 (Truth_table.count_true tt);
+  Alcotest.(check (list int)) "minterms" [ 3 ] (Truth_table.minterms tt)
+
+let test_truth_table_semantic_equal () =
+  check "demorgan" true (Truth_table.equal_exprs (e "!(a*b)") (e "!a+!b"));
+  check "absorption" true (Truth_table.equal_exprs (e "a+a*b") (e "a"));
+  check "distrib" true (Truth_table.equal_exprs (e "a*(b+c)") (e "a*b+a*c"));
+  check "different" false (Truth_table.equal_exprs (e "a*b") (e "a+b"));
+  check "xor expand" true
+    (Truth_table.equal_exprs (Expr.xor (e "a") (e "b")) (e "a*!b+!a*b"))
+
+let test_truth_table_errors () =
+  check "too many vars" true
+    (match
+       Truth_table.create (Array.init 23 (fun i -> Fmt.str "v%d" i)) (fun _ -> false)
+     with
+    | _ -> false
+    | exception Truth_table.Too_many_vars _ -> true);
+  check "dup vars" true
+    (match Truth_table.create [| "a"; "a" |] (fun _ -> false) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_prob () =
+  let tt = Truth_table.of_expr (e "a*b") in
+  Alcotest.(check (float 1e-9)) "uniform" 0.25 (Truth_table.prob tt);
+  Alcotest.(check (float 1e-9)) "weighted" 0.08 (Truth_table.prob ~weights:[| 0.1; 0.8 |] tt);
+  let g = Truth_table.of_expr ~vars:[| "a"; "b" |] (e "a*b") in
+  let f = Truth_table.of_expr ~vars:[| "a"; "b" |] (e "a") in
+  (* differ on a=1,b=0: probability 0.5*0.5 *)
+  Alcotest.(check (float 1e-9)) "detection" 0.25
+    (Truth_table.detection_prob ~good:g ~faulty:f ())
+
+let test_table_ops () =
+  let a = Truth_table.of_expr ~vars:[| "a"; "b" |] (e "a") in
+  let b = Truth_table.of_expr ~vars:[| "a"; "b" |] (e "b") in
+  check "xor tables" true
+    (Truth_table.equal (Truth_table.xor_tables a b)
+       (Truth_table.of_expr ~vars:[| "a"; "b" |] (Expr.xor (e "a") (e "b"))));
+  check "and tables" true
+    (Truth_table.equal (Truth_table.and_tables a b)
+       (Truth_table.of_expr ~vars:[| "a"; "b" |] (e "a*b")));
+  check "or tables" true
+    (Truth_table.equal (Truth_table.or_tables a b)
+       (Truth_table.of_expr ~vars:[| "a"; "b" |] (e "a+b")));
+  check "not table" true
+    (Truth_table.equal (Truth_table.not_table a)
+       (Truth_table.of_expr ~vars:[| "a"; "b" |] (e "!a")));
+  check "is_const none" true (Truth_table.is_const a = None);
+  check "is_const true" true
+    (Truth_table.is_const (Truth_table.of_expr ~vars:[| "a" |] (e "1")) = Some true)
+
+(* --- Cubes ------------------------------------------------------------------ *)
+
+let test_cubes () =
+  let c = Cube.make ~care:0b101 ~value:0b001 in
+  (* a * !c over vars (a,b,c) *)
+  check "covers 001" true (Cube.covers c 0b001);
+  check "covers 011" true (Cube.covers c 0b011);
+  check "not covers 101" false (Cube.covers c 0b101);
+  check_i "literals" 2 (Cube.n_literals c);
+  check_s "to_string" "a*!c" (Cube.to_string ~vars:[| "a"; "b"; "c" |] c);
+  Alcotest.(check (list int)) "minterms" [ 1; 3 ] (Cube.minterms ~n_vars:3 c);
+  check "universe covers all" true (Cube.covers Cube.universe 7);
+  check_s "universe prints 1" "1" (Cube.to_string ~vars:[| "a" |] Cube.universe);
+  (* subsumption *)
+  let big = Cube.make ~care:0b001 ~value:0b001 in
+  check "bigger subsumes" true (Cube.subsumes big c);
+  check "smaller does not" false (Cube.subsumes c big);
+  (* combine *)
+  let c1 = Cube.of_minterm ~n_vars:2 0 and c2 = Cube.of_minterm ~n_vars:2 1 in
+  (match Cube.combine c1 c2 with
+  | Some m -> check_s "merged" "!b" (Cube.to_string ~vars:[| "a"; "b" |] m)
+  | None -> Alcotest.fail "expected combine");
+  check "no combine distance 2" true
+    (Cube.combine (Cube.of_minterm ~n_vars:2 0) (Cube.of_minterm ~n_vars:2 3) = None);
+  check "value normalized" true
+    (Cube.equal (Cube.make ~care:0b01 ~value:0b11) (Cube.make ~care:0b01 ~value:0b01))
+
+(* --- Minimization ------------------------------------------------------------ *)
+
+let minimize_string s vars = Minimize.minimize_to_string ~vars (e s)
+
+let test_minimize_paper_table () =
+  (* The faulty functions of the paper's Fig. 9 table, produced from the
+     structural expressions with the respective switch replaced. *)
+  let vars = [| "a"; "b"; "c"; "d"; "e" |] in
+  check_s "fault-free" "a*b+a*c+d*e" (minimize_string "a*(b+c)+d*e" vars);
+  check_s "class 1 (a closed)" "b+c+d*e" (minimize_string "1*(b+c)+d*e" vars);
+  check_s "class 2 (a open)" "d*e" (minimize_string "0*(b+c)+d*e" vars);
+  check_s "class 3 (b closed)" "a+d*e" (minimize_string "a*(1+c)+d*e" vars);
+  check_s "class 4 (b open)" "a*c+d*e" (minimize_string "a*(0+c)+d*e" vars);
+  check_s "class 5 (c open)" "a*b+d*e" (minimize_string "a*(b+0)+d*e" vars);
+  check_s "class 6 (d closed)" "a*b+a*c+e" (minimize_string "a*(b+c)+1*e" vars);
+  check_s "class 7 (d open)" "a*b+a*c" (minimize_string "a*(b+c)+0*e" vars);
+  check_s "class 8 (e closed)" "a*b+a*c+d" (minimize_string "a*(b+c)+d*1" vars);
+  check_s "constant 0" "0" (minimize_string "a*!a" [| "a" |]);
+  check_s "constant 1" "1" (minimize_string "a+!a" [| "a" |])
+
+let test_minimize_classic () =
+  check_s "xor stays 2 terms" "a*!b+!a*b"
+    (Minimize.minimize_to_string ~vars:[| "a"; "b" |] (Expr.xor (e "a") (e "b")));
+  check_s "consensus drops" "a*b+!a*c"
+    (minimize_string "a*b+!a*c+b*c" [| "a"; "b"; "c" |]);
+  check_s "absorption" "a" (minimize_string "a+a*b" [| "a"; "b" |])
+
+let test_minimize_verify () =
+  let sop, vars = Minimize.of_expr (e "a*(b+c)+d*e") in
+  let tt = Truth_table.of_expr ~vars:(Array.copy vars) (e "a*(b+c)+d*e") in
+  check "verify" true (Minimize.verify ~n_vars:5 sop (Truth_table.minterms tt))
+
+let test_primes () =
+  (* f = a*b + a*!b = a: single prime. *)
+  let primes = Minimize.primes_of_minterms ~n_vars:2 [ 1; 3 ] in
+  check_i "one prime" 1 (List.length primes);
+  check_s "prime is a" "a" (Cube.to_string ~vars:[| "a"; "b" |] (List.hd primes));
+  (* XOR: both minterms are themselves primes *)
+  let primes = Minimize.primes_of_minterms ~n_vars:2 [ 1; 2 ] in
+  check_i "two primes" 2 (List.length primes)
+
+(* QCheck: minimization preserves the function, for random expressions. *)
+let gen_expr n_vars =
+  let open QCheck2.Gen in
+  let var = map (fun i -> Expr.var (Fmt.str "v%d" i)) (int_bound (n_vars - 1)) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then var
+         else
+           frequency
+             [
+               (2, var);
+               (2, map2 (fun a b -> Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+               (2, map2 (fun a b -> Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+               (1, map Expr.not_ (self (n - 1)));
+               (1, map2 Expr.xor (self (n / 2)) (self (n / 2)));
+             ])
+
+let qcheck_minimize_preserves =
+  QCheck2.Test.make ~name:"minimize preserves function" ~count:200 (gen_expr 5) (fun expr ->
+      let vars = Array.init 5 (fun i -> Fmt.str "v%d" i) in
+      let sop = Minimize.of_table (Truth_table.of_expr ~vars expr) in
+      Truth_table.equal_exprs ~vars (Minimize.to_expr ~vars sop) expr)
+
+let qcheck_minimize_minimal =
+  (* On up to 3 variables, compare cube count against brute-force minimum
+     over all SOPs assembled from primes. *)
+  QCheck2.Test.make ~name:"exact cover is minimal (3 vars)" ~count:100 (gen_expr 3)
+    (fun expr ->
+      let vars = Array.init 3 (fun i -> Fmt.str "v%d" i) in
+      let tt = Truth_table.of_expr ~vars expr in
+      let minterms = Truth_table.minterms tt in
+      if minterms = [] then true
+      else begin
+        let sop = Minimize.of_minterms ~n_vars:3 minterms in
+        let primes = Minimize.primes_of_minterms ~n_vars:3 minterms in
+        let np = List.length primes in
+        let covers_all cubes =
+          List.for_all (fun m -> List.exists (fun c -> Cube.covers c m) cubes) minterms
+        in
+        (* brute force smallest cover size *)
+        let best = ref max_int in
+        for mask = 1 to (1 lsl np) - 1 do
+          let cubes = List.filteri (fun i _ -> (mask lsr i) land 1 = 1) primes in
+          if covers_all cubes then best := min !best (List.length cubes)
+        done;
+        List.length sop = !best
+      end)
+
+let qcheck_expand_cover =
+  (* Above the QM variable limit, minimization switches to the greedy
+     prime-expansion cover; it must still represent the function exactly,
+     with prime (maximally expanded) cubes. *)
+  QCheck2.Test.make ~name:"expand cover preserves function (11 vars)" ~count:40 (gen_expr 11)
+    (fun expr ->
+      let vars = Array.init 11 (fun i -> Fmt.str "v%d" i) in
+      let tt = Truth_table.of_expr ~vars expr in
+      let minterms = Truth_table.minterms tt in
+      let sop = Minimize.of_minterms ~n_vars:11 minterms in
+      Minimize.verify ~n_vars:11 sop minterms
+      && List.for_all
+           (fun c ->
+             (* primality: no literal can be dropped *)
+             List.for_all
+               (fun (i, _) ->
+                 let grown =
+                   Cube.make ~care:(Cube.care c land lnot (1 lsl i)) ~value:(Cube.value c)
+                 in
+                 let module IS = Set.Make (Int) in
+                 let on = IS.of_list minterms in
+                 not (List.for_all (fun m -> IS.mem m on) (Cube.minterms ~n_vars:11 grown)))
+               (Cube.literals c))
+           sop)
+
+let qcheck_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip" ~count:200 (gen_expr 4) (fun expr ->
+      let s = Expr.to_string expr in
+      Truth_table.equal_exprs
+        ~vars:(Array.init 4 (fun i -> Fmt.str "v%d" i))
+        (Parse.expr s) expr)
+
+let qcheck_eval_cofactor =
+  QCheck2.Test.make ~name:"shannon expansion" ~count:200 (gen_expr 4) (fun expr ->
+      (* f = v0*f[v0=1] + !v0*f[v0=0] *)
+      let vars = Array.init 4 (fun i -> Fmt.str "v%d" i) in
+      let v = "v0" in
+      let expanded =
+        Expr.or_
+          [
+            Expr.and_ [ Expr.var v; Expr.cofactor v true expr ];
+            Expr.and_ [ Expr.not_ (Expr.var v); Expr.cofactor v false expr ];
+          ]
+      in
+      Truth_table.equal_exprs ~vars expanded expr)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "simplification laws" `Quick test_constructors;
+          Alcotest.test_case "printing parentheses" `Quick test_pp_parens;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "evaluation" `Quick test_eval;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "subst and cofactor" `Quick test_subst_cofactor;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "accepted forms" `Quick test_parse_ok;
+        ] );
+      ( "truth_table",
+        [
+          Alcotest.test_case "basic" `Quick test_truth_table_basic;
+          Alcotest.test_case "semantic equality" `Quick test_truth_table_semantic_equal;
+          Alcotest.test_case "errors" `Quick test_truth_table_errors;
+          Alcotest.test_case "probabilities" `Quick test_prob;
+          Alcotest.test_case "bitwise ops" `Quick test_table_ops;
+        ] );
+      ("cube", [ Alcotest.test_case "operations" `Quick test_cubes ]);
+      ( "minimize",
+        [
+          Alcotest.test_case "paper fig9 forms" `Quick test_minimize_paper_table;
+          Alcotest.test_case "classic identities" `Quick test_minimize_classic;
+          Alcotest.test_case "verify" `Quick test_minimize_verify;
+          Alcotest.test_case "prime generation" `Quick test_primes;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_minimize_preserves;
+          QCheck_alcotest.to_alcotest qcheck_minimize_minimal;
+          QCheck_alcotest.to_alcotest qcheck_expand_cover;
+          QCheck_alcotest.to_alcotest qcheck_parse_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_eval_cofactor;
+        ] );
+    ]

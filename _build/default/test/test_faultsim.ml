@@ -1,0 +1,252 @@
+open Dynmos_util
+open Dynmos_cell
+open Dynmos_core
+open Dynmos_netlist
+open Dynmos_faultsim
+open Dynmos_circuits
+
+(* Tests for fault simulation: universe construction and the agreement of
+   the serial, bit-parallel and deductive engines — which is itself a
+   reproduction artefact: the paper's point is that dynamic-MOS faults stay
+   combinational so classical injection machinery applies. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let fig9_u () = Faultsim.universe (Generators.fig9_network ())
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_universe_fig9 () =
+  let u = fig9_u () in
+  (* one gate, ten detectable function classes *)
+  check_i "ten sites" 10 (Faultsim.n_sites u);
+  check_i "one library" 1 (List.length u.Faultsim.libraries);
+  let labels = Array.to_list (Array.map (Faultsim.site_label u) u.Faultsim.sites) in
+  check "labels carry members" true (List.exists (fun l -> contains l "CMOS-2") labels)
+
+let test_universe_shares_libraries () =
+  let nl = Generators.and_tree ~technology:Technology.Domino_cmos 8 in
+  let u = Faultsim.universe nl in
+  (* many gates, few distinct cells *)
+  check "fewer libraries than gates" true
+    (List.length u.Faultsim.libraries < Netlist.n_gates nl);
+  check "sites = gates x classes" true (Faultsim.n_sites u > Netlist.n_gates nl)
+
+let test_detects () =
+  let u = fig9_u () in
+  (* site for class 2 ("a open": u = d*e): detected by any vector where
+     a*(b+c) = 1 and d*e = 0. *)
+  let site =
+    Array.to_list u.Faultsim.sites
+    |> List.find (fun s -> s.Faultsim.entry.Faultlib.class_id = 2)
+  in
+  check "11000 detects a-open" true (Faultsim.detects u site [| true; true; false; false; false |]);
+  check "00011 does not" false (Faultsim.detects u site [| false; false; false; true; true |])
+
+let engines_agree u patterns =
+  let s1 = Faultsim.run_serial ~drop:false u patterns in
+  let s2 = Faultsim.run_parallel ~drop:false u patterns in
+  let s3 = Faultsim.run_deductive ~drop:false u patterns in
+  let s4 = Faultsim.run_concurrent ~drop:false u patterns in
+  s1.Faultsim.first_detection = s2.Faultsim.first_detection
+  && s2.Faultsim.first_detection = s3.Faultsim.first_detection
+  && s3.Faultsim.first_detection = s4.Faultsim.first_detection
+
+let test_engines_agree_fig9 () =
+  let u = fig9_u () in
+  let patterns = Faultsim.exhaustive_patterns 5 in
+  check "serial = parallel = deductive = concurrent" true (engines_agree u patterns)
+
+let test_engines_agree_benchmarks () =
+  let prng = Prng.create 11 in
+  List.iter
+    (fun nl ->
+      let u = Faultsim.universe nl in
+      let patterns =
+        Faultsim.random_patterns prng
+          ~n_inputs:(List.length (Netlist.inputs nl))
+          ~count:100
+      in
+      check (Netlist.name nl) true (engines_agree u patterns))
+    [
+      Generators.c17 ~style:`Static ();
+      Generators.c17 ~style:`Domino ();
+      Generators.carry_chain ~technology:Technology.Domino_cmos 6;
+      Generators.parity ~style:`Domino 4;
+      Generators.random_monotone ~seed:3 ~n_inputs:6 ~n_gates:12
+        ~technology:Technology.Domino_cmos ();
+    ]
+
+let test_exhaustive_full_coverage () =
+  (* Every site of the fig9 universe is detectable (library excluded the
+     redundant ones), so exhaustive patterns reach 100%. *)
+  let u = fig9_u () in
+  let s = Faultsim.run_parallel u (Faultsim.exhaustive_patterns 5) in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 (Faultsim.coverage s);
+  check_i "all detected" (Faultsim.n_sites u) (Faultsim.n_detected s);
+  check "no undetected" true (Faultsim.undetected u s = [])
+
+let test_more_patterns_dont_hurt () =
+  let u = Faultsim.universe (Generators.c17 ~style:`Domino ()) in
+  let prng = Prng.create 5 in
+  let n_in = Dynmos_sim.Compiled.n_inputs u.Faultsim.compiled in
+  let pats = Faultsim.random_patterns prng ~n_inputs:n_in ~count:64 in
+  let half = Array.sub pats 0 32 in
+  let c1 = Faultsim.coverage (Faultsim.run_parallel u half) in
+  let c2 = Faultsim.coverage (Faultsim.run_parallel u pats) in
+  check "monotone coverage" true (c2 >= c1)
+
+let test_coverage_curve () =
+  let u = fig9_u () in
+  let pats = Faultsim.exhaustive_patterns 5 in
+  let s = Faultsim.run_parallel u pats in
+  let curve = Faultsim.coverage_curve s in
+  check_i "curve length" (Array.length pats + 1) (Array.length curve);
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 curve.(0);
+  Alcotest.(check (float 1e-9)) "ends at coverage" (Faultsim.coverage s)
+    curve.(Array.length curve - 1);
+  let monotone = ref true in
+  for i = 1 to Array.length curve - 1 do
+    if curve.(i) < curve.(i - 1) then monotone := false
+  done;
+  check "monotone" true !monotone
+
+let test_drop_consistency () =
+  (* With fault dropping the achieved *set* of detected faults is the
+     same; first_detection may only be earlier or equal. *)
+  let u = Faultsim.universe (Generators.carry_chain ~technology:Technology.Domino_cmos 5) in
+  let prng = Prng.create 19 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:11 ~count:80 in
+  let with_drop = Faultsim.run_parallel ~drop:true u pats in
+  let without = Faultsim.run_parallel ~drop:false u pats in
+  check "same detection set" true
+    (Array.for_all2
+       (fun a b -> (a = None) = (b = None))
+       with_drop.Faultsim.first_detection without.Faultsim.first_detection);
+  check "same first pattern" true
+    (with_drop.Faultsim.first_detection = without.Faultsim.first_detection)
+
+let test_weighted_patterns () =
+  let prng = Prng.create 23 in
+  let w = [| 0.9; 0.1 |] in
+  let pats = Faultsim.random_patterns ~weights:w prng ~n_inputs:2 ~count:2000 in
+  let count i = Array.fold_left (fun acc p -> if p.(i) then acc + 1 else acc) 0 pats in
+  let f0 = float_of_int (count 0) /. 2000.0 in
+  let f1 = float_of_int (count 1) /. 2000.0 in
+  check "input 0 mostly 1" true (f0 > 0.85 && f0 < 0.95);
+  check "input 1 mostly 0" true (f1 > 0.05 && f1 < 0.15)
+
+let test_exhaustive_patterns () =
+  let pats = Faultsim.exhaustive_patterns 3 in
+  check_i "8 patterns" 8 (Array.length pats);
+  check "row 5 = 101" true (pats.(5) = [| true; false; true |])
+
+
+(* --- Diagnosis ------------------------------------------------------------- *)
+
+let test_diagnosis_dictionary () =
+  let u = fig9_u () in
+  let pats = Faultsim.exhaustive_patterns 5 in
+  let dict = Diagnosis.dictionary u pats in
+  (* the exhaustive dictionary resolves every class down to itself *)
+  Array.iter
+    (fun site ->
+      match Diagnosis.diagnose_site dict site with
+      | [ s ] -> check_i "unique diagnosis" site.Faultsim.sid s.Faultsim.sid
+      | l -> Alcotest.fail (Fmt.str "ambiguous diagnosis (%d candidates)" (List.length l)))
+    u.Faultsim.sites;
+  (* the fault-free machine is recognized as such *)
+  let good = Array.map (fun p -> Diagnosis.pack_outputs (Dynmos_sim.Compiled.eval u.Faultsim.compiled p)) pats in
+  check "fault-free recognized" true (Diagnosis.looks_fault_free dict good);
+  check "fault-free diagnoses to nothing" true (Diagnosis.diagnose dict good = [])
+
+let test_diagnosis_distinguishable () =
+  (* The Section-5 table's classes are mutually distinguishable — that is
+     what makes them *classes*. *)
+  let u = fig9_u () in
+  check "fig9 classes pairwise distinguishable" true (Diagnosis.pairwise_distinguishable u);
+  (* two specific classes and their separating pattern *)
+  let site_of cid =
+    Array.to_list u.Faultsim.sites
+    |> List.find (fun s -> s.Faultsim.entry.Faultlib.class_id = cid)
+  in
+  match Diagnosis.distinguishing_pattern u (site_of 9) (site_of 10) with
+  | Some _ -> check "stuck-0 vs stuck-1 separable" true true
+  | None -> Alcotest.fail "expected distinguishing pattern"
+
+let test_diagnosis_groups () =
+  let u = fig9_u () in
+  (* With a single pattern, most classes are indistinguishable; groups
+     must partition all sites. *)
+  let dict1 = Diagnosis.dictionary u [| [| true; true; false; false; false |] |] in
+  let groups = Diagnosis.equivalence_groups dict1 in
+  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  check_i "partition covers all sites" (Faultsim.n_sites u) total;
+  check "coarser than exhaustive" true (List.length groups < Faultsim.n_sites u)
+
+let test_diagnosing_patterns () =
+  let u = fig9_u () in
+  let pats, groups = Diagnosis.diagnosing_patterns u in
+  (* greedy adaptive set: a handful of vectors fully separates the 10
+     classes of fig9 (they are pairwise distinguishable) *)
+  check "all groups singleton" true (List.for_all (fun g -> List.length g = 1) groups);
+  check "compact set" true (Array.length pats <= 10);
+  (* and it really diagnoses *)
+  let dict = Diagnosis.dictionary u pats in
+  Array.iter
+    (fun site ->
+      match Diagnosis.diagnose_site dict site with
+      | [ s ] -> check_i "unique" site.Faultsim.sid s.Faultsim.sid
+      | _ -> Alcotest.fail "ambiguous under diagnosing set")
+    u.Faultsim.sites
+
+(* QCheck: engine agreement on random monotone circuits and patterns. *)
+let qcheck_engines =
+  QCheck2.Test.make ~name:"engines agree on random circuits" ~count:20
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 4 8))
+    (fun (seed, n_inputs) ->
+      let nl =
+        Generators.random_monotone ~seed ~n_inputs ~n_gates:10
+          ~technology:Technology.Domino_cmos ()
+      in
+      let u = Faultsim.universe nl in
+      let prng = Prng.create seed in
+      let pats = Faultsim.random_patterns prng ~n_inputs ~count:50 in
+      engines_agree u pats)
+
+let () =
+  Alcotest.run "faultsim"
+    [
+      ( "universe",
+        [
+          Alcotest.test_case "fig9 sites" `Quick test_universe_fig9;
+          Alcotest.test_case "library sharing" `Quick test_universe_shares_libraries;
+          Alcotest.test_case "single detection" `Quick test_detects;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "agree on fig9 (exhaustive)" `Quick test_engines_agree_fig9;
+          Alcotest.test_case "agree on benchmarks" `Quick test_engines_agree_benchmarks;
+          Alcotest.test_case "exhaustive full coverage" `Quick test_exhaustive_full_coverage;
+          Alcotest.test_case "coverage monotone in patterns" `Quick test_more_patterns_dont_hurt;
+          Alcotest.test_case "fault dropping consistent" `Quick test_drop_consistency;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "coverage curve" `Quick test_coverage_curve;
+          Alcotest.test_case "weighted patterns" `Quick test_weighted_patterns;
+          Alcotest.test_case "exhaustive patterns" `Quick test_exhaustive_patterns;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "exhaustive dictionary" `Quick test_diagnosis_dictionary;
+          Alcotest.test_case "pairwise distinguishable" `Quick test_diagnosis_distinguishable;
+          Alcotest.test_case "equivalence groups" `Quick test_diagnosis_groups;
+          Alcotest.test_case "adaptive diagnosing set" `Quick test_diagnosing_patterns;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_engines ]);
+    ]

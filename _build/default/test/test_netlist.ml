@@ -1,0 +1,173 @@
+open Dynmos_cell
+open Dynmos_netlist
+
+(* Tests for gate-level netlists: builder validation, topological order,
+   levels, clocking discipline and structural queries. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let and2 = Stdcells.and_gate 2 Technology.Domino_cmos
+let or2 = Stdcells.or_gate 2 Technology.Domino_cmos
+let nand2 = Stdcells.nand 2 Technology.Static_cmos
+
+let two_level () =
+  let b = Netlist.Builder.create "two_level" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  let d = Netlist.Builder.input b "d" in
+  let w = Netlist.Builder.add b or2 ~inputs:[ a; c ] ~output:"w" in
+  let z = Netlist.Builder.add b and2 ~inputs:[ w; d ] ~output:"z" in
+  Netlist.Builder.output b z;
+  Netlist.Builder.finish b
+
+let test_build () =
+  let nl = two_level () in
+  check_i "two gates" 2 (Netlist.n_gates nl);
+  Alcotest.(check (list string)) "inputs" [ "a"; "c"; "d" ] (Netlist.inputs nl);
+  Alcotest.(check (list string)) "outputs" [ "z" ] (Netlist.outputs nl);
+  check_i "five nets" 5 (Netlist.n_nets nl);
+  check_i "depth" 2 (Netlist.depth nl)
+
+let test_topological_order () =
+  (* Insert gates in reverse order; finish must still topo-sort. *)
+  let b = Netlist.Builder.create "rev" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  ignore (Netlist.Builder.add b and2 ~inputs:[ "w"; c ] ~output:"z");
+  ignore (Netlist.Builder.add b or2 ~inputs:[ a; c ] ~output:"w");
+  Netlist.Builder.output b "z";
+  let nl = Netlist.Builder.finish b in
+  let order = List.map (fun g -> g.Netlist.output_net) (Netlist.gates nl) in
+  Alcotest.(check (list string)) "w before z" [ "w"; "z" ] order;
+  let ids = List.map (fun g -> g.Netlist.id) (Netlist.gates nl) in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1 ] ids
+
+let test_levels_and_phases () =
+  let nl = two_level () in
+  let w = Option.get (Netlist.gate_of_net nl "w") in
+  let z = Option.get (Netlist.gate_of_net nl "z") in
+  check_i "w level 1" 1 w.Netlist.level;
+  check_i "z level 2" 2 z.Netlist.level;
+  check "w phase 1" true (Netlist.clock_phase w = `Phi1);
+  check "z phase 2" true (Netlist.clock_phase z = `Phi2)
+
+let test_validation_errors () =
+  let fails f = match f () with _ -> false | exception Netlist.Invalid _ -> true in
+  (* double driver *)
+  check "double drive" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         let a = Netlist.Builder.input b "a" in
+         let c = Netlist.Builder.input b "c" in
+         ignore (Netlist.Builder.add b and2 ~inputs:[ a; c ] ~output:"z");
+         ignore (Netlist.Builder.add b or2 ~inputs:[ a; c ] ~output:"z");
+         Netlist.Builder.finish b));
+  (* undriven input *)
+  check "undriven net" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         let a = Netlist.Builder.input b "a" in
+         ignore (Netlist.Builder.add b and2 ~inputs:[ a; "ghost" ] ~output:"z");
+         Netlist.Builder.finish b));
+  (* undriven PO *)
+  check "undriven output" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         ignore (Netlist.Builder.input b "a");
+         Netlist.Builder.output b "nowhere";
+         Netlist.Builder.finish b));
+  (* cycle *)
+  check "cycle" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         let a = Netlist.Builder.input b "a" in
+         ignore (Netlist.Builder.add b and2 ~inputs:[ a; "q" ] ~output:"p");
+         ignore (Netlist.Builder.add b or2 ~inputs:[ a; "p" ] ~output:"q");
+         Netlist.Builder.output b "q";
+         Netlist.Builder.finish b));
+  (* arity *)
+  check "arity" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         let a = Netlist.Builder.input b "a" in
+         ignore (Netlist.Builder.add b and2 ~inputs:[ a ] ~output:"z");
+         Netlist.Builder.finish b));
+  (* duplicate PI *)
+  check "duplicate input" true
+    (fails (fun () ->
+         let b = Netlist.Builder.create "x" in
+         ignore (Netlist.Builder.input b "a");
+         ignore (Netlist.Builder.input b "a");
+         Netlist.Builder.finish b))
+
+let test_fanout () =
+  let b = Netlist.Builder.create "fan" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  ignore (Netlist.Builder.add b and2 ~inputs:[ a; c ] ~output:"x");
+  ignore (Netlist.Builder.add b or2 ~inputs:[ a; c ] ~output:"y");
+  Netlist.Builder.output b "x";
+  Netlist.Builder.output b "y";
+  let nl = Netlist.Builder.finish b in
+  check_i "a fans out to 2" 2 (List.length (Netlist.fanout nl "a"));
+  check_i "x fans out to 0" 0 (List.length (Netlist.fanout nl "x"));
+  check "gate_of_net on PI" true (Netlist.gate_of_net nl "a" = None)
+
+let test_technology_queries () =
+  let nl = two_level () in
+  check "single technology" true (Netlist.single_technology nl = Some Technology.Domino_cmos);
+  check "is domino" true (Netlist.check_domino nl);
+  let b = Netlist.Builder.create "mixed" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  let w = Netlist.Builder.add b and2 ~inputs:[ a; c ] ~output:"w" in
+  ignore (Netlist.Builder.add b nand2 ~inputs:[ w; c ] ~output:"z");
+  Netlist.Builder.output b "z";
+  let mixed = Netlist.Builder.finish b in
+  check "mixed not single" true (Netlist.single_technology mixed = None);
+  check "mixed not domino" false (Netlist.check_domino mixed);
+  check_i "two distinct cells" 2 (List.length (Netlist.distinct_cells mixed))
+
+let test_transistor_count () =
+  let nl = two_level () in
+  (* each domino gate: 2 SN + T1 + T2 + inverter(2) = 6; two gates = 12 *)
+  check_i "domino transistors" 12 (Netlist.n_transistors nl);
+  let b = Netlist.Builder.create "s" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  ignore (Netlist.Builder.add b nand2 ~inputs:[ a; c ] ~output:"z");
+  Netlist.Builder.output b "z";
+  let nl2 = Netlist.Builder.finish b in
+  (* static CMOS nand2: 2 pull-down + 2 pull-up *)
+  check_i "static transistors" 4 (Netlist.n_transistors nl2)
+
+let test_unobserved_gates_kept () =
+  (* Gates whose output is not observed still belong to the network. *)
+  let b = Netlist.Builder.create "dangling" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  ignore (Netlist.Builder.add b and2 ~inputs:[ a; c ] ~output:"unused");
+  let z = Netlist.Builder.add b or2 ~inputs:[ a; c ] ~output:"z" in
+  Netlist.Builder.output b z;
+  let nl = Netlist.Builder.finish b in
+  check_i "both gates kept" 2 (Netlist.n_gates nl)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basic construction" `Quick test_build;
+          Alcotest.test_case "topological sorting" `Quick test_topological_order;
+          Alcotest.test_case "levels and clock phases" `Quick test_levels_and_phases;
+          Alcotest.test_case "validation errors" `Quick test_validation_errors;
+          Alcotest.test_case "unobserved gates kept" `Quick test_unobserved_gates_kept;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "fanout" `Quick test_fanout;
+          Alcotest.test_case "technology" `Quick test_technology_queries;
+          Alcotest.test_case "transistor count" `Quick test_transistor_count;
+        ] );
+    ]

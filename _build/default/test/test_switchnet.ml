@@ -1,0 +1,248 @@
+open Dynmos_expr
+open Dynmos_switchnet
+
+(* Tests for series-parallel switching networks and the general switch
+   graph: transmission functions, duals, fault injection, resistances and
+   the SP/graph cross-check. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+let e = Parse.expr
+
+let fig9_net () = Spnet.of_expr (e "a*(b+c)+d*e")
+
+let equal_fn = Truth_table.equal_exprs
+
+let test_numbering () =
+  let net = fig9_net () in
+  check_i "five switches" 5 (Spnet.n_switches net);
+  let names = List.map (fun s -> s.Spnet.input) (Spnet.switches net) in
+  Alcotest.(check (list string)) "left-to-right T1..T5" [ "a"; "b"; "c"; "d"; "e" ] names;
+  let ids = List.map (fun s -> s.Spnet.id) (Spnet.switches net) in
+  Alcotest.(check (list int)) "ids 1..5" [ 1; 2; 3; 4; 5 ] ids
+
+let test_transmission () =
+  let net = fig9_net () in
+  check "transmission" true (equal_fn (Spnet.transmission net) (e "a*(b+c)+d*e"));
+  let neg = Spnet.of_expr (e "!a*b") in
+  check "negated literal" true (equal_fn (Spnet.transmission neg) (e "!a*b"))
+
+let test_not_sp () =
+  check "const rejected" true
+    (match Spnet.of_expr (e "1") with
+    | _ -> false
+    | exception Spnet.Not_series_parallel _ -> true);
+  check "negated compound rejected" true
+    (match Spnet.of_expr (Expr.not_ (e "a*b")) with
+    | _ -> false
+    | exception Spnet.Not_series_parallel _ -> true);
+  check "xor rejected" true
+    (match Spnet.of_expr (Expr.xor (e "a") (e "b")) with
+    | _ -> false
+    | exception Spnet.Not_series_parallel _ -> true)
+
+let test_faults () =
+  let net = fig9_net () in
+  (* The paper's Fig. 9 classes at switch level. *)
+  check "T1 open" true (equal_fn (Spnet.faulty_transmission net (Spnet.Switch_open 1)) (e "d*e"));
+  check "T1 closed" true
+    (equal_fn (Spnet.faulty_transmission net (Spnet.Switch_closed 1)) (e "b+c+d*e"));
+  check "T2 closed == T3 closed" true
+    (equal_fn
+       (Spnet.faulty_transmission net (Spnet.Switch_closed 2))
+       (Spnet.faulty_transmission net (Spnet.Switch_closed 3)));
+  check "T4 open == T5 open" true
+    (equal_fn
+       (Spnet.faulty_transmission net (Spnet.Switch_open 4))
+       (Spnet.faulty_transmission net (Spnet.Switch_open 5)));
+  (* Gate-open behaves as open for N switches and closed for P switches
+     (assumption A1). *)
+  check "gate open N" true
+    (equal_fn (Spnet.faulty_transmission net (Spnet.Gate_open 1)) (e "d*e"));
+  let pnet = Spnet.of_expr ~polarity:Spnet.P (e "a*b") in
+  check "P net transmission" true (equal_fn (Spnet.transmission pnet) (e "!a*!b"));
+  check "gate open P conducts" true
+    (equal_fn (Spnet.faulty_transmission pnet (Spnet.Gate_open 1)) (e "!b"))
+
+let test_multi_faults () =
+  let net = Spnet.of_expr (e "a*b+a*c") in
+  (* two switches driven by [a]: ids 1 and 3 *)
+  let a_switches = Spnet.switches_of_input net "a" in
+  check_i "a drives two switches" 2 (List.length a_switches);
+  let all_open = List.map (fun s -> Spnet.Switch_open s.Spnet.id) a_switches in
+  check "both a switches open kills both products" true
+    (equal_fn (Spnet.faulty_transmission_multi net all_open) (e "0"));
+  (* single-switch fault only kills one product *)
+  check "single a switch open" true
+    (equal_fn (Spnet.faulty_transmission net (Spnet.Switch_open 1)) (e "a*c"))
+
+let test_all_faults_order () =
+  let net = fig9_net () in
+  let fs = Spnet.all_faults net in
+  check_i "2n faults" 10 (List.length fs);
+  check "closed before open per switch" true
+    (match fs with
+    | Spnet.Switch_closed 1 :: Spnet.Switch_open 1 :: Spnet.Switch_closed 2 :: _ -> true
+    | _ -> false)
+
+let test_dual () =
+  let net = Spnet.of_expr (e "a+b") in
+  check "dual of parallel is series of complements" true
+    (equal_fn (Spnet.transmission (Spnet.dual net)) (e "!a*!b"));
+  let net9 = fig9_net () in
+  check "dual complements transmission" true
+    (equal_fn (Spnet.transmission (Spnet.dual net9)) (Expr.not_ (e "a*(b+c)+d*e")))
+
+let test_resistance () =
+  let series = Spnet.of_expr ~r_on:2.0 (e "a*b") in
+  let env _ = true in
+  (match Spnet.resistance series env with
+  | Some r -> Alcotest.(check (float 1e-9)) "series adds" 4.0 r
+  | None -> Alcotest.fail "expected path");
+  let par = Spnet.of_expr ~r_on:2.0 (e "a+b") in
+  (match Spnet.resistance par env with
+  | Some r -> Alcotest.(check (float 1e-9)) "parallel halves" 1.0 r
+  | None -> Alcotest.fail "expected path");
+  check "no path" true (Spnet.resistance series (fun _ -> false) = None);
+  (* min resistance of fig9 is with every switch on: branch a*(b||c) =
+     1 + 0.5 = 1.5 in parallel with branch d*e = 2, i.e. 6/7 *)
+  match Spnet.min_resistance (fig9_net ()) with
+  | Some r -> Alcotest.(check (float 1e-9)) "min path" (6.0 /. 7.0) r
+  | None -> Alcotest.fail "expected conducting assignment"
+
+let test_pp () =
+  let s = Fmt.str "%a" Spnet.pp (fig9_net ()) in
+  check "pp mentions T1" true (String.length s > 0 && String.index_opt s 'T' <> None);
+  check_s "switch literal" "a"
+    (Expr.to_string (Spnet.switch_literal (List.hd (Spnet.switches (fig9_net ())))))
+
+(* --- Graph --------------------------------------------------------------- *)
+
+let test_graph_of_spnet () =
+  let net = fig9_net () in
+  let g = Graph.of_spnet net in
+  check_i "five edges" 5 (List.length (Graph.edges g));
+  check "same transmission" true (equal_fn (Graph.transmission g) (e "a*(b+c)+d*e"))
+
+let test_graph_faults () =
+  let net = fig9_net () in
+  let g = Graph.of_spnet net in
+  check "open fault matches" true
+    (equal_fn (Graph.transmission ~fault:(Spnet.Switch_open 1) g) (e "d*e"));
+  check "closed fault matches" true
+    (equal_fn (Graph.transmission ~fault:(Spnet.Switch_closed 1) g) (e "b+c+d*e"));
+  check_i "fault list" 10 (List.length (Graph.all_faults g))
+
+let test_bridge () =
+  (* Wheatstone bridge: S-a-m1-c-D, S-b-m2-d-D, bridge e between m1,m2. *)
+  let g = Graph.bridge ~a:"a" ~b:"b" ~c:"c" ~d:"d" ~e:"e" in
+  let expected = e "a*c+b*d+a*e*d+b*e*c" in
+  check "bridge transmission" true (equal_fn (Graph.transmission g) expected);
+  (* The bridge switch open degrades it to two disjoint paths. *)
+  check "bridge open" true
+    (equal_fn (Graph.transmission ~fault:(Spnet.Switch_open 5) g) (e "a*c+b*d"))
+
+let test_graph_validation () =
+  check "bad endpoint" true
+    (match
+       Graph.create ~n_nodes:2
+         [
+           {
+             Graph.id = 1;
+             u = 0;
+             v = 5;
+             switch = { Spnet.id = 1; input = "a"; negated = false; polarity = Spnet.N; r_on = 1.0 };
+           };
+         ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "too few nodes" true
+    (match Graph.create ~n_nodes:1 [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* QCheck: SP and graph transmissions agree on random SP expressions, for
+   every single-switch fault too. *)
+let gen_sp_expr =
+  let open QCheck2.Gen in
+  let var = map (fun i -> Expr.var (Fmt.str "v%d" i)) (int_bound 3) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then var
+         else
+           frequency
+             [
+               (2, var);
+               (3, map2 (fun a b -> Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+               (3, map2 (fun a b -> Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2)));
+             ])
+
+let qcheck_sp_graph_agree =
+  QCheck2.Test.make ~name:"SP vs graph transmission (incl. faults)" ~count:100 gen_sp_expr
+    (fun expr ->
+      match Spnet.of_expr expr with
+      | exception Spnet.Not_series_parallel _ -> true
+      | net ->
+          let g = Graph.of_spnet net in
+          equal_fn (Spnet.transmission net) (Graph.transmission g)
+          && List.for_all
+               (fun f ->
+                 equal_fn (Spnet.faulty_transmission net f) (Graph.transmission ~fault:f g))
+               (Spnet.all_faults net))
+
+let qcheck_dual_complements =
+  QCheck2.Test.make ~name:"dual network complements transmission" ~count:100 gen_sp_expr
+    (fun expr ->
+      match Spnet.of_expr expr with
+      | exception Spnet.Not_series_parallel _ -> true
+      | net ->
+          equal_fn (Spnet.transmission (Spnet.dual net)) (Expr.not_ (Spnet.transmission net)))
+
+let qcheck_open_weakens =
+  QCheck2.Test.make ~name:"open weakens, closed strengthens" ~count:100 gen_sp_expr
+    (fun expr ->
+      match Spnet.of_expr expr with
+      | exception Spnet.Not_series_parallel _ -> true
+      | net ->
+          let t = Spnet.transmission net in
+          List.for_all
+            (fun s ->
+              let t_open = Spnet.faulty_transmission net (Spnet.Switch_open s.Spnet.id) in
+              let t_closed = Spnet.faulty_transmission net (Spnet.Switch_closed s.Spnet.id) in
+              (* onset(t_open) <= onset(t) <= onset(t_closed) *)
+              Truth_table.equal_exprs (Expr.and_ [ t_open; t ]) t_open
+              && Truth_table.equal_exprs (Expr.and_ [ t; t_closed ]) t)
+            (Spnet.switches net))
+
+let () =
+  Alcotest.run "switchnet"
+    [
+      ( "spnet",
+        [
+          Alcotest.test_case "transistor numbering" `Quick test_numbering;
+          Alcotest.test_case "transmission" `Quick test_transmission;
+          Alcotest.test_case "non-SP rejection" `Quick test_not_sp;
+          Alcotest.test_case "fault injection" `Quick test_faults;
+          Alcotest.test_case "multi-switch faults" `Quick test_multi_faults;
+          Alcotest.test_case "fault enumeration order" `Quick test_all_faults_order;
+          Alcotest.test_case "dual network" `Quick test_dual;
+          Alcotest.test_case "resistance" `Quick test_resistance;
+          Alcotest.test_case "printing" `Quick test_pp;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "of_spnet" `Quick test_graph_of_spnet;
+          Alcotest.test_case "graph faults" `Quick test_graph_faults;
+          Alcotest.test_case "bridge (non-SP)" `Quick test_bridge;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_sp_graph_agree;
+          QCheck_alcotest.to_alcotest qcheck_dual_complements;
+          QCheck_alcotest.to_alcotest qcheck_open_weakens;
+        ] );
+    ]

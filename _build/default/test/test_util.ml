@@ -1,0 +1,98 @@
+open Dynmos_util
+
+(* Tests for the deterministic PRNG every stochastic component relies on. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs = List.init 100 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 100 (fun _ -> Prng.next_int64 b) in
+  check "same seed, same stream" true (xs = ys);
+  let c = Prng.create 43 in
+  let zs = List.init 100 (fun _ -> Prng.next_int64 c) in
+  check "different seed, different stream" true (xs <> zs)
+
+let test_ranges () =
+  let p = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of range";
+    let f = Prng.float p in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range";
+    if Prng.bits62 p < 0 then Alcotest.fail "bits62 negative"
+  done;
+  check "ranges ok" true true
+
+let test_uniformity () =
+  let p = Prng.create 11 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Prng.int p 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.fail (Fmt.str "bucket %d skewed: %d" i c))
+    buckets;
+  check "uniform" true true
+
+let test_bernoulli () =
+  let p = Prng.create 13 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli p 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  check "bernoulli 0.3" true (Float.abs (f -. 0.3) < 0.01);
+  check "p=0 never" false (Prng.bernoulli p 0.0)
+
+let test_split_independence () =
+  let p = Prng.create 5 in
+  let q = Prng.split p in
+  let xs = List.init 50 (fun _ -> Prng.next_int64 p) in
+  let ys = List.init 50 (fun _ -> Prng.next_int64 q) in
+  check "split streams differ" true (xs <> ys);
+  (* splitting is itself deterministic *)
+  let p1 = Prng.create 5 in
+  let q1 = Prng.split p1 in
+  let ys' = List.init 50 (fun _ -> Prng.next_int64 q1) in
+  check "split deterministic" true (ys = ys')
+
+let test_shuffle_permutation () =
+  let p = Prng.create 9 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check "shuffle is a permutation" true (sorted = Array.init 20 Fun.id);
+  check "shuffle moved something" true (a <> Array.init 20 Fun.id)
+
+let test_choose () =
+  let p = Prng.create 3 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose p a in
+    if not (Array.exists (String.equal v) a) then Alcotest.fail "choose outside array"
+  done;
+  check_i "singleton" 1 (Prng.choose p [| 1 |])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "ranges" `Quick test_ranges;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+        ] );
+    ]
