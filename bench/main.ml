@@ -546,6 +546,114 @@ let e16 () =
   pf "  (the paper's 'distinguishable fault classes', operationalized)@."
 
 (* ---------------------------------------------------------------------- *)
+(* E17 (extension) — fault-simulation engine throughput and domain scaling *)
+(* ---------------------------------------------------------------------- *)
+
+(* Times every fault-simulation engine on generated circuits of increasing
+   size and emits machine-readable BENCH_faultsim.json so the performance
+   trajectory of the hot path is tracked from PR to PR.  Wall-clock time
+   (not Sys.time: CPU time sums over domains and would hide any speedup);
+   drop disabled so the workload is size-stable. *)
+
+let bench_circuits =
+  [
+    ("carry8", Generators.carry_chain ~technology:Technology.Domino_cmos 8, 128);
+    ("carry16", Generators.carry_chain ~technology:Technology.Domino_cmos 16, 128);
+    ( "rand60",
+      Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
+        ~technology:Technology.Domino_cmos (),
+      128 );
+    ( "rand120",
+      Generators.random_monotone ~seed:7 ~n_inputs:16 ~n_gates:120
+        ~technology:Technology.Domino_cmos (),
+      128 );
+  ]
+
+let time_best_of reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let e17 () =
+  let domain_counts = [ 1; 2; 4 ] in
+  pf "Engine throughput (patterns/s, drop disabled, wall clock) and domain@.";
+  pf "scaling; recommended_domain_count = %d on this host.@."
+    (Domain.recommended_domain_count ());
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Fmt.str "  \"recommended_domains\": %d,\n  \"word_bits\": %d,\n  \"circuits\": [\n"
+       (Domain.recommended_domain_count ())
+       Parallel_exec.word_bits);
+  let n_circuits = List.length bench_circuits in
+  List.iteri
+    (fun ci (name, nl, count) ->
+      let u = Faultsim.universe nl in
+      let prng = Prng.create 17 in
+      let pats =
+        Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count
+      in
+      pf "  %-10s %3d gates, %4d sites, %d patterns:@." name (Netlist.n_gates nl)
+        (Faultsim.n_sites u) count;
+      let pps dt = float_of_int count /. Float.max 1e-9 dt in
+      let entry label dt extra =
+        pf "    %-22s %8.4f s  %10.0f patterns/s%s@." label dt (pps dt) extra
+      in
+      let measure f = time_best_of 2 f in
+      let t_serial = measure (fun () -> Faultsim.run_serial ~drop:false u pats) in
+      entry "serial" t_serial "";
+      let t_bitpar = measure (fun () -> Faultsim.run_parallel ~drop:false u pats) in
+      entry "bit-parallel" t_bitpar "";
+      let scaling inner =
+        List.map
+          (fun n ->
+            (n, measure (fun () ->
+                     Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n u pats)))
+          domain_counts
+      in
+      let dom_bit = scaling Parallel_exec.Bit_parallel in
+      let dom_ser = scaling Parallel_exec.Serial in
+      let report label results =
+        let t1 = List.assoc 1 results in
+        List.iter
+          (fun (n, dt) ->
+            entry (Fmt.str "%s x%d" label n) dt (Fmt.str "  (speedup %.2fx)" (t1 /. dt)))
+          results
+      in
+      report "domains/bit-parallel" dom_bit;
+      report "domains/serial" dom_ser;
+      let json_engine name dt = Fmt.str "\"%s\": {\"seconds\": %.6f, \"patterns_per_s\": %.1f}" name dt (pps dt) in
+      let json_scaled prefix results =
+        let t1 = List.assoc 1 results in
+        List.map
+          (fun (n, dt) ->
+            Fmt.str
+              "\"%s_%d\": {\"seconds\": %.6f, \"patterns_per_s\": %.1f, \"speedup_vs_1\": %.3f}"
+              prefix n dt (pps dt) (t1 /. dt))
+          results
+      in
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"name\": \"%s\", \"gates\": %d, \"sites\": %d, \"patterns\": %d,\n     \
+            \"engines\": {%s}}%s\n"
+           name (Netlist.n_gates nl) (Faultsim.n_sites u) count
+           (String.concat ", "
+              ([ json_engine "serial" t_serial; json_engine "bit_parallel" t_bitpar ]
+              @ json_scaled "domains_bit_parallel" dom_bit
+              @ json_scaled "domains_serial" dom_ser))
+           (if ci = n_circuits - 1 then "" else ",")))
+    bench_circuits;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_faultsim.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "  wrote BENCH_faultsim.json@."
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel timing suite: one Test.make per experiment                      *)
 (* ---------------------------------------------------------------------- *)
 
@@ -656,6 +764,7 @@ let experiments =
     ("e14", "Random tests satisfy A1/A2 per se", e14);
     ("e15", "Extension - two-pattern cost of static CMOS vs domino", e15);
     ("e16", "Extension - the fault classes as a diagnosis dictionary", e16);
+    ("e17", "Extension - fault-simulation throughput and domain scaling", e17);
   ]
 
 let () =

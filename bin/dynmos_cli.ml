@@ -101,6 +101,89 @@ let faultlib_cmd =
   let doc = "Generate the technology-dependent fault library of a cell file." in
   Cmd.v (Cmd.info "faultlib" ~doc) Term.(ret (const run $ file $ emit $ weak))
 
+(* --- faultsim ---------------------------------------------------------------- *)
+
+let faultsim_cmd =
+  let patterns =
+    Arg.(value & opt int 256
+         & info [ "patterns"; "n" ] ~docv:"N" ~doc:"Number of random patterns to simulate.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Pattern generator seed.")
+  in
+  let engine =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("serial", `Serial);
+                  ("parallel", `Parallel);
+                  ("deductive", `Deductive);
+                  ("concurrent", `Concurrent);
+                  ("domains", `Domains);
+                ])
+             `Domains
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:
+               "Engine: serial, parallel (bit-parallel), deductive, concurrent, or domains \
+                (multicore domain-parallel).")
+  in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:
+               "Worker domains for the 'domains' engine (0 = \
+                Domain.recommended_domain_count ()).")
+  in
+  let no_drop =
+    Arg.(value & flag & info [ "no-drop" ] ~doc:"Simulate every fault on every pattern.")
+  in
+  let run name patterns seed engine jobs no_drop =
+    match circuit_of_name name with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+        let u = Faultsim.universe nl in
+        let prng = Dynmos_util.Prng.create seed in
+        let pats =
+          Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl))
+            ~count:patterns
+        in
+        let drop = not no_drop in
+        let num_domains = if jobs <= 0 then None else Some jobs in
+        let t0 = Unix.gettimeofday () in
+        let s =
+          match engine with
+          | `Serial -> Faultsim.run_serial ~drop u pats
+          | `Parallel -> Faultsim.run_parallel ~drop u pats
+          | `Deductive -> Faultsim.run_deductive ~drop u pats
+          | `Concurrent -> Faultsim.run_concurrent ~drop u pats
+          | `Domains -> Faultsim.run_domain_parallel ~drop ?num_domains u pats
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let engine_name =
+          match engine with
+          | `Serial -> "serial"
+          | `Parallel -> "parallel"
+          | `Deductive -> "deductive"
+          | `Concurrent -> "concurrent"
+          | `Domains ->
+              Fmt.str "domains(%d)"
+                (match num_domains with
+                | Some n -> n
+                | None -> Domain.recommended_domain_count ())
+        in
+        Format.printf "%s: %d sites, %d patterns -> %.2f%% coverage (%d detected)@."
+          (Netlist.name nl) (Faultsim.n_sites u) patterns
+          (100.0 *. Faultsim.coverage s)
+          (Faultsim.n_detected s);
+        Format.printf "engine %s: %.4f s wall, %.0f patterns/s@." engine_name dt
+          (float_of_int patterns /. Float.max 1e-9 dt);
+        `Ok ()
+  in
+  let doc = "Random-pattern fault simulation with a selectable engine (--jobs for multicore)." in
+  Cmd.v (Cmd.info "faultsim" ~doc)
+    Term.(ret (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ no_drop))
+
 (* --- protest ---------------------------------------------------------------- *)
 
 let protest_cmd =
@@ -235,4 +318,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ faultlib_cmd; protest_cmd; selftest_cmd; atpg_cmd; diagnose_cmd; circuits_cmd ]))
+          [
+            faultlib_cmd;
+            faultsim_cmd;
+            protest_cmd;
+            selftest_cmd;
+            atpg_cmd;
+            diagnose_cmd;
+            circuits_cmd;
+          ]))

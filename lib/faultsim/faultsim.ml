@@ -338,6 +338,21 @@ let run_concurrent ?(drop = true) u (patterns : bool array array) =
     patterns;
   { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
 
+(* --- Domain-parallel -------------------------------------------------------- *)
+
+(* Multicore wrapper: fault sites are partitioned across OCaml 5 domains
+   (work-stealing pool in Parallel_exec); inside each site the serial or
+   bit-parallel kernel runs unchanged, so first-detection results are
+   bit-identical to [run_serial] for every domain count. *)
+let run_domain_parallel ?drop ?inner ?num_domains u (patterns : bool array array) =
+  let jobs =
+    Array.map
+      (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
+      u.sites
+  in
+  let first = Parallel_exec.run ?drop ?inner ?num_domains u.compiled jobs patterns in
+  { n_sites = n_sites u; n_patterns = Array.length patterns; first_detection = first }
+
 (* --- Random-pattern driver ------------------------------------------------ *)
 
 let random_patterns ?(weights : float array option) prng ~n_inputs ~count =

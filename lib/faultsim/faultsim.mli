@@ -59,6 +59,20 @@ val run_concurrent : ?drop:bool -> universe -> bool array array -> summary
     their explicit faulty values (the third classical simulator the paper
     names alongside parallel and deductive). *)
 
+val run_domain_parallel :
+  ?drop:bool ->
+  ?inner:Parallel_exec.inner ->
+  ?num_domains:int ->
+  universe ->
+  bool array array ->
+  summary
+(** Multicore engine: fault sites partitioned across OCaml 5 domains (a
+    work-stealing pool, see {!Parallel_exec}), each running the serial or
+    bit-parallel kernel with private scratch state.  [first_detection] is
+    bit-identical to {!run_serial} for every [num_domains], [inner] and
+    [drop].  [num_domains] defaults to
+    [Domain.recommended_domain_count ()]; [inner] to [Bit_parallel]. *)
+
 val random_patterns :
   ?weights:float array -> Prng.t -> n_inputs:int -> count:int -> bool array array
 (** Weighted random patterns ([weights.(i)] = probability input [i] is 1;

@@ -1,0 +1,169 @@
+open Dynmos_sim
+
+(* Domain-parallel fault-simulation core.
+
+   The fault universe is embarrassingly parallel across fault sites: each
+   site's simulation touches only (a) the shared read-only compiled
+   netlist and pattern data and (b) its own slot of the result array.  So
+   the engine partitions *sites* across domains and leaves the pattern
+   loop sequential inside each site — that keeps first-detection
+   semantics trivially identical to the serial engine (patterns are
+   always scanned in ascending order).
+
+   Scheduling is a hand-rolled chunked work-stealing pool (no Domainslib):
+   a single [Atomic.t] cursor over the site array; every domain claims
+   blocks of [block] consecutive sites with [fetch_and_add] until the
+   cursor passes the end.  Blocks (rather than single sites) amortize the
+   atomic op; stealing from a shared cursor (rather than pre-splitting
+   ranges) load-balances sites whose faulty cones differ wildly in size.
+
+   Correctness-critical sharing audit (see Compiled):
+   - [Compiled.t] is immutable after [compile]; shared read-only.  OK.
+   - All mutable evaluation state lives in a [Compiled.scratch] buffer;
+     each worker allocates its own and threads it through every call.
+   - The result array is written at [job.jid] only, and each jid is
+     claimed by exactly one domain: disjoint writes, no tearing (OCaml
+     array writes of immediates/pointers are domain-atomic).
+   - Pattern words and good-value arrays are computed once, before the
+     domains spawn, and only read afterwards. *)
+
+type job = {
+  jid : int;            (* slot in the result array *)
+  gate_id : int;        (* netlist gate to override *)
+  fn : Compiled.gate_fn;  (* compiled faulty function *)
+}
+
+type inner = Serial | Bit_parallel
+
+let word_bits = 62
+
+(* One packed chunk of <= 62 patterns with its fault-free response. *)
+type chunk = {
+  start : int;          (* pattern index of bit 0 *)
+  mask : int;           (* valid-bit mask (len low bits) *)
+  words : int array;    (* packed primary-input words *)
+  good : int array;     (* fault-free primary-output words *)
+}
+
+let pack_chunks compiled (patterns : bool array array) =
+  let n_inputs = Compiled.n_inputs compiled in
+  let total = Array.length patterns in
+  let n_chunks = (total + word_bits - 1) / word_bits in
+  let scratch = Compiled.make_scratch compiled in
+  Array.init n_chunks (fun c ->
+      let start = c * word_bits in
+      let len = min word_bits (total - start) in
+      let words = Array.make n_inputs 0 in
+      for j = 0 to len - 1 do
+        let p = patterns.(start + j) in
+        for i = 0 to n_inputs - 1 do
+          if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
+        done
+      done;
+      Compiled.eval_words_into compiled ~scratch words;
+      {
+        start;
+        mask = (if len >= word_bits then max_int else (1 lsl len) - 1);
+        words;
+        good = Compiled.outputs_of_nets compiled scratch;
+      })
+
+(* Earliest detecting pattern of one job, scanning chunks in order.  With
+   [drop] the scan stops at the first detecting chunk; without it every
+   chunk is still evaluated (mirroring the serial engine's ~drop:false
+   workload), but the recorded detection is identical either way. *)
+let run_job_bit_parallel ~drop compiled chunks po scratch job =
+  let n_po = Array.length po in
+  let found = ref None in
+  let c = ref 0 in
+  let n_chunks = Array.length chunks in
+  while !c < n_chunks && not (drop && !found <> None) do
+    let ch = chunks.(!c) in
+    Compiled.eval_words_into ~override:(job.gate_id, job.fn) compiled ~scratch ch.words;
+    let diff = ref 0 in
+    for k = 0 to n_po - 1 do
+      diff := !diff lor (ch.good.(k) lxor scratch.(po.(k)))
+    done;
+    let diff = !diff land ch.mask in
+    if diff <> 0 && !found = None then begin
+      let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
+      found := Some (ch.start + lowest 0)
+    end;
+    incr c
+  done;
+  !found
+
+(* Serial inner engine: one evaluation per pattern (words carry a single
+   pattern in bit 0).  [pat_words] and [good] are precomputed, shared,
+   read-only. *)
+let run_job_serial ~drop compiled (pat_words : int array array) (good : int array array) po
+    scratch job =
+  let n_po = Array.length po in
+  let total = Array.length pat_words in
+  let found = ref None in
+  let pi = ref 0 in
+  while !pi < total && not (drop && !found <> None) do
+    Compiled.eval_words_into ~override:(job.gate_id, job.fn) compiled ~scratch pat_words.(!pi);
+    let diff = ref 0 in
+    for k = 0 to n_po - 1 do
+      diff := !diff lor ((good.(!pi).(k) lxor scratch.(po.(k))) land 1)
+    done;
+    if !diff <> 0 && !found = None then found := Some !pi;
+    incr pi
+  done;
+  !found
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let run ?(drop = true) ?(inner = Bit_parallel) ?num_domains compiled (jobs : job array)
+    (patterns : bool array array) =
+  let num_domains =
+    match num_domains with
+    | Some n ->
+        if n < 1 then invalid_arg "Parallel_exec.run: num_domains must be >= 1";
+        n
+    | None -> default_domains ()
+  in
+  let n = Array.length jobs in
+  let first = Array.make n None in
+  if n > 0 && Array.length patterns > 0 then begin
+    let po = Compiled.po_indices compiled in
+    let run_job =
+      match inner with
+      | Bit_parallel ->
+          let chunks = pack_chunks compiled patterns in
+          fun scratch job -> run_job_bit_parallel ~drop compiled chunks po scratch job
+      | Serial ->
+          let pat_words =
+            Array.map (fun p -> Array.map (fun b -> if b then 1 else 0) p) patterns
+          in
+          let scratch = Compiled.make_scratch compiled in
+          let good =
+            Array.map
+              (fun w ->
+                Compiled.eval_words_into compiled ~scratch w;
+                Array.map (fun i -> scratch.(i) land 1) po)
+              pat_words
+          in
+          fun scratch job -> run_job_serial ~drop compiled pat_words good po scratch job
+    in
+    let next = Atomic.make 0 in
+    let block = max 1 (n / (num_domains * 8)) in
+    let worker () =
+      let scratch = Compiled.make_scratch compiled in
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next block in
+        if start >= n then continue := false
+        else
+          for j = start to min n (start + block) - 1 do
+            let job = jobs.(j) in
+            first.(job.jid) <- run_job scratch job
+          done
+      done
+    in
+    let helpers = Array.init (num_domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  first

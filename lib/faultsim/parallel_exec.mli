@@ -1,0 +1,40 @@
+open Dynmos_sim
+
+(** Domain-parallel fault-simulation core (OCaml 5 [Domain]s, no
+    Domainslib): chunked work-stealing over fault-injection jobs via a
+    single atomic cursor.  The compiled netlist and packed pattern data
+    are shared read-only; each domain owns a private [Compiled.scratch]
+    and writes only its claimed jobs' result slots.
+
+    [Faultsim.run_domain_parallel] is the high-level entry point; this
+    module is exposed for callers that carry their own fault-site
+    representation. *)
+
+type job = {
+  jid : int;              (** slot in the result array *)
+  gate_id : int;          (** netlist gate whose function is overridden *)
+  fn : Compiled.gate_fn;  (** compiled faulty function *)
+}
+
+type inner = Serial | Bit_parallel  (** per-site evaluation kernel *)
+
+val word_bits : int
+(** Patterns per machine word in the [Bit_parallel] kernel (62). *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?drop:bool ->
+  ?inner:inner ->
+  ?num_domains:int ->
+  Compiled.t ->
+  job array ->
+  bool array array ->
+  int option array
+(** [run compiled jobs patterns] returns, per [jid], the index of the
+    first pattern whose primary outputs differ under the job's override —
+    bit-identical to the serial engine for every [inner], [num_domains]
+    and [drop] setting ([drop] only skips work after a site's first
+    detection, never changes results).  [num_domains] defaults to
+    [default_domains ()]; [inner] defaults to [Bit_parallel]. *)

@@ -105,11 +105,21 @@ let eval_fn fn (input_words : int array) =
     fn.cubes;
   !out
 
-(* [override] substitutes the function of one gate (fault injection). *)
-let eval_words ?override t (pi_words : int array) =
+(* Evaluation scratch state.  All mutable state of an evaluation lives in
+   the caller-provided [scratch] buffer: [t] itself is never written after
+   [compile], so one compiled netlist can be shared read-only across
+   domains — but a scratch buffer must belong to exactly one domain (or
+   one call chain); sharing it across domains races on every net value. *)
+type scratch = int array
+
+let make_scratch t = Array.make t.n_nets 0
+
+(* [override] substitutes the function of one gate (fault injection).
+   Writes every net's word into [scratch] (length [n_nets]). *)
+let eval_words_into ?override t ~(scratch : scratch) (pi_words : int array) =
   if Array.length pi_words <> t.n_inputs then invalid_arg "Compiled.eval_words: PI arity";
-  let nets = Array.make t.n_nets 0 in
-  Array.blit pi_words 0 nets 0 t.n_inputs;
+  if Array.length scratch <> t.n_nets then invalid_arg "Compiled.eval_words_into: scratch size";
+  Array.blit pi_words 0 scratch 0 t.n_inputs;
   Array.iter
     (fun cg ->
       let fn =
@@ -117,10 +127,14 @@ let eval_words ?override t (pi_words : int array) =
         | Some (gid, fn') when gid = cg.g.id -> fn'
         | _ -> cg.fn
       in
-      let ins = Array.map (fun i -> nets.(i)) cg.ins in
-      nets.(cg.out) <- eval_fn fn ins)
-    t.cgates;
-  nets
+      let ins = Array.map (fun i -> scratch.(i)) cg.ins in
+      scratch.(cg.out) <- eval_fn fn ins)
+    t.cgates
+
+let eval_words ?override t (pi_words : int array) =
+  let scratch = make_scratch t in
+  eval_words_into ?override t ~scratch pi_words;
+  scratch
 
 let outputs_of_nets t nets = Array.map (fun i -> nets.(i)) t.po
 

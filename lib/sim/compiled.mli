@@ -47,6 +47,19 @@ val eval_words : ?override:int * gate_fn -> t -> int array -> int array
     [override = (gate_id, fn)] substitutes one gate's function (fault
     injection). *)
 
+type scratch = int array
+(** Reusable evaluation buffer (one word per net).  A compiled netlist is
+    immutable after [compile] and safe to share across domains; a scratch
+    buffer holds all of an evaluation's mutable state and must be owned by
+    a single domain. *)
+
+val make_scratch : t -> scratch
+
+val eval_words_into : ?override:int * gate_fn -> t -> scratch:scratch -> int array -> unit
+(** [eval_words] without the per-call allocation: every net's word is
+    written into [scratch].  The allocation-free hot path of the
+    domain-parallel fault-simulation engine. *)
+
 val outputs_of_nets : t -> int array -> int array
 (** Select the primary-output words from an [eval_words] result. *)
 

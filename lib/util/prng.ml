@@ -44,9 +44,25 @@ let next_int64 t =
 
 let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
+(* Uniform in [0, bound) by rejection sampling: a draw landing in the
+   final partial copy of [0, bound) inside [0, 2^62) is redrawn, so every
+   value is exactly equally likely (plain [mod] over-weights the low
+   values for bounds not dividing 2^62).  Accepted draws reduce with the
+   same [mod] as before, so existing seeds keep their streams except on
+   the astronomically rare rejection (probability < bound / 2^62). *)
 let int t bound =
   assert (bound > 0);
-  bits62 t mod bound
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* 2^62 mod bound, computed without representing 2^62 (max_int = 2^62 - 1) *)
+    let rem = ((max_int mod bound) + 1) mod bound in
+    let cutoff = max_int - rem in
+    let rec draw () =
+      let x = bits62 t in
+      if x > cutoff then draw () else x mod bound
+    in
+    draw ()
+  end
 
 let float t =
   (* 53 uniformly distributed mantissa bits in [0,1). *)

@@ -18,7 +18,8 @@ val bits62 : t -> int
 (** Next 62-bit non-negative integer. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+(** [int t bound] is exactly uniform in [0, bound) (rejection sampling —
+    no modulo bias). [bound] must be positive. *)
 
 val float : t -> float
 (** Uniform float in [0, 1) with 53 random bits. *)

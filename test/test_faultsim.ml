@@ -47,14 +47,16 @@ let test_detects () =
   check "11000 detects a-open" true (Faultsim.detects u site [| true; true; false; false; false |]);
   check "00011 does not" false (Faultsim.detects u site [| false; false; false; true; true |])
 
+(* All engines — serial, bit-parallel, deductive, concurrent and the two
+   domain-parallel kernels — must produce identical first_detection. *)
 let engines_agree u patterns =
   let s1 = Faultsim.run_serial ~drop:false u patterns in
-  let s2 = Faultsim.run_parallel ~drop:false u patterns in
-  let s3 = Faultsim.run_deductive ~drop:false u patterns in
-  let s4 = Faultsim.run_concurrent ~drop:false u patterns in
-  s1.Faultsim.first_detection = s2.Faultsim.first_detection
-  && s2.Faultsim.first_detection = s3.Faultsim.first_detection
-  && s3.Faultsim.first_detection = s4.Faultsim.first_detection
+  let agree s = s.Faultsim.first_detection = s1.Faultsim.first_detection in
+  agree (Faultsim.run_parallel ~drop:false u patterns)
+  && agree (Faultsim.run_deductive ~drop:false u patterns)
+  && agree (Faultsim.run_concurrent ~drop:false u patterns)
+  && agree (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Bit_parallel u patterns)
+  && agree (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Serial u patterns)
 
 let test_engines_agree_fig9 () =
   let u = fig9_u () in
@@ -80,6 +82,91 @@ let test_engines_agree_benchmarks () =
       Generators.random_monotone ~seed:3 ~n_inputs:6 ~n_gates:12
         ~technology:Technology.Domino_cmos ();
     ]
+
+(* Cross-engine differential suite: pattern-count edge cases around the
+   62-bit word boundary, and multi-output circuits. *)
+let test_engines_agree_edge_counts () =
+  let u = Faultsim.universe (Generators.ripple_adder ~style:`Domino 2) in
+  let n_in = List.length (Netlist.inputs (Generators.ripple_adder ~style:`Domino 2)) in
+  let prng = Prng.create 7 in
+  List.iter
+    (fun count ->
+      let pats = Faultsim.random_patterns prng ~n_inputs:n_in ~count in
+      check (Fmt.str "%d patterns" count) true (engines_agree u pats))
+    [ 0; 1; 61; 62; 63; 124; 125 ]
+
+let test_engines_agree_multi_output () =
+  let prng = Prng.create 29 in
+  List.iter
+    (fun nl ->
+      let u = Faultsim.universe nl in
+      check
+        (Fmt.str "%s (%d outputs)" (Netlist.name nl) (List.length (Netlist.outputs nl)))
+        true
+        (List.length (Netlist.outputs nl) > 1
+        && engines_agree u
+             (Faultsim.random_patterns prng
+                ~n_inputs:(List.length (Netlist.inputs nl))
+                ~count:80))
+    )
+    [
+      Generators.ripple_adder ~style:`Domino 3;
+      Generators.decoder ~style:`Domino 3;
+      Generators.random_monotone ~seed:13 ~n_inputs:7 ~n_gates:15
+        ~technology:Technology.Domino_cmos ();
+    ]
+
+(* --- Domain-parallel layer -------------------------------------------------- *)
+
+(* Same results for every domain count, for both inner kernels. *)
+let test_domain_counts_equal () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 6 in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 41 in
+  let pats =
+    Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count:90
+  in
+  let reference = Faultsim.run_serial ~drop:false u pats in
+  List.iter
+    (fun inner ->
+      List.iter
+        (fun n ->
+          let s = Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n u pats in
+          check (Fmt.str "num_domains=%d" n) true
+            (s.Faultsim.first_detection = reference.Faultsim.first_detection))
+        [ 1; 2; 4 ])
+    [ Parallel_exec.Serial; Parallel_exec.Bit_parallel ]
+
+(* Dropping only skips work after a site's first detection: summaries with
+   and without dropping are identical, for any domain count. *)
+let test_domain_drop_semantics () =
+  let nl = Generators.c17 ~style:`Domino () in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 43 in
+  let pats =
+    Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count:100
+  in
+  List.iter
+    (fun n ->
+      let with_drop = Faultsim.run_domain_parallel ~drop:true ~num_domains:n u pats in
+      let without = Faultsim.run_domain_parallel ~drop:false ~num_domains:n u pats in
+      check (Fmt.str "drop invariant, num_domains=%d" n) true
+        (with_drop.Faultsim.first_detection = without.Faultsim.first_detection);
+      check (Fmt.str "matches serial, num_domains=%d" n) true
+        (with_drop.Faultsim.first_detection
+        = (Faultsim.run_serial ~drop:true u pats).Faultsim.first_detection))
+    [ 1; 3 ]
+
+let test_domain_empty_universe () =
+  (* More domains than sites, and zero patterns, must both be safe. *)
+  let u = fig9_u () in
+  let s = Faultsim.run_domain_parallel ~num_domains:8 u [||] in
+  check_i "no patterns" 0 s.Faultsim.n_patterns;
+  check "nothing detected" true (Array.for_all (( = ) None) s.Faultsim.first_detection);
+  let pats = Faultsim.exhaustive_patterns 5 in
+  let s = Faultsim.run_domain_parallel ~num_domains:32 u pats in
+  check "32 domains, 10 sites" true
+    (s.Faultsim.first_detection = (Faultsim.run_serial u pats).Faultsim.first_detection)
 
 let test_exhaustive_full_coverage () =
   (* Every site of the fig9 universe is detectable (library excluded the
@@ -231,9 +318,19 @@ let () =
         [
           Alcotest.test_case "agree on fig9 (exhaustive)" `Quick test_engines_agree_fig9;
           Alcotest.test_case "agree on benchmarks" `Quick test_engines_agree_benchmarks;
+          Alcotest.test_case "agree at word-boundary pattern counts" `Quick
+            test_engines_agree_edge_counts;
+          Alcotest.test_case "agree on multi-output circuits" `Quick
+            test_engines_agree_multi_output;
           Alcotest.test_case "exhaustive full coverage" `Quick test_exhaustive_full_coverage;
           Alcotest.test_case "coverage monotone in patterns" `Quick test_more_patterns_dont_hurt;
           Alcotest.test_case "fault dropping consistent" `Quick test_drop_consistency;
+        ] );
+      ( "domain-parallel",
+        [
+          Alcotest.test_case "equal across domain counts" `Quick test_domain_counts_equal;
+          Alcotest.test_case "drop/no-drop identical" `Quick test_domain_drop_semantics;
+          Alcotest.test_case "degenerate shapes" `Quick test_domain_empty_universe;
         ] );
       ( "results",
         [

@@ -41,6 +41,31 @@ let test_uniformity () =
     buckets;
   check "uniform" true true
 
+(* Rejection sampling removes the modulo bias of [bits62 mod bound]: with a
+   bound just above half of 2^62, plain mod would return values below
+   2^62 mod bound twice as often.  Check exact-uniformity machinery on a
+   non-power-of-two bound (chi-square-ish tolerance) and the power-of-two
+   fast path against the masked raw stream. *)
+let test_int_unbiased_bound () =
+  let p = Prng.create 17 in
+  let bound = 6 in
+  let buckets = Array.make bound 0 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let v = Prng.int p bound in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / bound in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.fail (Fmt.str "bucket %d skewed: %d" i c))
+    buckets;
+  let a = Prng.create 23 and b = Prng.create 23 in
+  for _ = 1 to 1000 do
+    check_i "pow2 path = masked bits62" (Prng.bits62 a land 15) (Prng.int b 16)
+  done
+
 let test_bernoulli () =
   let p = Prng.create 13 in
   let n = 50_000 in
@@ -90,6 +115,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "ranges" `Quick test_ranges;
           Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "int unbiased" `Quick test_int_unbiased_bound;
           Alcotest.test_case "bernoulli" `Quick test_bernoulli;
           Alcotest.test_case "split" `Quick test_split_independence;
           Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
