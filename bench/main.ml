@@ -6,7 +6,8 @@
    Usage:
      dune exec bench/main.exe                    run every experiment
      dune exec bench/main.exe -- e5 e8           run selected experiments
-     dune exec bench/main.exe -- --no-bechamel   skip the timing suite *)
+     dune exec bench/main.exe -- --no-bechamel   skip the timing suite
+     dune exec bench/main.exe -- e17 --tiny      E17 CI smoke (small sizes) *)
 
 open Dynmos_util
 open Dynmos_expr
@@ -348,13 +349,15 @@ let e11 () =
   pf "  %-14s %11s %7s %7s %12s@." "cell" "transistors" "faults" "classes" "time";
   List.iter
     (fun cell ->
-      let t0 = Sys.time () in
+      (* Wall clock, like every other timing in this harness (Sys.time is
+         CPU time and disagrees once domains are involved). *)
+      let t0 = Unix.gettimeofday () in
       let reps = 50 in
       let lib = ref (Faultlib.generate cell) in
       for _ = 2 to reps do
         lib := Faultlib.generate cell
       done;
-      let dt = (Sys.time () -. t0) /. float_of_int reps in
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
       pf "  %-14s %11d %7d %7d %9.3f ms@." (Cell.name cell) (Cell.n_transistors cell)
         !lib.Faultlib.n_faults (Faultlib.n_classes !lib) (1000.0 *. dt))
     library_cells;
@@ -553,45 +556,83 @@ let e16 () =
    size and emits machine-readable BENCH_faultsim.json so the performance
    trajectory of the hot path is tracked from PR to PR.  Wall-clock time
    (not Sys.time: CPU time sums over domains and would hide any speedup);
-   drop disabled so the workload is size-stable. *)
+   drop disabled so the workload is size-stable.
 
-let bench_circuits =
-  [
-    ("carry8", Generators.carry_chain ~technology:Technology.Domino_cmos 8, 128);
-    ("carry16", Generators.carry_chain ~technology:Technology.Domino_cmos 16, 128);
-    ( "rand60",
-      Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
-        ~technology:Technology.Domino_cmos (),
-      128 );
-    ( "rand120",
-      Generators.random_monotone ~seed:7 ~n_inputs:16 ~n_gates:120
-        ~technology:Technology.Domino_cmos (),
-      128 );
-  ]
+   Methodology: one warmup iteration (touches the caches, triggers any
+   lazy compilation) followed by at least five timed repetitions; the
+   JSON records median, min and max so a noisy host is visible as spread
+   instead of silently biasing a single sample.  Domain-scaling entries
+   record both the requested and the effective domain count: the pool
+   clamps tiny workloads to one domain (see Parallel_exec), so a
+   single-site-per-domain workload reports speedup ~1.0 instead of the
+   spawn-cost collapse. *)
 
-let time_best_of reps f =
-  let best = ref infinity in
-  for _ = 1 to reps do
+let tiny_mode = ref false
+(* --tiny: CI smoke — small circuits, few patterns, same code path. *)
+
+let bench_circuits () =
+  let full =
+    [
+      (* fig9 is the deliberate tiny workload: a handful of sites, so
+         every multi-domain request exercises the job/work clamps. *)
+      ("fig9", Generators.fig9_network (), 128, [ 1; 2; 4; 16 ]);
+      ("carry8", Generators.carry_chain ~technology:Technology.Domino_cmos 8, 128, [ 1; 2; 4 ]);
+      ("carry16", Generators.carry_chain ~technology:Technology.Domino_cmos 16, 128, [ 1; 2; 4 ]);
+      ( "rand60",
+        Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
+          ~technology:Technology.Domino_cmos (),
+        128,
+        [ 1; 2; 4 ] );
+      ( "rand120",
+        Generators.random_monotone ~seed:7 ~n_inputs:16 ~n_gates:120
+          ~technology:Technology.Domino_cmos (),
+        128,
+        [ 1; 2; 4 ] );
+    ]
+  in
+  if not !tiny_mode then full
+  else
+    List.filter_map
+      (fun (name, nl, _, doms) ->
+        if name = "fig9" || name = "carry8" then Some (name, nl, 16, doms) else None)
+      full
+
+type timing = { median : float; t_min : float; t_max : float; reps : int }
+
+let time_reps ?(warmup = 1) ?(reps = 5) f =
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let samples = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
     let t0 = Unix.gettimeofday () in
     ignore (Sys.opaque_identity (f ()));
-    best := Float.min !best (Unix.gettimeofday () -. t0)
+    samples.(i) <- Unix.gettimeofday () -. t0
   done;
-  !best
+  Array.sort Float.compare samples;
+  { median = samples.(reps / 2); t_min = samples.(0); t_max = samples.(reps - 1); reps }
 
 let e17 () =
-  let domain_counts = [ 1; 2; 4 ] in
-  pf "Engine throughput (patterns/s, drop disabled, wall clock) and domain@.";
-  pf "scaling; recommended_domain_count = %d on this host.@."
+  let reps = 5 in
+  pf "Engine throughput (patterns/s, drop disabled, wall clock, median of %d@." reps;
+  pf "after 1 warmup) and domain scaling; recommended_domain_count = %d.@."
     (Domain.recommended_domain_count ());
+  if !tiny_mode then pf "  (--tiny: reduced circuits and pattern counts)@.";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Fmt.str "  \"recommended_domains\": %d,\n  \"word_bits\": %d,\n  \"circuits\": [\n"
+    (Fmt.str
+       "  \"env\": {\"recommended_domains\": %d, \"ocaml_version\": \"%s\", \"word_size\": %d, \
+        \"os_type\": \"%s\", \"word_bits\": %d},\n"
        (Domain.recommended_domain_count ())
-       Parallel_exec.word_bits);
-  let n_circuits = List.length bench_circuits in
+       Sys.ocaml_version Sys.word_size Sys.os_type Parallel_exec.word_bits);
+  Buffer.add_string buf
+    (Fmt.str "  \"timing\": {\"warmup\": 1, \"reps\": %d, \"statistic\": \"median\"},\n" reps);
+  Buffer.add_string buf "  \"circuits\": [\n";
+  let circuits = bench_circuits () in
+  let n_circuits = List.length circuits in
   List.iteri
-    (fun ci (name, nl, count) ->
+    (fun ci (name, nl, count, domain_counts) ->
       let u = Faultsim.universe nl in
       let prng = Prng.create 17 in
       let pats =
@@ -599,41 +640,65 @@ let e17 () =
       in
       pf "  %-10s %3d gates, %4d sites, %d patterns:@." name (Netlist.n_gates nl)
         (Faultsim.n_sites u) count;
-      let pps dt = float_of_int count /. Float.max 1e-9 dt in
-      let entry label dt extra =
-        pf "    %-22s %8.4f s  %10.0f patterns/s%s@." label dt (pps dt) extra
+      let pps t = float_of_int count /. Float.max 1e-9 t.median in
+      let entry label t extra =
+        pf "    %-26s %8.4f s [%0.4f..%0.4f]  %10.0f patterns/s%s@." label t.median t.t_min
+          t.t_max (pps t) extra
       in
-      let measure f = time_best_of 2 f in
-      let t_serial = measure (fun () -> Faultsim.run_serial ~drop:false u pats) in
+      let t_serial = time_reps ~reps (fun () -> Faultsim.run_serial ~drop:false u pats) in
       entry "serial" t_serial "";
-      let t_bitpar = measure (fun () -> Faultsim.run_parallel ~drop:false u pats) in
+      let t_bitpar = time_reps ~reps (fun () -> Faultsim.run_parallel ~drop:false u pats) in
       entry "bit-parallel" t_bitpar "";
+      (* One stats-bearing run per (inner, n) reveals the effective domain
+         count the clamp settled on; the timed runs then use the exact
+         same configuration. *)
       let scaling inner =
         List.map
           (fun n ->
-            (n, measure (fun () ->
-                     Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n u pats)))
+            let _, st =
+              Faultsim.run_domain_parallel_stats ~drop:false ~inner ~num_domains:n u pats
+            in
+            let t =
+              time_reps ~reps (fun () ->
+                  Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n u pats)
+            in
+            (n, st.Parallel_exec.effective_domains, t))
           domain_counts
       in
       let dom_bit = scaling Parallel_exec.Bit_parallel in
       let dom_ser = scaling Parallel_exec.Serial in
+      let t1_of results =
+        match List.find_opt (fun (n, _, _) -> n = 1) results with
+        | Some (_, _, t) -> t.median
+        | None -> (match results with (_, _, t) :: _ -> t.median | [] -> 1.0)
+      in
       let report label results =
-        let t1 = List.assoc 1 results in
+        let t1 = t1_of results in
         List.iter
-          (fun (n, dt) ->
-            entry (Fmt.str "%s x%d" label n) dt (Fmt.str "  (speedup %.2fx)" (t1 /. dt)))
+          (fun (n, eff, t) ->
+            entry
+              (Fmt.str "%s x%d (eff %d)" label n eff)
+              t
+              (Fmt.str "  (speedup %.2fx)" (t1 /. t.median)))
           results
       in
       report "domains/bit-parallel" dom_bit;
       report "domains/serial" dom_ser;
-      let json_engine name dt = Fmt.str "\"%s\": {\"seconds\": %.6f, \"patterns_per_s\": %.1f}" name dt (pps dt) in
+      let json_timing t =
+        Fmt.str
+          "\"seconds_median\": %.6f, \"seconds_min\": %.6f, \"seconds_max\": %.6f, \"reps\": %d, \
+           \"patterns_per_s\": %.1f"
+          t.median t.t_min t.t_max t.reps (pps t)
+      in
+      let json_engine name t = Fmt.str "\"%s\": {%s}" name (json_timing t) in
       let json_scaled prefix results =
-        let t1 = List.assoc 1 results in
+        let t1 = t1_of results in
         List.map
-          (fun (n, dt) ->
+          (fun (n, eff, t) ->
             Fmt.str
-              "\"%s_%d\": {\"seconds\": %.6f, \"patterns_per_s\": %.1f, \"speedup_vs_1\": %.3f}"
-              prefix n dt (pps dt) (t1 /. dt))
+              "\"%s_%d\": {%s, \"speedup_vs_1\": %.3f, \"requested_domains\": %d, \
+               \"effective_domains\": %d}"
+              prefix n (json_timing t) (t1 /. t.median) n eff)
           results
       in
       Buffer.add_string buf
@@ -646,7 +711,7 @@ let e17 () =
               @ json_scaled "domains_bit_parallel" dom_bit
               @ json_scaled "domains_serial" dom_ser))
            (if ci = n_circuits - 1 then "" else ",")))
-    bench_circuits;
+    circuits;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out "BENCH_faultsim.json" in
   output_string oc (Buffer.contents buf);
@@ -770,6 +835,7 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_bechamel = List.mem "--no-bechamel" args in
+  tiny_mode := List.mem "--tiny" args;
   let selected = List.filter (fun a -> String.length a < 2 || a.[0] <> '-') args in
   let to_run =
     if selected = [] then experiments

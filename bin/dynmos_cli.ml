@@ -22,6 +22,38 @@ open Dynmos_faultsim
 open Dynmos_protest
 open Dynmos_atpg
 open Dynmos_circuits
+module Obs = Dynmos_obs.Obs
+
+(* --- Argument hardening ---------------------------------------------------- *)
+
+(* Validating converters: a nonsensical numeric argument must die as a
+   clean Cmdliner usage error at parse time, never as an uncaught
+   [Invalid_argument] backtrace from deep inside a library. *)
+
+let bounded_int ~what ?(min = Stdlib.min_int) ?(max = Stdlib.max_int) () =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Fmt.str "%s: expected an integer, got %S" what s))
+    | Some n when n < min -> Error (`Msg (Fmt.str "%s must be >= %d (got %d)" what min n))
+    | Some n when n > max -> Error (`Msg (Fmt.str "%s must be <= %d (got %d)" what max n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let open_probability ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Fmt.str "%s: expected a number, got %S" what s))
+    | Some p when p > 0.0 && p < 1.0 -> Ok p
+    | Some p -> Error (`Msg (Fmt.str "%s must lie strictly between 0 and 1 (got %g)" what p))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+(* Second line of defense for anything the converters cannot know (file
+   errors, library-level validation): report instead of backtracing. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg -> `Error (false, msg)
 
 (* --- Built-in benchmark circuits ----------------------------------------- *)
 
@@ -80,6 +112,7 @@ let faultlib_cmd =
              ~doc:"Use the weak-device electrical model (CMOS-3 becomes a delay fault).")
   in
   let run file emit weak =
+    guard @@ fun () ->
     match Cell_parser.cells (read_file file) with
     | exception Cell_parser.Error msg -> `Error (false, msg)
     | exception Sys_error msg -> `Error (false, msg)
@@ -105,7 +138,7 @@ let faultlib_cmd =
 
 let faultsim_cmd =
   let patterns =
-    Arg.(value & opt int 256
+    Arg.(value & opt (bounded_int ~what:"--patterns" ~min:0 ()) 256
          & info [ "patterns"; "n" ] ~docv:"N" ~doc:"Number of random patterns to simulate.")
   in
   let seed =
@@ -129,16 +162,29 @@ let faultsim_cmd =
                 (multicore domain-parallel).")
   in
   let jobs =
-    Arg.(value & opt int 0
+    Arg.(value & opt (bounded_int ~what:"--jobs" ~min:0 ()) 0
          & info [ "jobs"; "j" ] ~docv:"N"
              ~doc:
                "Worker domains for the 'domains' engine (0 = \
-                Domain.recommended_domain_count ()).")
+                Domain.recommended_domain_count ()); clamped to the site count and the \
+                estimated work.")
   in
   let no_drop =
     Arg.(value & flag & info [ "no-drop" ] ~doc:"Simulate every fault on every pattern.")
   in
-  let run name patterns seed engine jobs no_drop =
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print run counters (and per-domain scheduling statistics for the 'domains' \
+                   engine) after the summary.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Append every observability event as one JSON line to $(docv).")
+  in
+  let run name patterns seed engine jobs no_drop stats trace =
+    guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
     | Ok nl ->
@@ -150,27 +196,50 @@ let faultsim_cmd =
         in
         let drop = not no_drop in
         let num_domains = if jobs <= 0 then None else Some jobs in
+        (* Observability: --stats collects events in memory for a printed
+           summary; --trace streams them to a JSONL file; both compose. *)
+        let fetch_events = ref (fun () -> []) in
+        let trace_oc = ref None in
+        let sink =
+          let s = Obs.null_sink in
+          let s =
+            if stats then begin
+              let mem, fetch = Obs.memory_sink () in
+              fetch_events := fetch;
+              Obs.tee s mem
+            end
+            else s
+          in
+          match trace with
+          | None -> s
+          | Some file ->
+              let oc = open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 file in
+              trace_oc := Some oc;
+              Obs.tee s (Obs.channel_sink oc)
+        in
+        let obs = Obs.make sink in
         let t0 = Unix.gettimeofday () in
-        let s =
+        let s, domain_stats =
           match engine with
-          | `Serial -> Faultsim.run_serial ~drop u pats
-          | `Parallel -> Faultsim.run_parallel ~drop u pats
-          | `Deductive -> Faultsim.run_deductive ~drop u pats
-          | `Concurrent -> Faultsim.run_concurrent ~drop u pats
-          | `Domains -> Faultsim.run_domain_parallel ~drop ?num_domains u pats
+          | `Serial -> (Faultsim.run_serial ~drop ~obs u pats, None)
+          | `Parallel -> (Faultsim.run_parallel ~drop ~obs u pats, None)
+          | `Deductive -> (Faultsim.run_deductive ~drop ~obs u pats, None)
+          | `Concurrent -> (Faultsim.run_concurrent ~drop ~obs u pats, None)
+          | `Domains ->
+              let s, st = Faultsim.run_domain_parallel_stats ~drop ?num_domains ~obs u pats in
+              (s, Some st)
         in
         let dt = Unix.gettimeofday () -. t0 in
         let engine_name =
-          match engine with
-          | `Serial -> "serial"
-          | `Parallel -> "parallel"
-          | `Deductive -> "deductive"
-          | `Concurrent -> "concurrent"
-          | `Domains ->
-              Fmt.str "domains(%d)"
-                (match num_domains with
-                | Some n -> n
-                | None -> Domain.recommended_domain_count ())
+          match (engine, domain_stats) with
+          | `Domains, Some st ->
+              Fmt.str "domains(%d requested, %d effective)"
+                st.Parallel_exec.requested_domains st.Parallel_exec.effective_domains
+          | `Serial, _ -> "serial"
+          | `Parallel, _ -> "parallel"
+          | `Deductive, _ -> "deductive"
+          | `Concurrent, _ -> "concurrent"
+          | `Domains, None -> "domains"
         in
         Format.printf "%s: %d sites, %d patterns -> %.2f%% coverage (%d detected)@."
           (Netlist.name nl) (Faultsim.n_sites u) patterns
@@ -178,17 +247,40 @@ let faultsim_cmd =
           (Faultsim.n_detected s);
         Format.printf "engine %s: %.4f s wall, %.0f patterns/s@." engine_name dt
           (float_of_int patterns /. Float.max 1e-9 dt);
+        if stats then begin
+          List.iter
+            (fun e ->
+              if e.Obs.ev = "faultsim.run" then begin
+                Format.printf "stats:";
+                List.iter
+                  (fun (k, v) ->
+                    Format.printf " %s=%s" k
+                      (match v with
+                      | Obs.Bool b -> string_of_bool b
+                      | Obs.Int i -> string_of_int i
+                      | Obs.Float f -> Fmt.str "%.6f" f
+                      | Obs.String s -> s))
+                  e.Obs.fields;
+                Format.printf "@."
+              end)
+            (!fetch_events ());
+          Option.iter (Parallel_exec.pp_stats Format.std_formatter) domain_stats
+        end;
+        Option.iter close_out !trace_oc;
+        (match trace with
+        | Some file -> Format.printf "trace written to %s@." file
+        | None -> ());
         `Ok ()
   in
   let doc = "Random-pattern fault simulation with a selectable engine (--jobs for multicore)." in
   Cmd.v (Cmd.info "faultsim" ~doc)
-    Term.(ret (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ no_drop))
+    Term.(ret (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ no_drop $ stats $ trace))
 
 (* --- protest ---------------------------------------------------------------- *)
 
 let protest_cmd =
   let confidence =
-    Arg.(value & opt float 0.999
+    Arg.(value & opt (open_probability ~what:"--confidence") 0.999
          & info [ "confidence"; "c" ] ~docv:"C" ~doc:"Demanded test confidence in (0,1).")
   in
   let optimize =
@@ -198,6 +290,7 @@ let protest_cmd =
     Arg.(value & flag & info [ "validate" ] ~doc:"Fault-simulate the proposed random test.")
   in
   let run name confidence optimize validate =
+    guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
     | Ok nl ->
@@ -220,10 +313,12 @@ let protest_cmd =
 
 let selftest_cmd =
   let cycles =
-    Arg.(value & opt int 500 & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Session length in clocks.")
+    Arg.(value & opt (bounded_int ~what:"--cycles" ~min:0 ()) 500
+         & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Session length in clocks.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
   let run name cycles seed =
+    guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
     | Ok nl ->
@@ -240,6 +335,7 @@ let selftest_cmd =
 
 let atpg_cmd =
   let run name =
+    guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
     | Ok nl ->
@@ -268,6 +364,7 @@ let atpg_cmd =
 
 let diagnose_cmd =
   let run name =
+    guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
     | Ok nl ->

@@ -2,6 +2,7 @@ open Dynmos_cell
 open Dynmos_core
 open Dynmos_netlist
 open Dynmos_sim
+module Obs = Dynmos_obs.Obs
 
 (* Fault simulation over netlists.
 
@@ -101,6 +102,29 @@ let merge_detection a b =
   | (Some _ as d), None | None, (Some _ as d) -> d
   | None, None -> None
 
+(* --- Observability -------------------------------------------------------- *)
+
+(* Per-run totals: the engines tally plain ints in their loops (an int
+   add is noise next to a netlist evaluation) and emit one
+   "faultsim.run" event when the recorder is enabled; a disabled
+   recorder costs the [Obs.enabled] branch and never reads the clock.
+   The "evals" field counts faulty-machine kernel evaluations — the unit
+   each engine's work is measured in (single-pattern circuit evaluations
+   for serial, packed-word chunk evaluations for bit-parallel, gate
+   function evaluations for deductive/concurrent) — and "evals_saved"
+   the ones fault dropping skipped. *)
+
+let start_time obs = if Obs.enabled obs then Obs.now () else 0.0
+
+let emit_run obs ~engine ~n_sites ~n_patterns ~t0 fields =
+  if Obs.enabled obs then
+    Obs.emit obs ~ev:"faultsim.run"
+      (("engine", Obs.String engine)
+      :: ("sites", Obs.Int n_sites)
+      :: ("patterns", Obs.Int n_patterns)
+      :: ("dt_s", Obs.Float (Obs.now () -. t0))
+      :: fields)
+
 (* --- Serial -------------------------------------------------------------- *)
 
 let detects u site pattern =
@@ -108,23 +132,32 @@ let detects u site pattern =
   let faulty = Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern in
   good <> faulty
 
-let run_serial ?(drop = true) u (patterns : bool array array) =
+let run_serial ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+  let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
+  let evals = ref 0 in
+  let saved = ref 0 in
   Array.iteri
     (fun pi pattern ->
       let good = Compiled.eval u.compiled pattern in
       Array.iter
         (fun site ->
-          if (not drop) || first.(site.sid) = None then
+          if (not drop) || first.(site.sid) = None then begin
+            incr evals;
             let faulty =
               Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern
             in
             if faulty <> good then
-              first.(site.sid) <- merge_detection first.(site.sid) (Some pi))
+              first.(site.sid) <- merge_detection first.(site.sid) (Some pi)
+          end
+          else incr saved)
         u.sites)
     patterns;
-  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+  let total = Array.length patterns in
+  emit_run obs ~engine:"serial" ~n_sites:n ~n_patterns:total ~t0
+    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved); ("good_evals", Obs.Int total) ];
+  { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Bit-parallel (62 patterns per word) --------------------------------- *)
 
@@ -140,11 +173,14 @@ let pack_patterns n_inputs (patterns : bool array array) ~from ~len =
   done;
   words
 
-let run_parallel ?(drop = true) u (patterns : bool array array) =
+let run_parallel ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+  let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
   let n_inputs = Compiled.n_inputs u.compiled in
   let total = Array.length patterns in
+  let evals = ref 0 in
+  let saved = ref 0 in
   let chunk_start = ref 0 in
   while !chunk_start < total do
     let len = min word_bits (total - !chunk_start) in
@@ -154,6 +190,7 @@ let run_parallel ?(drop = true) u (patterns : bool array array) =
     Array.iter
       (fun site ->
         if (not drop) || first.(site.sid) = None then begin
+          incr evals;
           let faulty =
             Compiled.outputs_of_nets u.compiled
               (Compiled.eval_words ~override:(site.gate.Netlist.id, site.fn) u.compiled words)
@@ -167,10 +204,13 @@ let run_parallel ?(drop = true) u (patterns : bool array array) =
             let j = lowest 0 in
             first.(site.sid) <- merge_detection first.(site.sid) (Some (!chunk_start + j))
           end
-        end)
+        end
+        else incr saved)
       u.sites;
     chunk_start := !chunk_start + len
   done;
+  emit_run obs ~engine:"parallel" ~n_sites:n ~n_patterns:total ~t0
+    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
   { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Deductive ------------------------------------------------------------ *)
@@ -183,9 +223,12 @@ module Int_set = Set.Make (Int)
    on the faults' membership pattern (this handles multiple faulted inputs
    from reconvergent fan-out correctly), plus the gate's own local faults
    whose faulty function differs under the applied input vector. *)
-let run_deductive ?(drop = true) u (patterns : bool array array) =
+let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+  let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
+  let evals = ref 0 in
+  let saved = ref 0 in
   let compiled = u.compiled in
   let n_nets = Compiled.n_nets compiled in
   let gates = Compiled.gates compiled in
@@ -213,6 +256,7 @@ let run_deductive ?(drop = true) u (patterns : bool array array) =
           let propagated =
             Int_set.filter
               (fun f ->
+                incr evals;
                 let flipped =
                   Array.init arity (fun k ->
                       if Int_set.mem f lists.(ins.(k)) then not in_vals.(k) else in_vals.(k))
@@ -224,11 +268,16 @@ let run_deductive ?(drop = true) u (patterns : bool array array) =
           let with_local =
             List.fold_left
               (fun acc site ->
-                if drop && dropped.(site.sid) then acc
-                else
+                if drop && dropped.(site.sid) then begin
+                  incr saved;
+                  acc
+                end
+                else begin
+                  incr evals;
                   let words = Array.map (fun b -> if b then 1 else 0) in_vals in
                   let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-                  if fv <> good_out then Int_set.add site.sid acc else acc)
+                  if fv <> good_out then Int_set.add site.sid acc else acc
+                end)
               propagated
               (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
           in
@@ -244,6 +293,8 @@ let run_deductive ?(drop = true) u (patterns : bool array array) =
             lists.(po))
         (Compiled.po_indices compiled))
     patterns;
+  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:(Array.length patterns) ~t0
+    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
   { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
 
 (* --- Concurrent ------------------------------------------------------------ *)
@@ -264,9 +315,12 @@ let run_deductive ?(drop = true) u (patterns : bool array array) =
 
 module Int_map = Map.Make (Int)
 
-let run_concurrent ?(drop = true) u (patterns : bool array array) =
+let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+  let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
+  let evals = ref 0 in
+  let saved = ref 0 in
   let compiled = u.compiled in
   let n_nets = Compiled.n_nets compiled in
   let gates = Compiled.gates compiled in
@@ -299,6 +353,7 @@ let run_concurrent ?(drop = true) u (patterns : bool array array) =
           let out_map = ref Int_map.empty in
           Int_map.iter
             (fun site () ->
+              incr evals;
               let faulty_ins =
                 Array.init arity (fun k ->
                     match Int_map.find_opt site diverged.(ins.(k)) with
@@ -318,12 +373,13 @@ let run_concurrent ?(drop = true) u (patterns : bool array array) =
              good inputs; their gate function is the faulty one). *)
           List.iter
             (fun site ->
-              if not (drop && dropped.(site.sid)) then
-                if not (Int_map.mem site.sid !out_map) then begin
-                  let words = Array.map (fun b -> if b then 1 else 0) in_vals in
-                  let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-                  if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
-                end)
+              if drop && dropped.(site.sid) then incr saved
+              else if not (Int_map.mem site.sid !out_map) then begin
+                incr evals;
+                let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
+              end)
             (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
           diverged.(cg.Compiled.out) <- !out_map)
         gates;
@@ -336,6 +392,8 @@ let run_concurrent ?(drop = true) u (patterns : bool array array) =
             diverged.(po))
         (Compiled.po_indices compiled))
     patterns;
+  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:(Array.length patterns) ~t0
+    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
   { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
 
 (* --- Domain-parallel -------------------------------------------------------- *)
@@ -344,23 +402,70 @@ let run_concurrent ?(drop = true) u (patterns : bool array array) =
    (work-stealing pool in Parallel_exec); inside each site the serial or
    bit-parallel kernel runs unchanged, so first-detection results are
    bit-identical to [run_serial] for every domain count. *)
-let run_domain_parallel ?drop ?inner ?num_domains u (patterns : bool array array) =
+let run_domain_parallel_stats ?drop ?inner ?num_domains ?min_work_per_domain
+    ?(obs = Obs.disabled) u (patterns : bool array array) =
+  let t0 = start_time obs in
   let jobs =
     Array.map
       (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
       u.sites
   in
-  let first = Parallel_exec.run ?drop ?inner ?num_domains u.compiled jobs patterns in
-  { n_sites = n_sites u; n_patterns = Array.length patterns; first_detection = first }
+  let first, stats =
+    Parallel_exec.run_with_stats ?drop ?inner ?num_domains ?min_work_per_domain ~obs u.compiled
+      jobs patterns
+  in
+  emit_run obs ~engine:"domains" ~n_sites:(n_sites u) ~n_patterns:(Array.length patterns) ~t0
+    [
+      ("evals", Obs.Int (Parallel_exec.stats_evals stats));
+      ("evals_saved", Obs.Int (Parallel_exec.stats_evals_saved stats));
+      ("effective_domains", Obs.Int stats.Parallel_exec.effective_domains);
+    ];
+  ( { n_sites = n_sites u; n_patterns = Array.length patterns; first_detection = first },
+    stats )
+
+let run_domain_parallel ?drop ?inner ?num_domains ?min_work_per_domain ?obs u patterns =
+  fst (run_domain_parallel_stats ?drop ?inner ?num_domains ?min_work_per_domain ?obs u patterns)
 
 (* --- Random-pattern driver ------------------------------------------------ *)
 
 let random_patterns ?(weights : float array option) prng ~n_inputs ~count =
+  if n_inputs < 0 then
+    invalid_arg (Fmt.str "Faultsim.random_patterns: n_inputs must be >= 0 (got %d)" n_inputs);
+  if count < 0 then
+    invalid_arg (Fmt.str "Faultsim.random_patterns: count must be >= 0 (got %d)" count);
+  (match weights with
+  | None -> ()
+  | Some w ->
+      if Array.length w < n_inputs then
+        invalid_arg
+          (Fmt.str
+             "Faultsim.random_patterns: weights has %d entries but the circuit has %d inputs"
+             (Array.length w) n_inputs);
+      Array.iteri
+        (fun i p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg
+              (Fmt.str
+                 "Faultsim.random_patterns: weights.(%d) = %g is not a probability in [0, 1]" i p))
+        w);
   Array.init count (fun _ ->
       Array.init n_inputs (fun i ->
           let p = match weights with Some w -> w.(i) | None -> 0.5 in
           Dynmos_util.Prng.bernoulli prng p))
 
+(* 2^n pattern arrays of n bools each: beyond ~24 inputs the table no
+   longer fits in memory, and beyond [Sys.int_size - 1] the [1 lsl n]
+   row count silently overflows — fail loudly well before either. *)
+let max_exhaustive_inputs = 24
+
 let exhaustive_patterns n_inputs =
+  if n_inputs < 0 then
+    invalid_arg (Fmt.str "Faultsim.exhaustive_patterns: n_inputs must be >= 0 (got %d)" n_inputs);
+  if n_inputs > max_exhaustive_inputs then
+    invalid_arg
+      (Fmt.str
+         "Faultsim.exhaustive_patterns: %d inputs would need 2^%d patterns; the supported \
+          maximum is %d inputs"
+         n_inputs n_inputs max_exhaustive_inputs);
   Array.init (1 lsl n_inputs) (fun row ->
       Array.init n_inputs (fun i -> (row lsr i) land 1 = 1))

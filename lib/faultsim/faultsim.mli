@@ -50,11 +50,19 @@ val coverage_curve : summary -> float array
 val detects : universe -> site -> bool array -> bool
 (** Does one pattern detect one site? *)
 
-val run_serial : ?drop:bool -> universe -> bool array array -> summary
-val run_parallel : ?drop:bool -> universe -> bool array array -> summary
-val run_deductive : ?drop:bool -> universe -> bool array array -> summary
+(** Every engine takes an optional observability recorder [obs] (default
+    disabled, one branch of overhead): when enabled it receives one
+    ["faultsim.run"] event per run carrying the engine name, site and
+    pattern counts, wall-clock time, the number of faulty-machine kernel
+    evaluations performed ("evals") and the evaluations skipped by fault
+    dropping ("evals_saved").  The recorder never changes results: with
+    and without [obs], summaries are bit-identical (tested). *)
 
-val run_concurrent : ?drop:bool -> universe -> bool array array -> summary
+val run_serial : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
+val run_parallel : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
+val run_deductive : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
+
+val run_concurrent : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
 (** Concurrent engine: per net, the list of diverged faulty machines with
     their explicit faulty values (the third classical simulator the paper
     names alongside parallel and deductive). *)
@@ -63,6 +71,8 @@ val run_domain_parallel :
   ?drop:bool ->
   ?inner:Parallel_exec.inner ->
   ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
   universe ->
   bool array array ->
   summary
@@ -71,12 +81,35 @@ val run_domain_parallel :
     bit-parallel kernel with private scratch state.  [first_detection] is
     bit-identical to {!run_serial} for every [num_domains], [inner] and
     [drop].  [num_domains] defaults to
-    [Domain.recommended_domain_count ()]; [inner] to [Bit_parallel]. *)
+    [Domain.recommended_domain_count ()] and is clamped to the number of
+    sites and to the estimated work (one domain per [min_work_per_domain]
+    gate-evaluations, see {!Parallel_exec.run}); [inner] defaults to
+    [Bit_parallel]. *)
+
+val run_domain_parallel_stats :
+  ?drop:bool ->
+  ?inner:Parallel_exec.inner ->
+  ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
+  universe ->
+  bool array array ->
+  summary * Parallel_exec.stats
+(** {!run_domain_parallel} plus the scheduling statistics (per-domain
+    jobs/evals/busy/steal, spawn and join cost, effective domain
+    count). *)
 
 val random_patterns :
   ?weights:float array -> Prng.t -> n_inputs:int -> count:int -> bool array array
 (** Weighted random patterns ([weights.(i)] = probability input [i] is 1;
-    default uniform 0.5). *)
+    default uniform 0.5).  Raises [Invalid_argument] when [n_inputs] or
+    [count] is negative, when [weights] has fewer than [n_inputs]
+    entries, or when any weight is outside [0, 1]. *)
+
+val max_exhaustive_inputs : int
+(** Largest input count {!exhaustive_patterns} accepts (24: past that the
+    table no longer fits in memory, and [1 lsl n] eventually overflows). *)
 
 val exhaustive_patterns : int -> bool array array
-(** All [2^n] patterns in row order. *)
+(** All [2^n] patterns in row order.  Raises [Invalid_argument] when [n]
+    is negative or exceeds {!max_exhaustive_inputs}. *)

@@ -1,4 +1,5 @@
 open Dynmos_sim
+module Obs = Dynmos_obs.Obs
 
 (* Domain-parallel fault-simulation core.
 
@@ -17,6 +18,17 @@ open Dynmos_sim
    atomic op; stealing from a shared cursor (rather than pre-splitting
    ranges) load-balances sites whose faulty cones differ wildly in size.
 
+   Domain count clamping: spawning a domain costs tens of microseconds on
+   an idle multicore host and milliseconds on an oversubscribed one, so
+   tiny workloads must not pay it.  The effective domain count is clamped
+   to (a) the number of jobs — more domains than jobs can only idle — and
+   (b) one domain per [min_work_per_domain] gate-evaluations of estimated
+   work, so each spawned domain has enough work to amortize its spawn.
+   The clamp never changes results (every domain count produces identical
+   output); [stats] reports requested vs effective counts and the
+   spawn/join cost so the cases where spawn would have dominated are
+   visible rather than silently slow.
+
    Correctness-critical sharing audit (see Compiled):
    - [Compiled.t] is immutable after [compile]; shared read-only.  OK.
    - All mutable evaluation state lives in a [Compiled.scratch] buffer;
@@ -25,7 +37,9 @@ open Dynmos_sim
      claimed by exactly one domain: disjoint writes, no tearing (OCaml
      array writes of immediates/pointers are domain-atomic).
    - Pattern words and good-value arrays are computed once, before the
-     domains spawn, and only read afterwards. *)
+     domains spawn, and only read afterwards.
+   - Per-domain stats are written to a private slot of [per_domain] by
+     the owning worker and only read after every domain is joined. *)
 
 type job = {
   jid : int;            (* slot in the result array *)
@@ -35,7 +49,61 @@ type job = {
 
 type inner = Serial | Bit_parallel
 
+let inner_name = function Serial -> "serial" | Bit_parallel -> "bit_parallel"
+
 let word_bits = 62
+
+type domain_stats = {
+  dom : int;
+  jobs_claimed : int;
+  evals : int;
+  evals_saved : int;
+  busy_s : float;
+  steal_s : float;
+}
+
+type stats = {
+  requested_domains : int;
+  effective_domains : int;
+  n_jobs : int;
+  n_patterns : int;
+  n_chunks : int;
+  inner_used : inner;
+  work_estimate : int;
+  prepare_s : float;
+  spawn_s : float;
+  join_s : float;
+  total_s : float;
+  per_domain : domain_stats array;
+}
+
+let stats_evals s = Array.fold_left (fun acc d -> acc + d.evals) 0 s.per_domain
+let stats_evals_saved s = Array.fold_left (fun acc d -> acc + d.evals_saved) 0 s.per_domain
+
+let spawn_dominated s =
+  let busy = Array.fold_left (fun acc d -> acc +. d.busy_s) 0.0 s.per_domain in
+  s.effective_domains > 1 && s.spawn_s +. s.join_s > busy
+
+let pp_stats ppf s =
+  Format.fprintf ppf "domains: requested %d, effective %d (%d jobs, %d patterns, %s kernel, ~%d gate-evals)@."
+    s.requested_domains s.effective_domains s.n_jobs s.n_patterns (inner_name s.inner_used)
+    s.work_estimate;
+  Format.fprintf ppf "prepare %.6f s, spawn %.6f s, join %.6f s, total %.6f s@." s.prepare_s
+    s.spawn_s s.join_s s.total_s;
+  Array.iter
+    (fun d ->
+      Format.fprintf ppf "  domain %d: %d jobs, %d evals, %d saved by dropping, busy %.6f s, steal %.6f s@."
+        d.dom d.jobs_claimed d.evals d.evals_saved d.busy_s d.steal_s)
+    s.per_domain;
+  if spawn_dominated s then
+    Format.fprintf ppf "  note: spawn/join time exceeds total busy time — workload too small for %d domains@."
+      s.effective_domains;
+  if s.effective_domains < s.requested_domains then
+    Format.fprintf ppf "  note: clamped from %d requested domains (jobs or estimated work too small)@."
+      s.requested_domains
+
+(* Per-worker evaluation tally, threaded through the inner kernels. *)
+type tally = { mutable t_evals : int; mutable t_saved : int }
 
 (* One packed chunk of <= 62 patterns with its fault-free response. *)
 type chunk = {
@@ -72,7 +140,7 @@ let pack_chunks compiled (patterns : bool array array) =
    [drop] the scan stops at the first detecting chunk; without it every
    chunk is still evaluated (mirroring the serial engine's ~drop:false
    workload), but the recorded detection is identical either way. *)
-let run_job_bit_parallel ~drop compiled chunks po scratch job =
+let run_job_bit_parallel ~drop compiled chunks po scratch tally job =
   let n_po = Array.length po in
   let found = ref None in
   let c = ref 0 in
@@ -91,13 +159,15 @@ let run_job_bit_parallel ~drop compiled chunks po scratch job =
     end;
     incr c
   done;
+  tally.t_evals <- tally.t_evals + !c;
+  tally.t_saved <- tally.t_saved + (n_chunks - !c);
   !found
 
 (* Serial inner engine: one evaluation per pattern (words carry a single
    pattern in bit 0).  [pat_words] and [good] are precomputed, shared,
    read-only. *)
 let run_job_serial ~drop compiled (pat_words : int array array) (good : int array array) po
-    scratch job =
+    scratch tally job =
   let n_po = Array.length po in
   let total = Array.length pat_words in
   let found = ref None in
@@ -111,13 +181,23 @@ let run_job_serial ~drop compiled (pat_words : int array array) (good : int arra
     if !diff <> 0 && !found = None then found := Some !pi;
     incr pi
   done;
+  tally.t_evals <- tally.t_evals + !pi;
+  tally.t_saved <- tally.t_saved + (total - !pi);
   !found
 
 let default_domains () = Domain.recommended_domain_count ()
 
-let run ?(drop = true) ?(inner = Bit_parallel) ?num_domains compiled (jobs : job array)
-    (patterns : bool array array) =
-  let num_domains =
+(* One domain per this many estimated gate-evaluations of work (a gate
+   evaluation is the innermost cube loop, tens of nanoseconds): a spawned
+   domain should have at least ~1 ms of work so its spawn/join cost stays
+   marginal even on a loaded host. *)
+let default_min_work_per_domain = 50_000
+
+let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
+    ?(min_work_per_domain = default_min_work_per_domain) ?(obs = Obs.disabled) compiled
+    (jobs : job array) (patterns : bool array array) =
+  let t_total0 = Obs.now () in
+  let requested =
     match num_domains with
     | Some n ->
         if n < 1 then invalid_arg "Parallel_exec.run: num_domains must be >= 1";
@@ -125,14 +205,75 @@ let run ?(drop = true) ?(inner = Bit_parallel) ?num_domains compiled (jobs : job
     | None -> default_domains ()
   in
   let n = Array.length jobs in
+  let n_patterns = Array.length patterns in
+  let n_chunks = (n_patterns + word_bits - 1) / word_bits in
   let first = Array.make n None in
-  if n > 0 && Array.length patterns > 0 then begin
+  let per_job_evals = match inner with Bit_parallel -> n_chunks | Serial -> n_patterns in
+  let work_estimate = n * per_job_evals * Compiled.n_gates compiled in
+  let work_cap =
+    if min_work_per_domain <= 0 then max_int else max 1 (work_estimate / min_work_per_domain)
+  in
+  let effective = max 1 (min requested (min (max 1 n) work_cap)) in
+  let finish ~prepare_s ~spawn_s ~join_s ~per_domain =
+    let stats =
+      {
+        requested_domains = requested;
+        effective_domains = effective;
+        n_jobs = n;
+        n_patterns;
+        n_chunks;
+        inner_used = inner;
+        work_estimate;
+        prepare_s;
+        spawn_s;
+        join_s;
+        total_s = Obs.now () -. t_total0;
+        per_domain;
+      }
+    in
+    if Obs.enabled obs then begin
+      Array.iter
+        (fun d ->
+          Obs.emit obs ~ev:"parallel_exec.domain"
+            [
+              ("dom", Obs.Int d.dom);
+              ("jobs_claimed", Obs.Int d.jobs_claimed);
+              ("evals", Obs.Int d.evals);
+              ("evals_saved", Obs.Int d.evals_saved);
+              ("busy_s", Obs.Float d.busy_s);
+              ("steal_s", Obs.Float d.steal_s);
+            ])
+        stats.per_domain;
+      Obs.emit obs ~ev:"parallel_exec.run"
+        [
+          ("requested_domains", Obs.Int stats.requested_domains);
+          ("effective_domains", Obs.Int stats.effective_domains);
+          ("jobs", Obs.Int stats.n_jobs);
+          ("patterns", Obs.Int stats.n_patterns);
+          ("chunks", Obs.Int stats.n_chunks);
+          ("inner", Obs.String (inner_name stats.inner_used));
+          ("work_estimate", Obs.Int stats.work_estimate);
+          ("evals", Obs.Int (stats_evals stats));
+          ("evals_saved", Obs.Int (stats_evals_saved stats));
+          ("spawn_dominated", Obs.Bool (spawn_dominated stats));
+          ("prepare_s", Obs.Float stats.prepare_s);
+          ("spawn_s", Obs.Float stats.spawn_s);
+          ("join_s", Obs.Float stats.join_s);
+          ("total_s", Obs.Float stats.total_s);
+        ]
+    end;
+    (first, stats)
+  in
+  if n = 0 || n_patterns = 0 then
+    finish ~prepare_s:0.0 ~spawn_s:0.0 ~join_s:0.0 ~per_domain:[||]
+  else begin
+    let t_prep0 = Obs.now () in
     let po = Compiled.po_indices compiled in
     let run_job =
       match inner with
       | Bit_parallel ->
           let chunks = pack_chunks compiled patterns in
-          fun scratch job -> run_job_bit_parallel ~drop compiled chunks po scratch job
+          fun scratch tally job -> run_job_bit_parallel ~drop compiled chunks po scratch tally job
       | Serial ->
           let pat_words =
             Array.map (fun p -> Array.map (fun b -> if b then 1 else 0) p) patterns
@@ -145,25 +286,57 @@ let run ?(drop = true) ?(inner = Bit_parallel) ?num_domains compiled (jobs : job
                 Array.map (fun i -> scratch.(i) land 1) po)
               pat_words
           in
-          fun scratch job -> run_job_serial ~drop compiled pat_words good po scratch job
+          fun scratch tally job -> run_job_serial ~drop compiled pat_words good po scratch tally job
     in
+    let prepare_s = Obs.now () -. t_prep0 in
     let next = Atomic.make 0 in
-    let block = max 1 (n / (num_domains * 8)) in
-    let worker () =
+    let block = max 1 (n / (effective * 8)) in
+    let per_domain =
+      Array.init effective (fun di ->
+          { dom = di; jobs_claimed = 0; evals = 0; evals_saved = 0; busy_s = 0.0; steal_s = 0.0 })
+    in
+    let worker di () =
       let scratch = Compiled.make_scratch compiled in
+      let tally = { t_evals = 0; t_saved = 0 } in
+      let claimed = ref 0 in
+      let busy = ref 0.0 in
+      let steal = ref 0.0 in
       let continue = ref true in
       while !continue do
+        let t0 = Obs.now () in
         let start = Atomic.fetch_and_add next block in
+        let t1 = Obs.now () in
+        steal := !steal +. (t1 -. t0);
         if start >= n then continue := false
-        else
-          for j = start to min n (start + block) - 1 do
+        else begin
+          let stop = min n (start + block) - 1 in
+          for j = start to stop do
             let job = jobs.(j) in
-            first.(job.jid) <- run_job scratch job
-          done
-      done
+            first.(job.jid) <- run_job scratch tally job
+          done;
+          claimed := !claimed + (stop - start + 1);
+          busy := !busy +. (Obs.now () -. t1)
+        end
+      done;
+      per_domain.(di) <-
+        {
+          dom = di;
+          jobs_claimed = !claimed;
+          evals = tally.t_evals;
+          evals_saved = tally.t_saved;
+          busy_s = !busy;
+          steal_s = !steal;
+        }
     in
-    let helpers = Array.init (num_domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join helpers
-  end;
-  first
+    let t_spawn0 = Obs.now () in
+    let helpers = Array.init (effective - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
+    let spawn_s = Obs.now () -. t_spawn0 in
+    worker 0 ();
+    let t_join0 = Obs.now () in
+    Array.iter Domain.join helpers;
+    let join_s = Obs.now () -. t_join0 in
+    finish ~prepare_s ~spawn_s ~join_s ~per_domain
+  end
+
+let run ?drop ?inner ?num_domains ?min_work_per_domain ?obs compiled jobs patterns =
+  fst (run_with_stats ?drop ?inner ?num_domains ?min_work_per_domain ?obs compiled jobs patterns)

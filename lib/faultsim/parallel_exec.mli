@@ -18,16 +18,69 @@ type job = {
 
 type inner = Serial | Bit_parallel  (** per-site evaluation kernel *)
 
+val inner_name : inner -> string
+(** ["serial"] / ["bit_parallel"], as used in stats events and bench
+    JSON. *)
+
 val word_bits : int
 (** Patterns per machine word in the [Bit_parallel] kernel (62). *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val default_min_work_per_domain : int
+(** Estimated gate-evaluations of work required per spawned domain
+    before the engine is willing to spawn it (see {!run}). *)
+
+(** {1 Run statistics} *)
+
+type domain_stats = {
+  dom : int;          (** 0 is the calling domain *)
+  jobs_claimed : int;
+  evals : int;        (** inner-kernel evaluations performed (chunk
+                          evaluations for [Bit_parallel], single-pattern
+                          evaluations for [Serial]) *)
+  evals_saved : int;  (** evaluations skipped thanks to fault dropping *)
+  busy_s : float;     (** wall-clock time inside job kernels *)
+  steal_s : float;    (** wall-clock time claiming work from the cursor *)
+}
+
+type stats = {
+  requested_domains : int;
+  effective_domains : int;  (** after clamping to jobs and work estimate *)
+  n_jobs : int;
+  n_patterns : int;
+  n_chunks : int;
+  inner_used : inner;
+  work_estimate : int;      (** jobs x per-job evals x gates *)
+  prepare_s : float;        (** pattern packing + fault-free responses *)
+  spawn_s : float;
+  join_s : float;
+  total_s : float;
+  per_domain : domain_stats array;  (** empty when there was nothing to do *)
+}
+
+val stats_evals : stats -> int
+(** Total evaluations over all domains; with the [Serial] kernel and
+    [drop = false] this equals [n_jobs * n_patterns], reconciling with
+    the serial reference engine. *)
+
+val stats_evals_saved : stats -> int
+
+val spawn_dominated : stats -> bool
+(** True when the spawn + join cost exceeded the total busy time — the
+    workload was too small for the domain count actually used. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Running} *)
+
 val run :
   ?drop:bool ->
   ?inner:inner ->
   ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
   Compiled.t ->
   job array ->
   bool array array ->
@@ -36,5 +89,24 @@ val run :
     first pattern whose primary outputs differ under the job's override —
     bit-identical to the serial engine for every [inner], [num_domains]
     and [drop] setting ([drop] only skips work after a site's first
-    detection, never changes results).  [num_domains] defaults to
-    [default_domains ()]; [inner] defaults to [Bit_parallel]. *)
+    detection, never changes results).
+
+    [num_domains] (default [default_domains ()]) is a ceiling: the
+    effective count is clamped to the number of jobs and to one domain
+    per [min_work_per_domain] estimated gate-evaluations (default
+    {!default_min_work_per_domain}; pass [0] to disable the work clamp),
+    so tiny workloads never pay domain-spawn overhead.  [obs] (default
+    disabled) receives one ["parallel_exec.domain"] event per domain and
+    a ["parallel_exec.run"] event per call. *)
+
+val run_with_stats :
+  ?drop:bool ->
+  ?inner:inner ->
+  ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
+  Compiled.t ->
+  job array ->
+  bool array array ->
+  int option array * stats
+(** [run] plus the scheduling statistics of the call. *)

@@ -1,0 +1,146 @@
+(* Observability: counters, wall-clock timers and span events with a
+   JSONL sink.  See the interface for the design constraints; the one
+   non-obvious point is the encoding of non-finite floats, which JSON
+   cannot represent — they become the strings "nan"/"inf"/"-inf" so a
+   line never fails to parse. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type event = { ts : float; ev : string; fields : (string * value) list }
+
+(* --- JSON encoding -------------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_into buf f =
+  if Float.is_finite f then
+    (* %.17g round-trips; %g alone may print "1e+06" which is valid JSON,
+       but exponents with a leading '+' are too, so no post-processing. *)
+    Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else if Float.is_nan f then Buffer.add_string buf "\"nan\""
+  else Buffer.add_string buf (if f > 0.0 then "\"inf\"" else "\"-inf\"")
+
+let value_into buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_into buf f
+  | String s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+
+let json_line e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"ts\":";
+  float_into buf e.ts;
+  Buffer.add_string buf ",\"ev\":\"";
+  escape_into buf e.ev;
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      escape_into buf k;
+      Buffer.add_string buf "\":";
+      value_into buf v)
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* --- Sinks ----------------------------------------------------------------- *)
+
+type sink = Null | Emit of (event -> unit)
+
+let null_sink = Null
+
+let channel_sink oc =
+  let m = Mutex.create () in
+  Emit
+    (fun e ->
+      Mutex.lock m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock m)
+        (fun () ->
+          output_string oc (json_line e);
+          output_char oc '\n';
+          flush oc))
+
+let memory_sink () =
+  let m = Mutex.create () in
+  let events = ref [] in
+  let sink =
+    Emit
+      (fun e ->
+        Mutex.lock m;
+        events := e :: !events;
+        Mutex.unlock m)
+  in
+  let fetch () =
+    Mutex.lock m;
+    let l = List.rev !events in
+    Mutex.unlock m;
+    l
+  in
+  (sink, fetch)
+
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Emit f, Emit g -> Emit (fun e -> f e; g e)
+
+(* --- Recorders -------------------------------------------------------------- *)
+
+type t = { sink : sink }
+
+let disabled = { sink = Null }
+let make sink = { sink }
+let enabled t = match t.sink with Null -> false | Emit _ -> true
+let now () = Unix.gettimeofday ()
+
+let emit t ~ev fields =
+  match t.sink with Null -> () | Emit f -> f { ts = now (); ev; fields }
+
+let span t ~name ?(fields = []) f =
+  match t.sink with
+  | Null -> f ()
+  | Emit _ ->
+      let t0 = now () in
+      let finally () = emit t ~ev:"span" (("name", String name) :: ("dt_s", Float (now () -. t0)) :: fields) in
+      Fun.protect ~finally f
+
+(* --- Counters ---------------------------------------------------------------- *)
+
+module Counters = struct
+  type nonrec t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add t name n =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t name (ref n)
+
+  let incr t name = add t name 1
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let merge_into ~dst src = Hashtbl.iter (fun name r -> add dst name !r) src
+
+  let to_list t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let fields t = List.map (fun (name, n) -> (name, Int n)) (to_list t)
+end
+
+let emit_counters t ~ev ?(fields = []) counters =
+  match t.sink with Null -> () | Emit _ -> emit t ~ev (fields @ Counters.fields counters)

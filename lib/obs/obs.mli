@@ -1,0 +1,103 @@
+(** Observability: counters, wall-clock timers and span events with a
+    JSONL sink — the measurement substrate of the fault-simulation
+    engines and the bench harness.
+
+    Design constraints:
+    - a disabled recorder ({!disabled}) costs one branch per emission
+      point — no allocation, no clock read;
+    - sinks are safe to share across OCaml 5 domains (each emission is
+      serialized under a mutex), so per-domain workers can report into
+      one trace;
+    - the JSONL encoding is self-contained (no external JSON library):
+      one event per line, objects only, keys and string values escaped
+      per RFC 8259. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type event = {
+  ts : float;  (** wall-clock seconds since the epoch at emission *)
+  ev : string;  (** event kind, e.g. ["faultsim.run"] *)
+  fields : (string * value) list;
+}
+
+val json_line : event -> string
+(** One-line JSON object: [{"ts":..., "ev":..., <fields>}] (no trailing
+    newline).  Non-finite floats are encoded as strings ("nan", "inf",
+    "-inf") to keep the line valid JSON. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null_sink : sink
+(** Drops every event. *)
+
+val channel_sink : out_channel -> sink
+(** JSON Lines to a channel, one flushed line per event, mutex-guarded
+    (safe from multiple domains).  The caller owns and closes the
+    channel. *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** In-memory collection (mutex-guarded); the second component returns
+    the events emitted so far, in emission order.  For [--stats]
+    summaries and tests. *)
+
+val tee : sink -> sink -> sink
+(** Every event goes to both sinks. *)
+
+(** {1 Recorders} *)
+
+type t
+
+val disabled : t
+(** The no-op recorder: {!enabled} is [false]; {!emit} and counters do
+    nothing; {!span} runs its thunk without reading the clock. *)
+
+val make : sink -> t
+
+val enabled : t -> bool
+(** Hot paths should check this once before building field lists:
+    [if Obs.enabled obs then Obs.emit obs ...]. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]).  The single clock used by
+    the engines and the bench harness — never [Sys.time], whose CPU
+    semantics sums over domains and hides parallel speedups. *)
+
+val emit : t -> ev:string -> (string * value) list -> unit
+(** Emit one event (no-op when disabled). *)
+
+val span : t -> name:string -> ?fields:(string * value) list -> (unit -> 'a) -> 'a
+(** [span t ~name f] runs [f] and emits an event [ev = "span"] with
+    [name] and the elapsed wall-clock time as ["dt_s"].  When disabled,
+    [f] runs directly. *)
+
+(** {1 Counters}
+
+    Named monotonic tallies, cheap enough for per-run (not per-eval)
+    granularity; engines accumulate plain [int] refs in their hot loops
+    and convert to a counter set once at the end of a run. *)
+
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> int -> unit
+  val incr : t -> string -> unit
+
+  val get : t -> string -> int
+  (** 0 when the counter was never touched. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Add every counter of the source into [dst] (per-domain tallies
+      into a run total). *)
+
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val fields : t -> (string * value) list
+  (** The counters as event fields, sorted by name. *)
+end
+
+val emit_counters : t -> ev:string -> ?fields:(string * value) list -> Counters.t -> unit
+(** Emit one event carrying [fields] followed by every counter. *)

@@ -81,6 +81,7 @@ let netlist t = t.netlist
 let n_nets t = t.n_nets
 let n_inputs t = t.n_inputs
 let n_outputs t = Array.length t.po
+let n_gates t = Array.length t.cgates
 let po_indices t = t.po
 let net_index t net = Hashtbl.find_opt t.index_of_net net
 let net_name t i = t.net_names.(i)

@@ -33,6 +33,7 @@ val netlist : t -> Netlist.t
 val n_nets : t -> int
 val n_inputs : t -> int
 val n_outputs : t -> int
+val n_gates : t -> int
 val po_indices : t -> int array
 val net_index : t -> string -> int option
 val net_name : t -> int -> string

@@ -55,8 +55,12 @@ let engines_agree u patterns =
   agree (Faultsim.run_parallel ~drop:false u patterns)
   && agree (Faultsim.run_deductive ~drop:false u patterns)
   && agree (Faultsim.run_concurrent ~drop:false u patterns)
-  && agree (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Bit_parallel u patterns)
-  && agree (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Serial u patterns)
+  && agree
+       (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Bit_parallel
+          ~min_work_per_domain:0 u patterns)
+  && agree
+       (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Serial
+          ~min_work_per_domain:0 u patterns)
 
 let test_engines_agree_fig9 () =
   let u = fig9_u () in
@@ -118,7 +122,9 @@ let test_engines_agree_multi_output () =
 
 (* --- Domain-parallel layer -------------------------------------------------- *)
 
-(* Same results for every domain count, for both inner kernels. *)
+(* Same results for every domain count, for both inner kernels.  The
+   tests disable the work clamp (min_work_per_domain:0) so small test
+   circuits genuinely run on several domains. *)
 let test_domain_counts_equal () =
   let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 6 in
   let u = Faultsim.universe nl in
@@ -131,7 +137,10 @@ let test_domain_counts_equal () =
     (fun inner ->
       List.iter
         (fun n ->
-          let s = Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n u pats in
+          let s =
+            Faultsim.run_domain_parallel ~drop:false ~inner ~num_domains:n
+              ~min_work_per_domain:0 u pats
+          in
           check (Fmt.str "num_domains=%d" n) true
             (s.Faultsim.first_detection = reference.Faultsim.first_detection))
         [ 1; 2; 4 ])
@@ -148,8 +157,12 @@ let test_domain_drop_semantics () =
   in
   List.iter
     (fun n ->
-      let with_drop = Faultsim.run_domain_parallel ~drop:true ~num_domains:n u pats in
-      let without = Faultsim.run_domain_parallel ~drop:false ~num_domains:n u pats in
+      let with_drop =
+        Faultsim.run_domain_parallel ~drop:true ~num_domains:n ~min_work_per_domain:0 u pats
+      in
+      let without =
+        Faultsim.run_domain_parallel ~drop:false ~num_domains:n ~min_work_per_domain:0 u pats
+      in
       check (Fmt.str "drop invariant, num_domains=%d" n) true
         (with_drop.Faultsim.first_detection = without.Faultsim.first_detection);
       check (Fmt.str "matches serial, num_domains=%d" n) true
@@ -160,11 +173,11 @@ let test_domain_drop_semantics () =
 let test_domain_empty_universe () =
   (* More domains than sites, and zero patterns, must both be safe. *)
   let u = fig9_u () in
-  let s = Faultsim.run_domain_parallel ~num_domains:8 u [||] in
+  let s = Faultsim.run_domain_parallel ~num_domains:8 ~min_work_per_domain:0 u [||] in
   check_i "no patterns" 0 s.Faultsim.n_patterns;
   check "nothing detected" true (Array.for_all (( = ) None) s.Faultsim.first_detection);
   let pats = Faultsim.exhaustive_patterns 5 in
-  let s = Faultsim.run_domain_parallel ~num_domains:32 u pats in
+  let s = Faultsim.run_domain_parallel ~num_domains:32 ~min_work_per_domain:0 u pats in
   check "32 domains, 10 sites" true
     (s.Faultsim.first_detection = (Faultsim.run_serial u pats).Faultsim.first_detection)
 
@@ -231,6 +244,156 @@ let test_exhaustive_patterns () =
   let pats = Faultsim.exhaustive_patterns 3 in
   check_i "8 patterns" 8 (Array.length pats);
   check "row 5 = 101" true (pats.(5) = [| true; false; true |])
+
+(* --- Pattern-generator validation ------------------------------------------- *)
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+let test_exhaustive_bounds () =
+  check "negative raises" true (raises_invalid (fun () -> Faultsim.exhaustive_patterns (-1)));
+  check "beyond the bound raises" true
+    (raises_invalid (fun () ->
+         Faultsim.exhaustive_patterns (Faultsim.max_exhaustive_inputs + 1)));
+  check "62 would overflow, raises (not shifts)" true
+    (raises_invalid (fun () -> Faultsim.exhaustive_patterns 62));
+  check_i "zero inputs = one empty pattern" 1 (Array.length (Faultsim.exhaustive_patterns 0))
+
+let test_random_patterns_validation () =
+  let prng = Prng.create 1 in
+  check "negative n_inputs raises" true
+    (raises_invalid (fun () -> Faultsim.random_patterns prng ~n_inputs:(-1) ~count:4));
+  check "negative count raises" true
+    (raises_invalid (fun () -> Faultsim.random_patterns prng ~n_inputs:2 ~count:(-1)));
+  check "short weights raises" true
+    (raises_invalid (fun () ->
+         Faultsim.random_patterns ~weights:[| 0.5 |] prng ~n_inputs:3 ~count:4));
+  check "weight > 1 raises" true
+    (raises_invalid (fun () ->
+         Faultsim.random_patterns ~weights:[| 0.5; 1.5 |] prng ~n_inputs:2 ~count:4));
+  check "nan weight raises" true
+    (raises_invalid (fun () ->
+         Faultsim.random_patterns ~weights:[| Float.nan; 0.5 |] prng ~n_inputs:2 ~count:4));
+  (* the error message must name the problem, not just "index out of bounds" *)
+  (match Faultsim.random_patterns ~weights:[| 0.5 |] prng ~n_inputs:3 ~count:4 with
+  | exception Invalid_argument msg ->
+      check "message names weights" true (contains msg "weights")
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  (* boundary probabilities 0 and 1 are legal and deterministic *)
+  let pats = Faultsim.random_patterns ~weights:[| 0.0; 1.0 |] prng ~n_inputs:2 ~count:8 in
+  check "p=0 always false / p=1 always true" true
+    (Array.for_all (fun p -> (not p.(0)) && p.(1)) pats)
+
+(* --- Observability ---------------------------------------------------------- *)
+
+module Obs = Dynmos_obs.Obs
+
+(* With and without a recorder, every engine produces bit-identical
+   summaries: observation must never change results. *)
+let test_obs_parity () =
+  let u = Faultsim.universe (Generators.c17 ~style:`Domino ()) in
+  let prng = Prng.create 47 in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(Dynmos_sim.Compiled.n_inputs u.Faultsim.compiled)
+      ~count:90
+  in
+  let engines =
+    [
+      ("serial", fun obs -> Faultsim.run_serial ~obs u pats);
+      ("parallel", fun obs -> Faultsim.run_parallel ~obs u pats);
+      ("deductive", fun obs -> Faultsim.run_deductive ~obs u pats);
+      ("concurrent", fun obs -> Faultsim.run_concurrent ~obs u pats);
+      ( "domains",
+        fun obs ->
+          Faultsim.run_domain_parallel ~num_domains:2 ~min_work_per_domain:0 ~obs u pats );
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let sink, fetch = Obs.memory_sink () in
+      let observed = run (Obs.make sink) in
+      let plain = run Obs.disabled in
+      check (name ^ ": identical summaries") true
+        (observed.Faultsim.first_detection = plain.Faultsim.first_detection);
+      check (name ^ ": emitted a run event") true
+        (List.exists (fun e -> e.Obs.ev = "faultsim.run") (fetch ())))
+    engines
+
+let field_int e name =
+  match List.assoc_opt name e.Obs.fields with Some (Obs.Int n) -> Some n | _ -> None
+
+let run_event fetch =
+  match List.filter (fun e -> e.Obs.ev = "faultsim.run") (fetch ()) with
+  | [ e ] -> e
+  | l -> Alcotest.fail (Fmt.str "expected exactly one faultsim.run event, got %d" (List.length l))
+
+(* The per-domain counters must reconcile with the serial engine: same
+   kernel (Serial inner), same drop setting -> same number of faulty-
+   machine evaluations, no matter how many domains did the work. *)
+let test_obs_eval_reconciliation () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 6 in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 53 in
+  let pats =
+    Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count:70
+  in
+  List.iter
+    (fun drop ->
+      let sink, fetch = Obs.memory_sink () in
+      ignore (Faultsim.run_serial ~drop ~obs:(Obs.make sink) u pats);
+      let serial_evals = Option.get (field_int (run_event fetch) "evals") in
+      if not drop then
+        check_i "no-drop serial evals = sites x patterns"
+          (Faultsim.n_sites u * Array.length pats)
+          serial_evals;
+      List.iter
+        (fun n ->
+          let _, st =
+            Faultsim.run_domain_parallel_stats ~drop ~inner:Parallel_exec.Serial ~num_domains:n
+              ~min_work_per_domain:0 u pats
+          in
+          check_i
+            (Fmt.str "domains(%d) drop=%b evals = serial evals" n drop)
+            serial_evals
+            (Parallel_exec.stats_evals st);
+          let per_domain_sum =
+            Array.fold_left
+              (fun acc d -> acc + d.Parallel_exec.evals)
+              0 st.Parallel_exec.per_domain
+          in
+          check_i "per-domain tallies sum to total" serial_evals per_domain_sum;
+          let jobs_sum =
+            Array.fold_left
+              (fun acc d -> acc + d.Parallel_exec.jobs_claimed)
+              0 st.Parallel_exec.per_domain
+          in
+          check_i "every job claimed exactly once" st.Parallel_exec.n_jobs jobs_sum)
+        [ 1; 2; 3 ])
+    [ false; true ]
+
+(* The domain clamp: requested domains are a ceiling, cut down to the
+   job count and (by default) to the estimated work. *)
+let test_domain_clamp () =
+  let u = fig9_u () in
+  (* 10 sites *)
+  let pats = Faultsim.exhaustive_patterns 5 in
+  let eff ?min_work_per_domain n =
+    let _, st =
+      Faultsim.run_domain_parallel_stats ?min_work_per_domain ~num_domains:n u pats
+    in
+    st.Parallel_exec.effective_domains
+  in
+  check_i "job clamp: 32 requested, 10 sites" 10 (eff ~min_work_per_domain:0 32);
+  check_i "no clamp below job count" 4 (eff ~min_work_per_domain:0 4);
+  (* fig9 x 32 patterns is far below the default work threshold: the
+     engine must refuse to spawn extra domains for it. *)
+  check_i "work clamp collapses a tiny workload" 1 (eff 8);
+  let _, st =
+    Faultsim.run_domain_parallel_stats ~num_domains:8 ~min_work_per_domain:0 u pats
+  in
+  check_i "requested recorded" 8 st.Parallel_exec.requested_domains;
+  check "work estimate positive" true (st.Parallel_exec.work_estimate > 0)
 
 
 (* --- Diagnosis ------------------------------------------------------------- *)
@@ -337,6 +500,18 @@ let () =
           Alcotest.test_case "coverage curve" `Quick test_coverage_curve;
           Alcotest.test_case "weighted patterns" `Quick test_weighted_patterns;
           Alcotest.test_case "exhaustive patterns" `Quick test_exhaustive_patterns;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "exhaustive bounds" `Quick test_exhaustive_bounds;
+          Alcotest.test_case "random_patterns arguments" `Quick test_random_patterns_validation;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "obs on/off parity" `Quick test_obs_parity;
+          Alcotest.test_case "eval counters reconcile with serial" `Quick
+            test_obs_eval_reconciliation;
+          Alcotest.test_case "domain clamp" `Quick test_domain_clamp;
         ] );
       ( "diagnosis",
         [

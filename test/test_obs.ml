@@ -1,0 +1,297 @@
+open Dynmos_obs
+
+(* Tests for the observability substrate: JSONL encoding, sinks, the
+   disabled recorder, and counters.  A minimal recursive-descent JSON
+   checker validates well-formedness (the repo deliberately carries no
+   JSON library, so the encoder's output is checked from first
+   principles). *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+(* --- A tiny JSON well-formedness checker ----------------------------------- *)
+
+exception Bad of string
+
+let validate_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d in %s" msg !pos s)) in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r') do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit =
+    String.iter expect lit
+  in
+  let string_ () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            seen := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail "expected digits"
+    in
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> object_ ()
+    | Some '[' -> array_ ()
+    | Some '"' -> string_ ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  and object_ () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_ ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or }"
+      in
+      members ()
+  and array_ () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elements ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected , or ]"
+      in
+      elements ()
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let is_valid_json s =
+  match validate_json s with () -> true | exception Bad _ -> false
+
+let test_validator_sanity () =
+  check "accepts object" true (is_valid_json {|{"a": 1, "b": [true, null, "x"]}|});
+  check "rejects trailing" false (is_valid_json {|{"a": 1} x|});
+  check "rejects bare key" false (is_valid_json {|{a: 1}|});
+  check "rejects unterminated" false (is_valid_json {|{"a": "b|})
+
+(* --- json_line -------------------------------------------------------------- *)
+
+let ev ?(ts = 12.5) ?(name = "test") fields = { Obs.ts; ev = name; fields }
+
+let test_json_line_valid () =
+  let tricky =
+    ev
+      [
+        ("plain", Obs.String "hello");
+        ("quote", Obs.String {|say "hi"|});
+        ("backslash", Obs.String {|a\b|});
+        ("newline", Obs.String "line1\nline2");
+        ("control", Obs.String "\x01\x1f");
+        ("unicode_bytes", Obs.String "caf\xc3\xa9");
+        ("neg", Obs.Int (-42));
+        ("float", Obs.Float 1.5e-3);
+        ("bool", Obs.Bool true);
+      ]
+  in
+  let line = Obs.json_line tricky in
+  check "tricky event encodes to valid JSON" true (is_valid_json line);
+  check "single line" false (String.contains line '\n')
+
+let test_json_line_nonfinite () =
+  let line = Obs.json_line (ev [ ("a", Obs.Float Float.nan); ("b", Obs.Float infinity) ]) in
+  check "non-finite floats still valid JSON" true (is_valid_json line)
+
+let test_json_line_shape () =
+  let line = Obs.json_line (ev ~ts:2.0 ~name:"e" [ ("k", Obs.Int 7) ]) in
+  check_s "exact shape" {|{"ts":2,"ev":"e","k":7}|} line
+
+(* --- Sinks and recorders ---------------------------------------------------- *)
+
+let test_disabled_recorder () =
+  check "disabled is disabled" false (Obs.enabled Obs.disabled);
+  (* emit on the disabled recorder must be a no-op, and span must still
+     run its thunk and return its value *)
+  Obs.emit Obs.disabled ~ev:"x" [ ("a", Obs.Int 1) ];
+  check_i "span returns" 3 (Obs.span Obs.disabled ~name:"s" (fun () -> 3))
+
+let test_memory_sink () =
+  let sink, fetch = Obs.memory_sink () in
+  let t = Obs.make sink in
+  check "enabled" true (Obs.enabled t);
+  Obs.emit t ~ev:"first" [];
+  Obs.emit t ~ev:"second" [ ("n", Obs.Int 1) ];
+  (match fetch () with
+  | [ a; b ] ->
+      check_s "order preserved" "first" a.Obs.ev;
+      check_s "second event" "second" b.Obs.ev
+  | l -> Alcotest.fail (Fmt.str "expected 2 events, got %d" (List.length l)));
+  check "timestamps set" true (List.for_all (fun e -> e.Obs.ts > 0.0) (fetch ()))
+
+let test_span_event () =
+  let sink, fetch = Obs.memory_sink () in
+  let t = Obs.make sink in
+  let r = Obs.span t ~name:"work" ~fields:[ ("tag", Obs.Int 9) ] (fun () -> 21 * 2) in
+  check_i "span returns thunk value" 42 r;
+  match fetch () with
+  | [ e ] ->
+      check_s "span event kind" "span" e.Obs.ev;
+      check "carries the name" true
+        (List.assoc_opt "name" e.Obs.fields = Some (Obs.String "work"));
+      check "carries extra fields" true (List.assoc_opt "tag" e.Obs.fields = Some (Obs.Int 9));
+      (match List.assoc_opt "dt_s" e.Obs.fields with
+      | Some (Obs.Float dt) -> check "non-negative duration" true (dt >= 0.0)
+      | _ -> Alcotest.fail "missing dt_s")
+  | l -> Alcotest.fail (Fmt.str "expected 1 event, got %d" (List.length l))
+
+let test_tee () =
+  let s1, f1 = Obs.memory_sink () in
+  let s2, f2 = Obs.memory_sink () in
+  let t = Obs.make (Obs.tee s1 s2) in
+  Obs.emit t ~ev:"both" [];
+  check_i "first sink got it" 1 (List.length (f1 ()));
+  check_i "second sink got it" 1 (List.length (f2 ()));
+  (* tee with the null sink degrades to the live side *)
+  let t2 = Obs.make (Obs.tee Obs.null_sink s1) in
+  Obs.emit t2 ~ev:"more" [];
+  check_i "null tee still delivers" 2 (List.length (f1 ()))
+
+let test_channel_sink_jsonl () =
+  let file = Filename.temp_file "obs_test" ".jsonl" in
+  let oc = open_out file in
+  let t = Obs.make (Obs.channel_sink oc) in
+  Obs.emit t ~ev:"one" [ ("s", Obs.String "a\nb") ];
+  Obs.emit t ~ev:"two" [ ("x", Obs.Float 0.5) ];
+  close_out oc;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove file;
+  let lines = List.rev !lines in
+  check_i "one line per event" 2 (List.length lines);
+  List.iter (fun l -> check "line is valid JSON" true (is_valid_json l)) lines
+
+(* --- Counters ---------------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Obs.Counters.create () in
+  check_i "untouched reads 0" 0 (Obs.Counters.get c "missing");
+  Obs.Counters.incr c "a";
+  Obs.Counters.incr c "a";
+  Obs.Counters.add c "b" 40;
+  check_i "incr" 2 (Obs.Counters.get c "a");
+  check_i "add" 40 (Obs.Counters.get c "b");
+  let d = Obs.Counters.create () in
+  Obs.Counters.add d "a" 1;
+  Obs.Counters.add d "c" 5;
+  Obs.Counters.merge_into ~dst:c d;
+  check_i "merge adds" 3 (Obs.Counters.get c "a");
+  check_i "merge introduces" 5 (Obs.Counters.get c "c");
+  check "to_list sorted" true
+    (Obs.Counters.to_list c = [ ("a", 3); ("b", 40); ("c", 5) ])
+
+let test_emit_counters () =
+  let sink, fetch = Obs.memory_sink () in
+  let t = Obs.make sink in
+  let c = Obs.Counters.create () in
+  Obs.Counters.add c "evals" 7;
+  Obs.emit_counters t ~ev:"totals" ~fields:[ ("engine", Obs.String "serial") ] c;
+  match fetch () with
+  | [ e ] ->
+      check "counter as field" true (List.assoc_opt "evals" e.Obs.fields = Some (Obs.Int 7));
+      check "extra field first" true
+        (List.assoc_opt "engine" e.Obs.fields = Some (Obs.String "serial"));
+      check "event line valid" true (is_valid_json (Obs.json_line e))
+  | l -> Alcotest.fail (Fmt.str "expected 1 event, got %d" (List.length l))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "validator sanity" `Quick test_validator_sanity;
+          Alcotest.test_case "tricky strings encode validly" `Quick test_json_line_valid;
+          Alcotest.test_case "non-finite floats" `Quick test_json_line_nonfinite;
+          Alcotest.test_case "exact line shape" `Quick test_json_line_shape;
+        ] );
+      ( "recorders",
+        [
+          Alcotest.test_case "disabled no-ops" `Quick test_disabled_recorder;
+          Alcotest.test_case "memory sink" `Quick test_memory_sink;
+          Alcotest.test_case "span" `Quick test_span_event;
+          Alcotest.test_case "tee" `Quick test_tee;
+          Alcotest.test_case "channel sink writes JSONL" `Quick test_channel_sink_jsonl;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "tallies and merge" `Quick test_counters;
+          Alcotest.test_case "emit_counters" `Quick test_emit_counters;
+        ] );
+    ]
