@@ -592,12 +592,33 @@ let bench_circuits () =
   in
   if not !tiny_mode then full
   else
+    (* rand60 stays in the smoke (at 32 patterns) so CI can assert the
+       cone-vs-full eval reduction on a random circuit. *)
     List.filter_map
       (fun (name, nl, _, doms) ->
-        if name = "fig9" || name = "carry8" then Some (name, nl, 16, doms) else None)
+        match name with
+        | "fig9" | "carry8" -> Some (name, nl, 16, doms)
+        | "rand60" -> Some (name, nl, 32, doms)
+        | _ -> None)
       full
 
 type timing = { median : float; t_min : float; t_max : float; reps : int }
+
+(* Gate evaluations one engine run performs, read off the engine's own
+   "faultsim.run" obs event (the unit the cone restriction reduces;
+   kernel-invocation counts are identical between algorithms by
+   construction). *)
+let gate_evals_of run =
+  let module Obs = Dynmos_obs.Obs in
+  let mem, fetch = Obs.memory_sink () in
+  let obs = Obs.make mem in
+  ignore (Sys.opaque_identity (run obs));
+  List.fold_left
+    (fun acc e ->
+      if e.Obs.ev = "faultsim.run" then
+        match List.assoc_opt "gate_evals" e.Obs.fields with Some (Obs.Int n) -> n | _ -> acc
+      else acc)
+    0 (fetch ())
 
 let time_reps ?(warmup = 1) ?(reps = 5) f =
   for _ = 1 to warmup do
@@ -628,6 +649,7 @@ let e17 () =
        Sys.ocaml_version Sys.word_size Sys.os_type Parallel_exec.word_bits);
   Buffer.add_string buf
     (Fmt.str "  \"timing\": {\"warmup\": 1, \"reps\": %d, \"statistic\": \"median\"},\n" reps);
+  Buffer.add_string buf "  \"algo_evals_unit\": \"gate_evaluations\",\n";
   Buffer.add_string buf "  \"circuits\": [\n";
   let circuits = bench_circuits () in
   let n_circuits = List.length circuits in
@@ -684,6 +706,25 @@ let e17 () =
       in
       report "domains/bit-parallel" dom_bit;
       report "domains/serial" dom_ser;
+      (* Cone vs full side by side on the single-domain engines: same
+         patterns, bit-identical results; "evals" in the JSON counts
+         *gate evaluations*, the unit the cone restriction reduces. *)
+      let algo_pair engine_label run =
+        List.map
+          (fun (aname, algo) ->
+            let ge = gate_evals_of (fun obs -> run algo (Some obs)) in
+            let t = time_reps ~reps (fun () -> run algo None) in
+            entry (Fmt.str "%s/%s" engine_label aname) t (Fmt.str "  (%d gate-evals)" ge);
+            (aname, ge, t))
+          [ ("cone", `Cone); ("full", `Full) ]
+      in
+      let algo_serial =
+        algo_pair "serial" (fun algo obs -> Faultsim.run_serial ~drop:false ~algo ?obs u pats)
+      in
+      let algo_bitpar =
+        algo_pair "bit-parallel" (fun algo obs ->
+            Faultsim.run_parallel ~drop:false ~algo ?obs u pats)
+      in
       let json_timing t =
         Fmt.str
           "\"seconds_median\": %.6f, \"seconds_min\": %.6f, \"seconds_max\": %.6f, \"reps\": %d, \
@@ -701,15 +742,25 @@ let e17 () =
               prefix n (json_timing t) (t1 /. t.median) n eff)
           results
       in
+      let json_algos label results =
+        Fmt.str "\"%s\": {%s}" label
+          (String.concat ", "
+             (List.map
+                (fun (aname, ge, t) ->
+                  Fmt.str "\"%s\": {%s, \"evals\": %d}" aname (json_timing t) ge)
+                results))
+      in
       Buffer.add_string buf
         (Fmt.str
            "    {\"name\": \"%s\", \"gates\": %d, \"sites\": %d, \"patterns\": %d,\n     \
-            \"engines\": {%s}}%s\n"
+            \"engines\": {%s},\n     \"algos\": {%s}}%s\n"
            name (Netlist.n_gates nl) (Faultsim.n_sites u) count
            (String.concat ", "
               ([ json_engine "serial" t_serial; json_engine "bit_parallel" t_bitpar ]
               @ json_scaled "domains_bit_parallel" dom_bit
               @ json_scaled "domains_serial" dom_ser))
+           (String.concat ", "
+              [ json_algos "serial" algo_serial; json_algos "bit_parallel" algo_bitpar ])
            (if ci = n_circuits - 1 then "" else ",")))
     circuits;
   Buffer.add_string buf "  ]\n}\n";

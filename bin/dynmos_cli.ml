@@ -172,6 +172,14 @@ let faultsim_cmd =
   let no_drop =
     Arg.(value & flag & info [ "no-drop" ] ~doc:"Simulate every fault on every pattern.")
   in
+  let algo =
+    Arg.(value & opt (enum [ ("full", `Full); ("cone", `Cone) ]) `Cone
+         & info [ "algo" ] ~docv:"ALGO"
+             ~doc:
+               "Injection algorithm for the serial/parallel/domains engines: cone (re-evaluate \
+                only the fault site's fanout cone; default) or full (re-evaluate the whole \
+                circuit per fault).  Results are bit-identical.")
+  in
   let stats =
     Arg.(value & flag
          & info [ "stats" ]
@@ -183,7 +191,7 @@ let faultsim_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Append every observability event as one JSON line to $(docv).")
   in
-  let run name patterns seed engine jobs no_drop stats trace =
+  let run name patterns seed engine jobs algo no_drop stats trace =
     guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
@@ -221,12 +229,14 @@ let faultsim_cmd =
         let t0 = Unix.gettimeofday () in
         let s, domain_stats =
           match engine with
-          | `Serial -> (Faultsim.run_serial ~drop ~obs u pats, None)
-          | `Parallel -> (Faultsim.run_parallel ~drop ~obs u pats, None)
+          | `Serial -> (Faultsim.run_serial ~drop ~algo ~obs u pats, None)
+          | `Parallel -> (Faultsim.run_parallel ~drop ~algo ~obs u pats, None)
           | `Deductive -> (Faultsim.run_deductive ~drop ~obs u pats, None)
           | `Concurrent -> (Faultsim.run_concurrent ~drop ~obs u pats, None)
           | `Domains ->
-              let s, st = Faultsim.run_domain_parallel_stats ~drop ?num_domains ~obs u pats in
+              let s, st =
+                Faultsim.run_domain_parallel_stats ~drop ~algo ?num_domains ~obs u pats
+              in
               (s, Some st)
         in
         let dt = Unix.gettimeofday () -. t0 in
@@ -272,9 +282,15 @@ let faultsim_cmd =
         | None -> ());
         `Ok ()
   in
-  let doc = "Random-pattern fault simulation with a selectable engine (--jobs for multicore)." in
+  let doc =
+    "Random-pattern fault simulation with a selectable engine (--jobs for multicore, --algo \
+     for cone-restricted injection)."
+  in
   Cmd.v (Cmd.info "faultsim" ~doc)
-    Term.(ret (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ no_drop $ stats $ trace))
+    Term.(
+      ret
+        (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ algo $ no_drop $ stats
+       $ trace))
 
 (* --- protest ---------------------------------------------------------------- *)
 

@@ -41,21 +41,39 @@ let universe ?electrical netlist =
   let libraries =
     List.map (fun c -> (Cell.name c, Faultlib.generate ?electrical c)) (Netlist.distinct_cells netlist)
   in
+  (* Per distinct cell, prepare each table's (entry, compiled function)
+     pair exactly once: entries are indexed by class_id through a hash
+     table (the old per-gate [List.find] over the entry list was
+     quadratic per gate), and the faulty cover is minimized/compiled per
+     cell instead of per gate — every gate instantiating the cell shares
+     the same immutable [gate_fn]. *)
+  let per_cell = Hashtbl.create 16 in
+  List.iter
+    (fun (name, lib) ->
+      let by_id = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace by_id e.Faultlib.class_id e) (Faultlib.entries lib);
+      let prepared =
+        List.map
+          (fun (class_id, table) ->
+            match Hashtbl.find_opt by_id class_id with
+            | Some entry -> (entry, Compiled.fn_of_table table)
+            | None ->
+                invalid_arg
+                  (Fmt.str "Faultsim.universe: class %d of cell %s has a table but no entry"
+                     class_id name))
+          (Faultlib.tables lib)
+      in
+      Hashtbl.replace per_cell name prepared)
+    libraries;
   let sites = ref [] in
   let sid = ref 0 in
   Array.iter
     (fun g ->
-      let lib = List.assoc (Cell.name g.Netlist.cell) libraries in
       List.iter
-        (fun (class_id, table) ->
-          let entry =
-            List.find
-              (fun e -> e.Faultlib.class_id = class_id)
-              (Faultlib.entries lib)
-          in
-          sites := { sid = !sid; gate = g; entry; fn = Compiled.fn_of_table table } :: !sites;
+        (fun (entry, fn) ->
+          sites := { sid = !sid; gate = g; entry; fn } :: !sites;
           incr sid)
-        (Faultlib.tables lib))
+        (Hashtbl.find per_cell (Cell.name g.Netlist.cell)))
     (Netlist.gate_array netlist);
   { compiled; sites = Array.of_list (List.rev !sites); libraries }
 
@@ -96,12 +114,6 @@ let coverage_curve s =
       float_of_int !acc /. total)
     counts
 
-let merge_detection a b =
-  match (a, b) with
-  | Some x, Some y -> Some (min x y)
-  | (Some _ as d), None | None, (Some _ as d) -> d
-  | None, None -> None
-
 (* --- Observability -------------------------------------------------------- *)
 
 (* Per-run totals: the engines tally plain ints in their loops (an int
@@ -125,6 +137,33 @@ let emit_run obs ~engine ~n_sites ~n_patterns ~t0 fields =
       :: ("dt_s", Obs.Float (Obs.now () -. t0))
       :: fields)
 
+(* --- Injection algorithms ------------------------------------------------- *)
+
+(* The injection engines (serial, bit-parallel and the domain-parallel
+   kernels) evaluate faulty machines one of two ways:
+
+   - [`Full]: re-evaluate every gate of the circuit with the override in
+     place and compare every primary output — the classical whole-
+     circuit injection;
+   - [`Cone] (default): re-evaluate only the fault site's transitive
+     fanout cone against the good-machine baseline and compare only the
+     primary outputs that cone reaches (Compiled.eval_cone_into), with
+     an immediate exit when the fault is not activated.
+
+   The two are bit-identical in [first_detection] — a fault can only
+   ever influence its fanout cone — and differ only in gate evaluations
+   performed, which the ["gate_evals"] / ["gate_evals_saved"] obs fields
+   account for.  ["cone_gates"] reports the summed fanout-cone size over
+   all sites (the per-sweep cone workload; [`Full] sweeps cost
+   sites x gates instead). *)
+
+let algo_name = function `Full -> "full" | `Cone -> "cone"
+
+let total_cone_gates u =
+  Array.fold_left
+    (fun acc s -> acc + Array.length (Compiled.fanout_cone u.compiled s.gate.Netlist.id))
+    0 u.sites
+
 (* --- Serial -------------------------------------------------------------- *)
 
 let detects u site pattern =
@@ -132,85 +171,157 @@ let detects u site pattern =
   let faulty = Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern in
   good <> faulty
 
-let run_serial ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
+    (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
-  let evals = ref 0 in
-  let saved = ref 0 in
-  Array.iteri
-    (fun pi pattern ->
-      let good = Compiled.eval u.compiled pattern in
-      Array.iter
-        (fun site ->
-          if (not drop) || first.(site.sid) = None then begin
-            incr evals;
-            let faulty =
-              Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern
-            in
-            if faulty <> good then
-              first.(site.sid) <- merge_detection first.(site.sid) (Some pi)
-          end
-          else incr saved)
-        u.sites)
-    patterns;
+  let compiled = u.compiled in
+  let n_inputs = Compiled.n_inputs compiled in
+  let n_gates = Compiled.n_gates compiled in
+  let po = Compiled.po_indices compiled in
+  let n_po = Array.length po in
+  (* All buffers live outside the loops: good machine in [scratch]
+     (doubling as the cone baseline), whole-circuit faulty runs in
+     [fscratch], cone save/restore in [buf]. *)
+  let scratch = Compiled.make_scratch compiled in
+  let fscratch = Compiled.make_scratch compiled in
+  let buf = Compiled.make_cone_buffer compiled in
+  let pat_words = Array.make n_inputs 0 in
+  let evals = ref 0 and saved = ref 0 and good_evals = ref 0 in
+  let gate_evals = ref 0 in
+  let undetected = ref n in
   let total = Array.length patterns in
+  let pi = ref 0 in
+  (* Early exit: once every site is detected (and dropping is on), the
+     remaining patterns can neither detect anything new nor simulate
+     anything — skip them, good machine included. *)
+  while !pi < total && not (drop && !undetected = 0) do
+    let pattern = patterns.(!pi) in
+    for i = 0 to n_inputs - 1 do
+      pat_words.(i) <- if pattern.(i) then 1 else 0
+    done;
+    Compiled.eval_words_into compiled ~scratch pat_words;
+    incr good_evals;
+    Array.iter
+      (fun site ->
+        if (not drop) || first.(site.sid) = None then begin
+          incr evals;
+          let diff =
+            match algo with
+            | `Cone ->
+                Compiled.eval_cone_into ~tally:gate_evals compiled
+                  ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
+            | `Full ->
+                Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
+                  ~scratch:fscratch pat_words;
+                gate_evals := !gate_evals + n_gates;
+                let d = ref 0 in
+                for k = 0 to n_po - 1 do
+                  d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
+                done;
+                !d
+          in
+          if diff land 1 <> 0 && first.(site.sid) = None then begin
+            first.(site.sid) <- Some !pi;
+            decr undetected
+          end
+        end
+        else incr saved)
+      u.sites;
+    incr pi
+  done;
+  if !pi < total then saved := !saved + ((total - !pi) * n);
   emit_run obs ~engine:"serial" ~n_sites:n ~n_patterns:total ~t0
-    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved); ("good_evals", Obs.Int total) ];
+    [
+      ("algo", Obs.String (algo_name algo));
+      ("evals", Obs.Int !evals);
+      ("evals_saved", Obs.Int !saved);
+      ("good_evals", Obs.Int !good_evals);
+      ("gate_evals", Obs.Int !gate_evals);
+      ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
+      ("cone_gates", Obs.Int (total_cone_gates u));
+    ];
   { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Bit-parallel (62 patterns per word) --------------------------------- *)
 
 let word_bits = 62
 
-let pack_patterns n_inputs (patterns : bool array array) ~from ~len =
-  let words = Array.make n_inputs 0 in
-  for j = 0 to len - 1 do
-    let p = patterns.(from + j) in
-    for i = 0 to n_inputs - 1 do
-      if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
-    done
-  done;
-  words
-
-let run_parallel ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
+    (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
-  let n_inputs = Compiled.n_inputs u.compiled in
+  let compiled = u.compiled in
+  let n_inputs = Compiled.n_inputs compiled in
+  let n_gates = Compiled.n_gates compiled in
+  let po = Compiled.po_indices compiled in
+  let n_po = Array.length po in
   let total = Array.length patterns in
-  let evals = ref 0 in
-  let saved = ref 0 in
+  let scratch = Compiled.make_scratch compiled in
+  let fscratch = Compiled.make_scratch compiled in
+  let buf = Compiled.make_cone_buffer compiled in
+  let words = Array.make n_inputs 0 in
+  let evals = ref 0 and saved = ref 0 in
+  let gate_evals = ref 0 in
+  let undetected = ref n in
+  let n_chunks = (total + word_bits - 1) / word_bits in
+  let chunks_done = ref 0 in
   let chunk_start = ref 0 in
-  while !chunk_start < total do
+  while !chunk_start < total && not (drop && !undetected = 0) do
     let len = min word_bits (total - !chunk_start) in
-    let words = pack_patterns n_inputs patterns ~from:!chunk_start ~len in
+    Array.fill words 0 n_inputs 0;
+    for j = 0 to len - 1 do
+      let p = patterns.(!chunk_start + j) in
+      for i = 0 to n_inputs - 1 do
+        if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
+      done
+    done;
     let mask = if len >= word_bits then max_int else (1 lsl len) - 1 in
-    let good = Compiled.outputs_of_nets u.compiled (Compiled.eval_words u.compiled words) in
+    Compiled.eval_words_into compiled ~scratch words;
     Array.iter
       (fun site ->
         if (not drop) || first.(site.sid) = None then begin
           incr evals;
-          let faulty =
-            Compiled.outputs_of_nets u.compiled
-              (Compiled.eval_words ~override:(site.gate.Netlist.id, site.fn) u.compiled words)
+          let diff =
+            match algo with
+            | `Cone ->
+                Compiled.eval_cone_into ~tally:gate_evals compiled
+                  ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
+            | `Full ->
+                Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
+                  ~scratch:fscratch words;
+                gate_evals := !gate_evals + n_gates;
+                let d = ref 0 in
+                for k = 0 to n_po - 1 do
+                  d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
+                done;
+                !d
           in
-          let diff = ref 0 in
-          Array.iteri (fun k g -> diff := !diff lor (g lxor faulty.(k))) good;
-          let diff = !diff land mask in
-          if diff <> 0 then begin
+          let diff = diff land mask in
+          if diff <> 0 && first.(site.sid) = None then begin
             (* First detecting pattern: lowest set bit. *)
             let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
-            let j = lowest 0 in
-            first.(site.sid) <- merge_detection first.(site.sid) (Some (!chunk_start + j))
+            first.(site.sid) <- Some (!chunk_start + lowest 0);
+            decr undetected
           end
         end
         else incr saved)
       u.sites;
+    incr chunks_done;
     chunk_start := !chunk_start + len
   done;
+  if !chunks_done < n_chunks then saved := !saved + ((n_chunks - !chunks_done) * n);
   emit_run obs ~engine:"parallel" ~n_sites:n ~n_patterns:total ~t0
-    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
+    [
+      ("algo", Obs.String (algo_name algo));
+      ("evals", Obs.Int !evals);
+      ("evals_saved", Obs.Int !saved);
+      ("gate_evals", Obs.Int !gate_evals);
+      ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
+      ("cone_gates", Obs.Int (total_cone_gates u));
+    ];
   { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Deductive ------------------------------------------------------------ *)
@@ -232,6 +343,8 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array 
   let compiled = u.compiled in
   let n_nets = Compiled.n_nets compiled in
   let gates = Compiled.gates compiled in
+  let is_po = Array.make n_nets false in
+  Array.iter (fun p -> is_po.(p) <- true) (Compiled.po_indices compiled);
   (* Local sites per gate id. *)
   let local = Hashtbl.create 64 in
   Array.iter
@@ -240,62 +353,81 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array 
       Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
     u.sites;
   let dropped = Array.make n false in
-  Array.iteri
-    (fun pi pattern ->
-      let values = Compiled.eval_nets compiled pattern in
-      let lists : Int_set.t array = Array.make n_nets Int_set.empty in
-      Array.iter
-        (fun cg ->
-          let ins = cg.Compiled.ins in
-          let arity = Array.length ins in
-          let in_vals = Array.map (fun i -> values.(i)) ins in
-          let good_out = values.(cg.Compiled.out) in
-          let candidates =
-            Array.fold_left (fun acc i -> Int_set.union acc lists.(i)) Int_set.empty ins
-          in
-          let propagated =
-            Int_set.filter
-              (fun f ->
+  let undetected = ref n in
+  let total = Array.length patterns in
+  let pi = ref 0 in
+  while !pi < total && not (drop && !undetected = 0) do
+    let pattern = patterns.(!pi) in
+    let values = Compiled.eval_nets compiled pattern in
+    let lists : Int_set.t array = Array.make n_nets Int_set.empty in
+    Array.iter
+      (fun cg ->
+        let ins = cg.Compiled.ins in
+        let arity = Array.length ins in
+        let in_vals = Array.map (fun i -> values.(i)) ins in
+        let good_out = values.(cg.Compiled.out) in
+        let candidates =
+          Array.fold_left (fun acc i -> Int_set.union acc lists.(i)) Int_set.empty ins
+        in
+        let propagated =
+          Int_set.filter
+            (fun f ->
+              (* A dropped site can still sit in upstream lists built
+                 earlier this pattern; skip its propagation outright
+                 instead of re-evaluating the gate for it. *)
+              if drop && dropped.(f) then begin
+                incr saved;
+                false
+              end
+              else begin
                 incr evals;
                 let flipped =
                   Array.init arity (fun k ->
                       if Int_set.mem f lists.(ins.(k)) then not in_vals.(k) else in_vals.(k))
                 in
                 let words = Array.map (fun b -> if b then 1 else 0) flipped in
-                Compiled.eval_fn cg.Compiled.fn words land 1 = 1 <> good_out)
-              candidates
-          in
-          let with_local =
-            List.fold_left
-              (fun acc site ->
-                if drop && dropped.(site.sid) then begin
-                  incr saved;
-                  acc
-                end
-                else begin
-                  incr evals;
-                  let words = Array.map (fun b -> if b then 1 else 0) in_vals in
-                  let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-                  if fv <> good_out then Int_set.add site.sid acc else acc
-                end)
-              propagated
-              (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
-          in
-          lists.(cg.Compiled.out) <- with_local)
-        gates;
-      (* Any fault reaching a primary output is detected by this pattern. *)
-      Array.iter
-        (fun po ->
+                Compiled.eval_fn cg.Compiled.fn words land 1 = 1 <> good_out
+              end)
+            candidates
+        in
+        let with_local =
+          List.fold_left
+            (fun acc site ->
+              if drop && dropped.(site.sid) then begin
+                incr saved;
+                acc
+              end
+              else begin
+                incr evals;
+                let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                if fv <> good_out then Int_set.add site.sid acc else acc
+              end)
+            propagated
+            (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
+        in
+        (* A fault reaching a primary-output net is detected; record it
+           the moment the driving gate is processed so dropping takes
+           effect for the rest of this very pattern. *)
+        if is_po.(cg.Compiled.out) then
           Int_set.iter
             (fun f ->
-              first.(f) <- merge_detection first.(f) (Some pi);
+              if first.(f) = None then begin
+                first.(f) <- Some !pi;
+                decr undetected
+              end;
               if drop then dropped.(f) <- true)
-            lists.(po))
-        (Compiled.po_indices compiled))
-    patterns;
-  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:(Array.length patterns) ~t0
+            with_local;
+        lists.(cg.Compiled.out) <- with_local)
+      gates;
+    incr pi
+  done;
+  (* Early exit once every site is detected: each skipped pattern saves at
+     least the n local spawn evaluations (plus all propagation work). *)
+  if !pi < total then saved := !saved + ((total - !pi) * n);
+  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:total ~t0
     [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Concurrent ------------------------------------------------------------ *)
 
@@ -330,29 +462,38 @@ let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array
       let k = site.gate.Netlist.id in
       Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
     u.sites;
+  let is_po = Array.make n_nets false in
+  Array.iter (fun p -> is_po.(p) <- true) (Compiled.po_indices compiled);
   let dropped = Array.make n false in
-  Array.iteri
-    (fun pi pattern ->
-      let values = Compiled.eval_nets compiled pattern in
-      (* Per net: the diverged machines as a map site -> faulty value
-         (present only when it differs from the good value). *)
-      let diverged : bool Int_map.t array = Array.make n_nets Int_map.empty in
-      Array.iter
-        (fun cg ->
-          let ins = cg.Compiled.ins in
-          let arity = Array.length ins in
-          let in_vals = Array.map (fun i -> values.(i)) ins in
-          let good_out = values.(cg.Compiled.out) in
-          (* Machines appearing on any input. *)
-          let candidates =
-            Array.fold_left
-              (fun acc i ->
-                Int_map.fold (fun site _ acc -> Int_map.add site () acc) diverged.(i) acc)
-              Int_map.empty ins
-          in
-          let out_map = ref Int_map.empty in
-          Int_map.iter
-            (fun site () ->
+  let undetected = ref n in
+  let total = Array.length patterns in
+  let pi = ref 0 in
+  while !pi < total && not (drop && !undetected = 0) do
+    let pattern = patterns.(!pi) in
+    let values = Compiled.eval_nets compiled pattern in
+    (* Per net: the diverged machines as a map site -> faulty value
+       (present only when it differs from the good value). *)
+    let diverged : bool Int_map.t array = Array.make n_nets Int_map.empty in
+    Array.iter
+      (fun cg ->
+        let ins = cg.Compiled.ins in
+        let arity = Array.length ins in
+        let in_vals = Array.map (fun i -> values.(i)) ins in
+        let good_out = values.(cg.Compiled.out) in
+        (* Machines appearing on any input. *)
+        let candidates =
+          Array.fold_left
+            (fun acc i ->
+              Int_map.fold (fun site _ acc -> Int_map.add site () acc) diverged.(i) acc)
+            Int_map.empty ins
+        in
+        let out_map = ref Int_map.empty in
+        Int_map.iter
+          (fun site () ->
+            (* A dropped machine may still be diverged on upstream nets
+               from earlier this pattern; let it die here for free. *)
+            if drop && dropped.(site) then incr saved
+            else begin
               incr evals;
               let faulty_ins =
                 Array.init arity (fun k ->
@@ -367,34 +508,40 @@ let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array
                 else cg.Compiled.fn
               in
               let fv = Compiled.eval_fn fn words land 1 = 1 in
-              if fv <> good_out then out_map := Int_map.add site fv !out_map)
-            candidates;
-          (* Spawn local machines at this gate (their inputs equal the
-             good inputs; their gate function is the faulty one). *)
-          List.iter
-            (fun site ->
-              if drop && dropped.(site.sid) then incr saved
-              else if not (Int_map.mem site.sid !out_map) then begin
-                incr evals;
-                let words = Array.map (fun b -> if b then 1 else 0) in_vals in
-                let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-                if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
-              end)
-            (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
-          diverged.(cg.Compiled.out) <- !out_map)
-        gates;
-      Array.iter
-        (fun po ->
+              if fv <> good_out then out_map := Int_map.add site fv !out_map
+            end)
+          candidates;
+        (* Spawn local machines at this gate (their inputs equal the
+           good inputs; their gate function is the faulty one). *)
+        List.iter
+          (fun site ->
+            if drop && dropped.(site.sid) then incr saved
+            else if not (Int_map.mem site.sid !out_map) then begin
+              incr evals;
+              let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+              let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+              if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
+            end)
+          (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
+        (* A machine diverged on a primary-output net is detected; record
+           inline so dropping takes effect within this pattern. *)
+        if is_po.(cg.Compiled.out) then
           Int_map.iter
             (fun site _ ->
-              first.(site) <- merge_detection first.(site) (Some pi);
+              if first.(site) = None then begin
+                first.(site) <- Some !pi;
+                decr undetected
+              end;
               if drop then dropped.(site) <- true)
-            diverged.(po))
-        (Compiled.po_indices compiled))
-    patterns;
-  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:(Array.length patterns) ~t0
+            !out_map;
+        diverged.(cg.Compiled.out) <- !out_map)
+      gates;
+    incr pi
+  done;
+  if !pi < total then saved := !saved + ((total - !pi) * n);
+  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:total ~t0
     [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = Array.length patterns; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first }
 
 (* --- Domain-parallel -------------------------------------------------------- *)
 
@@ -402,7 +549,7 @@ let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array
    (work-stealing pool in Parallel_exec); inside each site the serial or
    bit-parallel kernel runs unchanged, so first-detection results are
    bit-identical to [run_serial] for every domain count. *)
-let run_domain_parallel_stats ?drop ?inner ?num_domains ?min_work_per_domain
+let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain
     ?(obs = Obs.disabled) u (patterns : bool array array) =
   let t0 = start_time obs in
   let jobs =
@@ -411,20 +558,25 @@ let run_domain_parallel_stats ?drop ?inner ?num_domains ?min_work_per_domain
       u.sites
   in
   let first, stats =
-    Parallel_exec.run_with_stats ?drop ?inner ?num_domains ?min_work_per_domain ~obs u.compiled
-      jobs patterns
+    Parallel_exec.run_with_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
+      u.compiled jobs patterns
   in
   emit_run obs ~engine:"domains" ~n_sites:(n_sites u) ~n_patterns:(Array.length patterns) ~t0
     [
+      ("algo", Obs.String (Parallel_exec.algo_name stats.Parallel_exec.algo_used));
       ("evals", Obs.Int (Parallel_exec.stats_evals stats));
       ("evals_saved", Obs.Int (Parallel_exec.stats_evals_saved stats));
+      ("gate_evals", Obs.Int (Parallel_exec.stats_gate_evals stats));
+      ("cone_gates", Obs.Int (total_cone_gates u));
       ("effective_domains", Obs.Int stats.Parallel_exec.effective_domains);
     ];
   ( { n_sites = n_sites u; n_patterns = Array.length patterns; first_detection = first },
     stats )
 
-let run_domain_parallel ?drop ?inner ?num_domains ?min_work_per_domain ?obs u patterns =
-  fst (run_domain_parallel_stats ?drop ?inner ?num_domains ?min_work_per_domain ?obs u patterns)
+let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs u patterns =
+  fst
+    (run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs u
+       patterns)
 
 (* --- Random-pattern driver ------------------------------------------------ *)
 

@@ -55,11 +55,42 @@ val detects : universe -> site -> bool array -> bool
     ["faultsim.run"] event per run carrying the engine name, site and
     pattern counts, wall-clock time, the number of faulty-machine kernel
     evaluations performed ("evals") and the evaluations skipped by fault
-    dropping ("evals_saved").  The recorder never changes results: with
-    and without [obs], summaries are bit-identical (tested). *)
+    dropping or the all-detected early exit ("evals_saved").  The
+    injection engines additionally report the algorithm name ("algo"),
+    the faulty gate evaluations performed ("gate_evals"), the gate
+    evaluations the cone restriction avoided relative to whole-circuit
+    sweeps ("gate_evals_saved") and the summed fanout-cone size over all
+    sites ("cone_gates").  The recorder never changes results: with and
+    without [obs], summaries are bit-identical (tested).
 
-val run_serial : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
-val run_parallel : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
+    The injection engines ({!run_serial}, {!run_parallel},
+    {!run_domain_parallel}) take [?algo]:
+
+    - [`Cone] (default): re-evaluate only the fault site's transitive
+      fanout cone against the good-machine baseline
+      ({!Compiled.eval_cone_into}), exiting immediately when the fault is
+      not activated;
+    - [`Full]: re-evaluate the whole circuit per fault and compare every
+      primary output (the classical kernel).
+
+    Both produce bit-identical [first_detection] (a fault can only
+    influence its fanout cone); they differ only in work performed. *)
+
+val run_serial :
+  ?drop:bool ->
+  ?algo:[ `Full | `Cone ] ->
+  ?obs:Dynmos_obs.Obs.t ->
+  universe ->
+  bool array array ->
+  summary
+
+val run_parallel :
+  ?drop:bool ->
+  ?algo:[ `Full | `Cone ] ->
+  ?obs:Dynmos_obs.Obs.t ->
+  universe ->
+  bool array array ->
+  summary
 val run_deductive : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
 
 val run_concurrent : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
@@ -70,6 +101,7 @@ val run_concurrent : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool arr
 val run_domain_parallel :
   ?drop:bool ->
   ?inner:Parallel_exec.inner ->
+  ?algo:[ `Full | `Cone ] ->
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->
@@ -79,16 +111,17 @@ val run_domain_parallel :
 (** Multicore engine: fault sites partitioned across OCaml 5 domains (a
     work-stealing pool, see {!Parallel_exec}), each running the serial or
     bit-parallel kernel with private scratch state.  [first_detection] is
-    bit-identical to {!run_serial} for every [num_domains], [inner] and
-    [drop].  [num_domains] defaults to
+    bit-identical to {!run_serial} for every [num_domains], [inner],
+    [algo] and [drop].  [num_domains] defaults to
     [Domain.recommended_domain_count ()] and is clamped to the number of
     sites and to the estimated work (one domain per [min_work_per_domain]
     gate-evaluations, see {!Parallel_exec.run}); [inner] defaults to
-    [Bit_parallel]. *)
+    [Bit_parallel]; [algo] defaults to [`Cone]. *)
 
 val run_domain_parallel_stats :
   ?drop:bool ->
   ?inner:Parallel_exec.inner ->
+  ?algo:[ `Full | `Cone ] ->
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->

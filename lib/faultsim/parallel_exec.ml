@@ -50,6 +50,7 @@ type job = {
 type inner = Serial | Bit_parallel
 
 let inner_name = function Serial -> "serial" | Bit_parallel -> "bit_parallel"
+let algo_name = function `Full -> "full" | `Cone -> "cone"
 
 let word_bits = 62
 
@@ -58,6 +59,7 @@ type domain_stats = {
   jobs_claimed : int;
   evals : int;
   evals_saved : int;
+  gate_evals : int;
   busy_s : float;
   steal_s : float;
 }
@@ -69,6 +71,7 @@ type stats = {
   n_patterns : int;
   n_chunks : int;
   inner_used : inner;
+  algo_used : [ `Full | `Cone ];
   work_estimate : int;
   prepare_s : float;
   spawn_s : float;
@@ -79,21 +82,24 @@ type stats = {
 
 let stats_evals s = Array.fold_left (fun acc d -> acc + d.evals) 0 s.per_domain
 let stats_evals_saved s = Array.fold_left (fun acc d -> acc + d.evals_saved) 0 s.per_domain
+let stats_gate_evals s = Array.fold_left (fun acc d -> acc + d.gate_evals) 0 s.per_domain
 
 let spawn_dominated s =
   let busy = Array.fold_left (fun acc d -> acc +. d.busy_s) 0.0 s.per_domain in
   s.effective_domains > 1 && s.spawn_s +. s.join_s > busy
 
 let pp_stats ppf s =
-  Format.fprintf ppf "domains: requested %d, effective %d (%d jobs, %d patterns, %s kernel, ~%d gate-evals)@."
+  Format.fprintf ppf
+    "domains: requested %d, effective %d (%d jobs, %d patterns, %s kernel, %s algo, ~%d gate-evals estimated, %d performed)@."
     s.requested_domains s.effective_domains s.n_jobs s.n_patterns (inner_name s.inner_used)
-    s.work_estimate;
+    (algo_name s.algo_used) s.work_estimate (stats_gate_evals s);
   Format.fprintf ppf "prepare %.6f s, spawn %.6f s, join %.6f s, total %.6f s@." s.prepare_s
     s.spawn_s s.join_s s.total_s;
   Array.iter
     (fun d ->
-      Format.fprintf ppf "  domain %d: %d jobs, %d evals, %d saved by dropping, busy %.6f s, steal %.6f s@."
-        d.dom d.jobs_claimed d.evals d.evals_saved d.busy_s d.steal_s)
+      Format.fprintf ppf
+        "  domain %d: %d jobs, %d evals (%d gate-evals), %d saved by dropping, busy %.6f s, steal %.6f s@."
+        d.dom d.jobs_claimed d.evals d.gate_evals d.evals_saved d.busy_s d.steal_s)
     s.per_domain;
   if spawn_dominated s then
     Format.fprintf ppf "  note: spawn/join time exceeds total busy time — workload too small for %d domains@."
@@ -102,15 +108,23 @@ let pp_stats ppf s =
     Format.fprintf ppf "  note: clamped from %d requested domains (jobs or estimated work too small)@."
       s.requested_domains
 
-(* Per-worker evaluation tally, threaded through the inner kernels. *)
-type tally = { mutable t_evals : int; mutable t_saved : int }
+(* Per-worker evaluation tally, threaded through the inner kernels.
+   [t_evals] counts kernel invocations (one per job x chunk/pattern
+   attempted — identical between [`Full] and [`Cone], which is what the
+   cross-engine reconciliation tests rely on); [t_gate] counts the gate
+   evaluations those invocations performed, which is where the cone
+   restriction shows up. *)
+type tally = { mutable t_evals : int; mutable t_saved : int; mutable t_gate : int }
 
-(* One packed chunk of <= 62 patterns with its fault-free response. *)
+(* One packed chunk of <= 62 patterns with its fault-free response.
+   [nets] is the complete good-machine evaluation (every net, not just
+   the POs): the baseline [Compiled.eval_cone_into] starts from. *)
 type chunk = {
   start : int;          (* pattern index of bit 0 *)
   mask : int;           (* valid-bit mask (len low bits) *)
   words : int array;    (* packed primary-input words *)
   good : int array;     (* fault-free primary-output words *)
+  nets : int array;     (* fault-free words for every net *)
 }
 
 let pack_chunks compiled (patterns : bool array array) =
@@ -134,7 +148,25 @@ let pack_chunks compiled (patterns : bool array array) =
         mask = (if len >= word_bits then max_int else (1 lsl len) - 1);
         words;
         good = Compiled.outputs_of_nets compiled scratch;
+        nets = Array.copy scratch;
       })
+
+(* Single-pattern chunks (mask = bit 0): the serial inner kernel under
+   [`Cone] reuses the bit-parallel cone block runner with these. *)
+let pack_single_chunks compiled (patterns : bool array array) =
+  let scratch = Compiled.make_scratch compiled in
+  Array.mapi
+    (fun pi pattern ->
+      let words = Array.map (fun b -> if b then 1 else 0) pattern in
+      Compiled.eval_words_into compiled ~scratch words;
+      {
+        start = pi;
+        mask = 1;
+        words;
+        good = Compiled.outputs_of_nets compiled scratch;
+        nets = Array.copy scratch;
+      })
+    patterns
 
 (* Earliest detecting pattern of one job, scanning chunks in order.  With
    [drop] the scan stops at the first detecting chunk; without it every
@@ -142,6 +174,7 @@ let pack_chunks compiled (patterns : bool array array) =
    workload), but the recorded detection is identical either way. *)
 let run_job_bit_parallel ~drop compiled chunks po scratch tally job =
   let n_po = Array.length po in
+  let n_gates = Compiled.n_gates compiled in
   let found = ref None in
   let c = ref 0 in
   let n_chunks = Array.length chunks in
@@ -161,6 +194,7 @@ let run_job_bit_parallel ~drop compiled chunks po scratch tally job =
   done;
   tally.t_evals <- tally.t_evals + !c;
   tally.t_saved <- tally.t_saved + (n_chunks - !c);
+  tally.t_gate <- tally.t_gate + (!c * n_gates);
   !found
 
 (* Serial inner engine: one evaluation per pattern (words carry a single
@@ -169,6 +203,7 @@ let run_job_bit_parallel ~drop compiled chunks po scratch tally job =
 let run_job_serial ~drop compiled (pat_words : int array array) (good : int array array) po
     scratch tally job =
   let n_po = Array.length po in
+  let n_gates = Compiled.n_gates compiled in
   let total = Array.length pat_words in
   let found = ref None in
   let pi = ref 0 in
@@ -183,7 +218,49 @@ let run_job_serial ~drop compiled (pat_words : int array array) (good : int arra
   done;
   tally.t_evals <- tally.t_evals + !pi;
   tally.t_saved <- tally.t_saved + (total - !pi);
+  tally.t_gate <- tally.t_gate + (!pi * n_gates);
   !found
+
+(* Cone block runner: chunk-outer over a claimed block of jobs.  The
+   chunk's full baseline is blitted into [scratch] once per (chunk,
+   block) and [Compiled.eval_cone_into] restores it after every job, so
+   the whole block shares one baseline load.  Dropping is a per-job skip
+   (a found job stops being evaluated on later chunks) plus a block-level
+   exit once every job in the block is found; both are accounted so
+   t_evals/t_saved match the job-inner kernels above invocation for
+   invocation. *)
+let run_block_cone ~drop compiled chunks (jobs : job array) (first : int option array)
+    scratch buf tally start stop =
+  let n_chunks = Array.length chunks in
+  let n_nets = Compiled.n_nets compiled in
+  let block_jobs = stop - start + 1 in
+  let remaining = ref block_jobs in
+  let gate_tally = ref tally.t_gate in
+  let c = ref 0 in
+  while !c < n_chunks && not (drop && !remaining = 0) do
+    let ch = chunks.(!c) in
+    Array.blit ch.nets 0 scratch 0 n_nets;
+    for j = start to stop do
+      let job = jobs.(j) in
+      if drop && first.(job.jid) <> None then tally.t_saved <- tally.t_saved + 1
+      else begin
+        tally.t_evals <- tally.t_evals + 1;
+        let diff =
+          Compiled.eval_cone_into ~tally:gate_tally compiled ~override:(job.gate_id, job.fn)
+            ~scratch ~buf
+          land ch.mask
+        in
+        if diff <> 0 && first.(job.jid) = None then begin
+          let rec lowest k = if (diff lsr k) land 1 = 1 then k else lowest (k + 1) in
+          first.(job.jid) <- Some (ch.start + lowest 0);
+          if drop then decr remaining
+        end
+      end
+    done;
+    incr c
+  done;
+  tally.t_gate <- !gate_tally;
+  if !c < n_chunks then tally.t_saved <- tally.t_saved + ((n_chunks - !c) * block_jobs)
 
 let default_domains () = Domain.recommended_domain_count ()
 
@@ -193,7 +270,7 @@ let default_domains () = Domain.recommended_domain_count ()
    marginal even on a loaded host. *)
 let default_min_work_per_domain = 50_000
 
-let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
+let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_domains
     ?(min_work_per_domain = default_min_work_per_domain) ?(obs = Obs.disabled) compiled
     (jobs : job array) (patterns : bool array array) =
   let t_total0 = Obs.now () in
@@ -223,6 +300,7 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
         n_patterns;
         n_chunks;
         inner_used = inner;
+        algo_used = algo;
         work_estimate;
         prepare_s;
         spawn_s;
@@ -240,6 +318,7 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
               ("jobs_claimed", Obs.Int d.jobs_claimed);
               ("evals", Obs.Int d.evals);
               ("evals_saved", Obs.Int d.evals_saved);
+              ("gate_evals", Obs.Int d.gate_evals);
               ("busy_s", Obs.Float d.busy_s);
               ("steal_s", Obs.Float d.steal_s);
             ])
@@ -252,9 +331,11 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
           ("patterns", Obs.Int stats.n_patterns);
           ("chunks", Obs.Int stats.n_chunks);
           ("inner", Obs.String (inner_name stats.inner_used));
+          ("algo", Obs.String (algo_name stats.algo_used));
           ("work_estimate", Obs.Int stats.work_estimate);
           ("evals", Obs.Int (stats_evals stats));
           ("evals_saved", Obs.Int (stats_evals_saved stats));
+          ("gate_evals", Obs.Int (stats_gate_evals stats));
           ("spawn_dominated", Obs.Bool (spawn_dominated stats));
           ("prepare_s", Obs.Float stats.prepare_s);
           ("spawn_s", Obs.Float stats.spawn_s);
@@ -269,12 +350,24 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
   else begin
     let t_prep0 = Obs.now () in
     let po = Compiled.po_indices compiled in
-    let run_job =
-      match inner with
-      | Bit_parallel ->
+    (* [run_block scratch buf tally start stop] processes one claimed
+       block of jobs.  [`Full] runs the classical per-job kernels;
+       [`Cone] runs the chunk-outer cone runner (the serial inner uses
+       single-pattern chunks so both inners share it). *)
+    let run_block =
+      match (inner, algo) with
+      | Bit_parallel, `Full ->
           let chunks = pack_chunks compiled patterns in
-          fun scratch tally job -> run_job_bit_parallel ~drop compiled chunks po scratch tally job
-      | Serial ->
+          fun scratch _buf tally start stop ->
+            for j = start to stop do
+              let job = jobs.(j) in
+              first.(job.jid) <- run_job_bit_parallel ~drop compiled chunks po scratch tally job
+            done
+      | Bit_parallel, `Cone ->
+          let chunks = pack_chunks compiled patterns in
+          fun scratch buf tally start stop ->
+            run_block_cone ~drop compiled chunks jobs first scratch buf tally start stop
+      | Serial, `Full ->
           let pat_words =
             Array.map (fun p -> Array.map (fun b -> if b then 1 else 0) p) patterns
           in
@@ -286,18 +379,35 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
                 Array.map (fun i -> scratch.(i) land 1) po)
               pat_words
           in
-          fun scratch tally job -> run_job_serial ~drop compiled pat_words good po scratch tally job
+          fun scratch _buf tally start stop ->
+            for j = start to stop do
+              let job = jobs.(j) in
+              first.(job.jid) <- run_job_serial ~drop compiled pat_words good po scratch tally job
+            done
+      | Serial, `Cone ->
+          let chunks = pack_single_chunks compiled patterns in
+          fun scratch buf tally start stop ->
+            run_block_cone ~drop compiled chunks jobs first scratch buf tally start stop
     in
     let prepare_s = Obs.now () -. t_prep0 in
     let next = Atomic.make 0 in
     let block = max 1 (n / (effective * 8)) in
     let per_domain =
       Array.init effective (fun di ->
-          { dom = di; jobs_claimed = 0; evals = 0; evals_saved = 0; busy_s = 0.0; steal_s = 0.0 })
+          {
+            dom = di;
+            jobs_claimed = 0;
+            evals = 0;
+            evals_saved = 0;
+            gate_evals = 0;
+            busy_s = 0.0;
+            steal_s = 0.0;
+          })
     in
     let worker di () =
       let scratch = Compiled.make_scratch compiled in
-      let tally = { t_evals = 0; t_saved = 0 } in
+      let buf = Compiled.make_cone_buffer compiled in
+      let tally = { t_evals = 0; t_saved = 0; t_gate = 0 } in
       let claimed = ref 0 in
       let busy = ref 0.0 in
       let steal = ref 0.0 in
@@ -310,10 +420,7 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
         if start >= n then continue := false
         else begin
           let stop = min n (start + block) - 1 in
-          for j = start to stop do
-            let job = jobs.(j) in
-            first.(job.jid) <- run_job scratch tally job
-          done;
+          run_block scratch buf tally start stop;
           claimed := !claimed + (stop - start + 1);
           busy := !busy +. (Obs.now () -. t1)
         end
@@ -324,6 +431,7 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
           jobs_claimed = !claimed;
           evals = tally.t_evals;
           evals_saved = tally.t_saved;
+          gate_evals = tally.t_gate;
           busy_s = !busy;
           steal_s = !steal;
         }
@@ -338,5 +446,7 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?num_domains
     finish ~prepare_s ~spawn_s ~join_s ~per_domain
   end
 
-let run ?drop ?inner ?num_domains ?min_work_per_domain ?obs compiled jobs patterns =
-  fst (run_with_stats ?drop ?inner ?num_domains ?min_work_per_domain ?obs compiled jobs patterns)
+let run ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs patterns =
+  fst
+    (run_with_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs
+       patterns)

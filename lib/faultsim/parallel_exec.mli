@@ -22,6 +22,9 @@ val inner_name : inner -> string
 (** ["serial"] / ["bit_parallel"], as used in stats events and bench
     JSON. *)
 
+val algo_name : [ `Full | `Cone ] -> string
+(** ["full"] / ["cone"], as used in stats events and bench JSON. *)
+
 val word_bits : int
 (** Patterns per machine word in the [Bit_parallel] kernel (62). *)
 
@@ -41,6 +44,8 @@ type domain_stats = {
                           evaluations for [Bit_parallel], single-pattern
                           evaluations for [Serial]) *)
   evals_saved : int;  (** evaluations skipped thanks to fault dropping *)
+  gate_evals : int;   (** gate evaluations those kernel calls performed —
+                          where the [`Cone] restriction shows up *)
   busy_s : float;     (** wall-clock time inside job kernels *)
   steal_s : float;    (** wall-clock time claiming work from the cursor *)
 }
@@ -52,6 +57,7 @@ type stats = {
   n_patterns : int;
   n_chunks : int;
   inner_used : inner;
+  algo_used : [ `Full | `Cone ];
   work_estimate : int;      (** jobs x per-job evals x gates *)
   prepare_s : float;        (** pattern packing + fault-free responses *)
   spawn_s : float;
@@ -67,6 +73,11 @@ val stats_evals : stats -> int
 
 val stats_evals_saved : stats -> int
 
+val stats_gate_evals : stats -> int
+(** Total gate evaluations over all domains.  With [`Full] this is
+    [stats_evals x n_gates]; with [`Cone] it is bounded by the summed
+    fanout-cone sizes and is typically far smaller. *)
+
 val spawn_dominated : stats -> bool
 (** True when the spawn + join cost exceeded the total busy time — the
     workload was too small for the domain count actually used. *)
@@ -78,6 +89,7 @@ val pp_stats : Format.formatter -> stats -> unit
 val run :
   ?drop:bool ->
   ?inner:inner ->
+  ?algo:[ `Full | `Cone ] ->
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->
@@ -87,9 +99,17 @@ val run :
   int option array
 (** [run compiled jobs patterns] returns, per [jid], the index of the
     first pattern whose primary outputs differ under the job's override —
-    bit-identical to the serial engine for every [inner], [num_domains]
-    and [drop] setting ([drop] only skips work after a site's first
-    detection, never changes results).
+    bit-identical to the serial engine for every [inner], [algo],
+    [num_domains] and [drop] setting ([drop] only skips work after a
+    site's first detection, never changes results).
+
+    [algo] (default [`Cone]) selects the faulty-machine kernel: [`Cone]
+    re-evaluates only each job's fanout cone against a shared
+    good-machine baseline ({!Compiled.eval_cone_into}, chunk-outer over
+    each claimed block so one baseline load serves the whole block);
+    [`Full] re-evaluates the entire circuit per job and chunk.  Kernel
+    *invocation* counts ([evals]/[evals_saved]) are identical between
+    the two; the cone saving is visible in [gate_evals].
 
     [num_domains] (default [default_domains ()]) is a ceiling: the
     effective count is clamped to the number of jobs and to one domain
@@ -102,6 +122,7 @@ val run :
 val run_with_stats :
   ?drop:bool ->
   ?inner:inner ->
+  ?algo:[ `Full | `Cone ] ->
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->

@@ -29,9 +29,19 @@ type t = {
   n_nets : int;
   n_inputs : int;
   po : int array;       (* net indices of the primary outputs *)
-  cgates : cgate array; (* topological order *)
+  cgates : cgate array; (* topological order; cgates.(i).g.id = i *)
   index_of_net : (string, int) Hashtbl.t;
   net_names : string array;
+  (* Structural fanout analysis, computed once at compile time: the
+     transitive fanout cone of each gate (every gate a fault at that site
+     can influence), topologically sorted so the cone can be re-evaluated
+     in one forward pass, plus the subset of primary outputs the cone
+     reaches.  This is what lets fault injection re-simulate a handful of
+     gates instead of the whole circuit. *)
+  cones : int array array;    (* per gate id: cone gate ids, ascending; cone.(0) = the gate *)
+  reach_po : int array array; (* per gate id: positions in [po] reachable from it *)
+  gate_po : bool array;       (* per gate id: its output net is a primary output *)
+  max_cone : int;
 }
 
 let fn_of_table table =
@@ -75,7 +85,68 @@ let compile netlist =
   let po = Array.of_list (List.map idx (Netlist.outputs netlist)) in
   let net_names = Array.make n_nets "" in
   Hashtbl.iter (fun net i -> net_names.(i) <- net) index_of_net;
-  { netlist; n_nets; n_inputs; po; cgates; index_of_net; net_names }
+  (* Fanout analysis.  Gate ids are dense topological indices (validated
+     by Netlist), so gate i's output net is n_inputs + i and a cone
+     collected in ascending id order is already topologically sorted. *)
+  let n_g = Array.length cgates in
+  Array.iteri (fun i cg -> assert (cg.g.Netlist.id = i && cg.out = n_inputs + i)) cgates;
+  let consumers = Array.make n_g [] in
+  Array.iteri
+    (fun gi cg ->
+      Array.iter
+        (fun net -> if net >= n_inputs then consumers.(net - n_inputs) <- gi :: consumers.(net - n_inputs))
+        cg.ins)
+    cgates;
+  let gate_po = Array.make n_g false in
+  let po_positions = Array.make n_g [] in
+  Array.iteri
+    (fun k net ->
+      if net >= n_inputs then begin
+        gate_po.(net - n_inputs) <- true;
+        po_positions.(net - n_inputs) <- k :: po_positions.(net - n_inputs)
+      end)
+    po;
+  let mark = Array.make n_g (-1) in
+  let cones = Array.make n_g [||] in
+  let reach_po = Array.make n_g [||] in
+  let max_cone = ref 0 in
+  for g0 = 0 to n_g - 1 do
+    (* DFS over consumer edges, stamping [mark] with g0 (no clearing
+       between gates); explicit stack so deep chains cannot overflow. *)
+    mark.(g0) <- g0;
+    let stack = ref consumers.(g0) in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | g :: rest ->
+          stack := rest;
+          if mark.(g) <> g0 then begin
+            mark.(g) <- g0;
+            stack := List.rev_append consumers.(g) !stack
+          end
+    done;
+    let count = ref 0 in
+    for g = g0 to n_g - 1 do
+      if mark.(g) = g0 then incr count
+    done;
+    let cone = Array.make !count 0 in
+    let pos = ref [] in
+    let j = ref 0 in
+    for g = g0 to n_g - 1 do
+      if mark.(g) = g0 then begin
+        cone.(!j) <- g;
+        incr j;
+        List.iter (fun k -> pos := k :: !pos) po_positions.(g)
+      end
+    done;
+    cones.(g0) <- cone;
+    reach_po.(g0) <- Array.of_list (List.rev !pos);
+    if !count > !max_cone then max_cone := !count
+  done;
+  {
+    netlist; n_nets; n_inputs; po; cgates; index_of_net; net_names;
+    cones; reach_po; gate_po; max_cone = !max_cone;
+  }
 
 let netlist t = t.netlist
 let n_nets t = t.n_nets
@@ -86,6 +157,9 @@ let po_indices t = t.po
 let net_index t net = Hashtbl.find_opt t.index_of_net net
 let net_name t i = t.net_names.(i)
 let gates t = t.cgates
+let fanout_cone t gid = t.cones.(gid)
+let reachable_outputs t gid = t.reach_po.(gid)
+let max_cone_size t = t.max_cone
 
 (* Evaluate one gate function on word-packed inputs: bit j of the result is
    the function applied to bit j of each input word. *)
@@ -98,6 +172,29 @@ let eval_fn fn (input_words : int array) =
         if 1 lsl i <= care then begin
           if care land (1 lsl i) <> 0 then
             m := !m land (if value land (1 lsl i) <> 0 then input_words.(i) else lnot input_words.(i));
+          lits (i + 1)
+        end
+      in
+      lits 0;
+      out := !out lor !m)
+    fn.cubes;
+  !out
+
+(* [eval_fn] with the input gather folded into the cube loop: literal i
+   reads [nets.(ins.(i))] directly, so evaluating a gate allocates
+   nothing (the old hot path built a fresh [Array.map] of input words
+   per gate per evaluation). *)
+let eval_fn_from fn (ins : int array) (nets : int array) =
+  let out = ref 0 in
+  Array.iter
+    (fun (care, value) ->
+      let m = ref (-1) in
+      let rec lits i =
+        if 1 lsl i <= care then begin
+          if care land (1 lsl i) <> 0 then begin
+            let w = nets.(ins.(i)) in
+            m := !m land (if value land (1 lsl i) <> 0 then w else lnot w)
+          end;
           lits (i + 1)
         end
       in
@@ -128,9 +225,66 @@ let eval_words_into ?override t ~(scratch : scratch) (pi_words : int array) =
         | Some (gid, fn') when gid = cg.g.id -> fn'
         | _ -> cg.fn
       in
-      let ins = Array.map (fun i -> scratch.(i)) cg.ins in
-      scratch.(cg.out) <- eval_fn fn ins)
+      scratch.(cg.out) <- eval_fn_from fn cg.ins scratch)
     t.cgates
+
+(* --- Cone-restricted fault injection ------------------------------------- *)
+
+let make_cone_buffer t = Array.make (max 1 t.max_cone) 0
+
+(* Faulty evaluation restricted to the fault site's fanout cone.
+
+   [scratch] must hold a completed good-machine evaluation
+   ([eval_words_into] on the same PI words); it is used in place as the
+   baseline and is restored before returning, so one buffer serves any
+   number of consecutive fault injections against the same patterns.
+   [buf] (>= the cone size, see [make_cone_buffer]) saves the baseline
+   words of the cone outputs.
+
+   The overridden gate is evaluated first: when its faulty word equals
+   the good word on every packed pattern the fault is not activated,
+   nothing downstream can diverge, and the kernel exits after that
+   single gate — the dominant saving, since most patterns do not
+   activate most faults.  Otherwise the rest of the cone is re-evaluated
+   in topological order (nets outside the cone cannot change, their
+   values are read from the baseline) and only the primary outputs the
+   cone reaches are compared; unreachable outputs are untouched by
+   construction, so the returned word is bit-identical to a whole-
+   circuit faulty evaluation XORed against the good one over all
+   outputs.
+
+   [tally], when given, accumulates the number of gate evaluations
+   actually performed (1 when the fault was not activated, the cone size
+   otherwise). *)
+let eval_cone_into ?tally t ~override:(gid, fn') ~(scratch : scratch) ~(buf : int array) =
+  let cone = t.cones.(gid) in
+  let n = Array.length cone in
+  let cgates = t.cgates in
+  for i = 0 to n - 1 do
+    buf.(i) <- scratch.(cgates.(cone.(i)).out)
+  done;
+  let cg0 = cgates.(gid) in
+  let faulty0 = eval_fn_from fn' cg0.ins scratch in
+  let diff = ref 0 in
+  let evaluated = ref 1 in
+  if faulty0 <> buf.(0) then begin
+    scratch.(cg0.out) <- faulty0;
+    for i = 1 to n - 1 do
+      let cg = cgates.(cone.(i)) in
+      scratch.(cg.out) <- eval_fn_from cg.fn cg.ins scratch
+    done;
+    evaluated := n;
+    (* Compare the reachable outputs and restore the baseline in one
+       backwards pass. *)
+    for i = n - 1 downto 0 do
+      let g = cone.(i) in
+      let out = cgates.(g).out in
+      if t.gate_po.(g) then diff := !diff lor (scratch.(out) lxor buf.(i));
+      scratch.(out) <- buf.(i)
+    done
+  end;
+  (match tally with Some r -> r := !r + !evaluated | None -> ());
+  !diff
 
 let eval_words ?override t (pi_words : int array) =
   let scratch = make_scratch t in

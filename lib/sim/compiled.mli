@@ -39,6 +39,29 @@ val net_index : t -> string -> int option
 val net_name : t -> int -> string
 val gates : t -> cgate array
 
+(** {1 Structural fanout analysis}
+
+    Computed once at [compile] time: for every gate, the transitive
+    fanout cone (every gate whose value a fault at that site can
+    influence) and the subset of primary outputs it reaches.  Fault
+    injection only ever needs to re-evaluate the cone and compare the
+    reachable outputs. *)
+
+val fanout_cone : t -> int -> int array
+(** [fanout_cone t gid] is the transitive fanout cone of gate [gid]
+    (inclusive): gate ids in ascending — hence topological — order,
+    starting with [gid] itself. *)
+
+val reachable_outputs : t -> int -> int array
+(** [reachable_outputs t gid]: positions in [po_indices] of the primary
+    outputs reachable from gate [gid].  A faulty machine differing only
+    at gate [gid]'s function can differ from the good machine on exactly
+    these outputs. *)
+
+val max_cone_size : t -> int
+(** Largest [fanout_cone] length over all gates (0 for a gateless
+    netlist); the buffer size {!eval_cone_into} needs. *)
+
 val eval_fn : gate_fn -> int array -> int
 (** Word-parallel single-gate evaluation: bit j of the result applies the
     function to bit j of each input word. *)
@@ -59,7 +82,29 @@ val make_scratch : t -> scratch
 val eval_words_into : ?override:int * gate_fn -> t -> scratch:scratch -> int array -> unit
 (** [eval_words] without the per-call allocation: every net's word is
     written into [scratch].  The allocation-free hot path of the
-    domain-parallel fault-simulation engine. *)
+    fault-simulation engines (gate inputs are gathered by indirect
+    indexing inside the cube loop, so no per-gate buffer is built). *)
+
+val eval_fn_from : gate_fn -> int array -> int array -> int
+(** [eval_fn_from fn ins nets] evaluates [fn] reading literal [i] from
+    [nets.(ins.(i))] — {!eval_fn} without materializing the input
+    gather. *)
+
+val make_cone_buffer : t -> int array
+(** A save buffer of {!max_cone_size} words for {!eval_cone_into}. *)
+
+val eval_cone_into :
+  ?tally:int ref -> t -> override:int * gate_fn -> scratch:scratch -> buf:int array -> int
+(** Cone-restricted faulty evaluation.  [scratch] must hold a completed
+    good-machine evaluation of the PI words of interest; only the
+    overridden gate's fanout cone is re-evaluated against it and only
+    the reachable primary outputs are compared.  Returns the OR over all
+    primary outputs of [faulty lxor good] — bit-identical to evaluating
+    the whole faulty circuit — and restores [scratch] to the baseline
+    before returning.  When the overridden gate's faulty word equals its
+    good word the fault is not activated and the kernel exits after that
+    single gate evaluation.  [tally], when given, accumulates the gate
+    evaluations performed (1 or the cone size). *)
 
 val outputs_of_nets : t -> int array -> int array
 (** Select the primary-output words from an [eval_words] result. *)

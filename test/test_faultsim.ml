@@ -48,19 +48,29 @@ let test_detects () =
   check "00011 does not" false (Faultsim.detects u site [| false; false; false; true; true |])
 
 (* All engines — serial, bit-parallel, deductive, concurrent and the two
-   domain-parallel kernels — must produce identical first_detection. *)
+   domain-parallel kernels, each injection engine under both the full and
+   the cone-restricted algorithm — must produce identical
+   first_detection.  The reference is the classical whole-circuit serial
+   kernel. *)
 let engines_agree u patterns =
-  let s1 = Faultsim.run_serial ~drop:false u patterns in
+  let s1 = Faultsim.run_serial ~drop:false ~algo:`Full u patterns in
   let agree s = s.Faultsim.first_detection = s1.Faultsim.first_detection in
-  agree (Faultsim.run_parallel ~drop:false u patterns)
+  agree (Faultsim.run_serial ~drop:false ~algo:`Cone u patterns)
+  && agree (Faultsim.run_parallel ~drop:false ~algo:`Full u patterns)
+  && agree (Faultsim.run_parallel ~drop:false ~algo:`Cone u patterns)
   && agree (Faultsim.run_deductive ~drop:false u patterns)
   && agree (Faultsim.run_concurrent ~drop:false u patterns)
-  && agree
-       (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Bit_parallel
-          ~min_work_per_domain:0 u patterns)
-  && agree
-       (Faultsim.run_domain_parallel ~drop:false ~inner:Parallel_exec.Serial
-          ~min_work_per_domain:0 u patterns)
+  && List.for_all
+       (fun (inner, algo) ->
+         agree
+           (Faultsim.run_domain_parallel ~drop:false ~inner ~algo ~min_work_per_domain:0 u
+              patterns))
+       [
+         (Parallel_exec.Bit_parallel, `Full);
+         (Parallel_exec.Bit_parallel, `Cone);
+         (Parallel_exec.Serial, `Full);
+         (Parallel_exec.Serial, `Cone);
+       ]
 
 let test_engines_agree_fig9 () =
   let u = fig9_u () in
@@ -119,6 +129,59 @@ let test_engines_agree_multi_output () =
       Generators.random_monotone ~seed:13 ~n_inputs:7 ~n_gates:15
         ~technology:Technology.Domino_cmos ();
     ]
+
+(* --- Fanout-cone structural analysis ----------------------------------------- *)
+
+module Compiled = Dynmos_sim.Compiled
+
+(* An explicitly reconvergent circuit: g1 fans out along two paths (g2,
+   g3) that reconverge at g4, and g2 is additionally tapped as a second
+   primary output — the shape where naive difference propagation goes
+   wrong and the cone kernel must still match whole-circuit injection. *)
+let reconvergent_netlist () =
+  let and2 = Stdcells.and_gate 2 Technology.Domino_cmos in
+  let or2 = Stdcells.or_gate 2 Technology.Domino_cmos in
+  let b = Netlist.Builder.create "reconv" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  let g1 = Netlist.Builder.add b and2 ~inputs:[ a; c ] ~output:"g1" in
+  let g2 = Netlist.Builder.add b or2 ~inputs:[ g1; a ] ~output:"g2" in
+  let g3 = Netlist.Builder.add b and2 ~inputs:[ g1; c ] ~output:"g3" in
+  let g4 = Netlist.Builder.add b or2 ~inputs:[ g2; g3 ] ~output:"g4" in
+  Netlist.Builder.output b g2;
+  Netlist.Builder.output b g4;
+  Netlist.Builder.finish b
+
+let test_cone_reconvergent () =
+  let nl = reconvergent_netlist () in
+  let c = Compiled.compile nl in
+  (* g1 (gate id 0) influences every gate through two reconvergent paths
+     and reaches both primary outputs. *)
+  check "g1 cone is everything" true (Compiled.fanout_cone c 0 = [| 0; 1; 2; 3 |]);
+  check_i "g1 reaches both POs" 2 (Array.length (Compiled.reachable_outputs c 0));
+  (* g3 (id 2) only feeds g4: one reachable output. *)
+  check "g3 cone" true (Compiled.fanout_cone c 2 = [| 2; 3 |]);
+  check_i "g3 reaches one PO" 1 (Array.length (Compiled.reachable_outputs c 2));
+  check_i "max cone" 4 (Compiled.max_cone_size c);
+  (* and the engines agree on it, exhaustively *)
+  let u = Faultsim.universe nl in
+  check "engines agree on reconvergent circuit" true
+    (engines_agree u (Faultsim.exhaustive_patterns 2))
+
+(* Reconvergence at scale: every differential engine pair on random
+   monotone circuits (they contain shared fanout by construction). *)
+let test_cone_reconvergent_random () =
+  let prng = Prng.create 59 in
+  List.iter
+    (fun seed ->
+      let nl =
+        Generators.random_monotone ~seed ~n_inputs:8 ~n_gates:30
+          ~technology:Technology.Domino_cmos ()
+      in
+      let u = Faultsim.universe nl in
+      let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
+      check (Fmt.str "seed %d" seed) true (engines_agree u pats))
+    [ 2; 21; 77 ]
 
 (* --- Domain-parallel layer -------------------------------------------------- *)
 
@@ -372,6 +435,107 @@ let test_obs_eval_reconciliation () =
         [ 1; 2; 3 ])
     [ false; true ]
 
+(* Cone vs full bookkeeping: identical kernel-invocation counts and
+   results, strictly fewer gate evaluations for the cone on a circuit
+   with meaningful structure. *)
+let test_cone_gate_evals () =
+  let nl =
+    Generators.random_monotone ~seed:3 ~n_inputs:8 ~n_gates:30
+      ~technology:Technology.Domino_cmos ()
+  in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 61 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
+  List.iter
+    (fun (name, run) ->
+      let measure algo =
+        let sink, fetch = Obs.memory_sink () in
+        ignore (run algo (Obs.make sink));
+        let e = run_event fetch in
+        ( Option.get (field_int e "evals"),
+          Option.get (field_int e "gate_evals"),
+          Option.get (field_int e "gate_evals_saved") )
+      in
+      let e_cone, g_cone, s_cone = measure `Cone in
+      let e_full, g_full, s_full = measure `Full in
+      check_i (name ^ ": same kernel invocations") e_full e_cone;
+      check (name ^ ": cone does strictly fewer gate evals") true (g_cone < g_full);
+      check_i (name ^ ": full sweeps every gate") (e_full * Netlist.n_gates nl) g_full;
+      (* both account against the same total workload *)
+      check_i (name ^ ": accounting totals agree") (g_full + s_full) (g_cone + s_cone))
+    [
+      ("serial", fun algo obs -> Faultsim.run_serial ~drop:false ~algo ~obs u pats);
+      ("parallel", fun algo obs -> Faultsim.run_parallel ~drop:false ~algo ~obs u pats);
+    ]
+
+(* All-detected early exit: once every site is detected under drop, the
+   remaining patterns are skipped, yet (a) results equal the no-drop run
+   and (b) evals + evals_saved still accounts for the full
+   sites x patterns (or sites x chunks) workload. *)
+let test_early_exit_accounting () =
+  let u = fig9_u () in
+  (* exhaustive fig9 reaches full coverage within the first 32 vectors;
+     doubling the set to 64 patterns (2 bit-parallel chunks) guarantees
+     there is a wholly-redundant tail for the early exit to skip *)
+  let pats = Faultsim.exhaustive_patterns 5 in
+  let pats = Array.append pats pats in
+  let totals =
+    [
+      ("serial", (fun obs -> Faultsim.run_serial ~obs u pats), Faultsim.n_sites u * 64);
+      ("parallel", (fun obs -> Faultsim.run_parallel ~obs u pats), Faultsim.n_sites u * 2);
+    ]
+  in
+  List.iter
+    (fun (name, run, expected_total) ->
+      let sink, fetch = Obs.memory_sink () in
+      let s = run (Obs.make sink) in
+      let e = run_event fetch in
+      let evals = Option.get (field_int e "evals") in
+      let saved = Option.get (field_int e "evals_saved") in
+      check_i (name ^ ": evals + saved = full workload") expected_total (evals + saved);
+      check (name ^ ": exit actually saved work") true (saved > 0);
+      check (name ^ ": detections match no-drop") true
+        (s.Faultsim.first_detection
+        = (Faultsim.run_serial ~drop:false u pats).Faultsim.first_detection))
+    totals;
+  (* deductive and concurrent also stop early and report the saving *)
+  List.iter
+    (fun (name, run) ->
+      let sink, fetch = Obs.memory_sink () in
+      let s = run true (Obs.make sink) in
+      let saved = Option.get (field_int (run_event fetch) "evals_saved") in
+      check (name ^ ": early exit saved work") true (saved > 0);
+      check (name ^ ": detections match no-drop") true
+        (s.Faultsim.first_detection = (run false Obs.disabled).Faultsim.first_detection))
+    [
+      ("deductive", fun drop obs -> Faultsim.run_deductive ~drop ~obs u pats);
+      ("concurrent", fun drop obs -> Faultsim.run_concurrent ~drop ~obs u pats);
+    ]
+
+(* Deductive dropping must also cut the per-gate propagation work:
+   dropped sites are excluded from candidate filtering, so a multi-output
+   circuit (where lists stay populated after a first detection) performs
+   strictly fewer eval_fn calls under drop. *)
+let test_deductive_drop_saves_evals () =
+  let nl = Generators.ripple_adder ~style:`Domino 3 in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 67 in
+  let pats =
+    Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count:100
+  in
+  List.iter
+    (fun (name, run) ->
+      let evals drop =
+        let sink, fetch = Obs.memory_sink () in
+        ignore (run drop (Obs.make sink));
+        Option.get (field_int (run_event fetch) "evals")
+      in
+      check (name ^ ": dropping cuts evals") true (evals true < evals false))
+    [
+      ("deductive", fun drop obs -> Faultsim.run_deductive ~drop ~obs u pats);
+      ("concurrent", fun drop obs -> Faultsim.run_concurrent ~drop ~obs u pats);
+    ]
+
 (* The domain clamp: requested domains are a ceiling, cut down to the
    job count and (by default) to the estimated work. *)
 let test_domain_clamp () =
@@ -454,6 +618,61 @@ let test_diagnosing_patterns () =
       | _ -> Alcotest.fail "ambiguous under diagnosing set")
     u.Faultsim.sites
 
+(* QCheck: structural properties of the compile-time fanout analysis on
+   random circuits — every cone starts with its own gate, is strictly
+   ascending (= topologically ordered, since gate ids are a topological
+   order), is transitively closed over the consumer relation, and
+   reachable_outputs is exactly the set of POs driven from cone gates. *)
+let qcheck_cone_structure =
+  QCheck2.Test.make ~name:"fanout cones closed, ordered, PO-consistent" ~count:30
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 4 8))
+    (fun (seed, n_inputs) ->
+      let nl =
+        Generators.random_monotone ~seed ~n_inputs ~n_gates:15
+          ~technology:Technology.Domino_cmos ()
+      in
+      let c = Compiled.compile nl in
+      let n_g = Compiled.n_gates c in
+      let n_in = Compiled.n_inputs c in
+      let cg = Compiled.gates c in
+      let po = Compiled.po_indices c in
+      let sorted a =
+        let a = Array.copy a in
+        Array.sort compare a;
+        a
+      in
+      let ok = ref true in
+      let widest = ref 0 in
+      for g0 = 0 to n_g - 1 do
+        let cone = Compiled.fanout_cone c g0 in
+        widest := max !widest (Array.length cone);
+        if Array.length cone = 0 || cone.(0) <> g0 then ok := false;
+        for i = 1 to Array.length cone - 1 do
+          if cone.(i) <= cone.(i - 1) then ok := false
+        done;
+        let mem = Array.make n_g false in
+        Array.iter (fun g -> mem.(g) <- true) cone;
+        (* closure: any gate consuming a cone member's output is a member *)
+        Array.iter
+          (fun g ->
+            let out = cg.(g).Compiled.out in
+            Array.iteri
+              (fun h ch ->
+                if Array.exists (( = ) out) ch.Compiled.ins && not mem.(h) then ok := false)
+              cg)
+          cone;
+        (* reachable outputs = the PO positions driven by cone gates *)
+        let expected = ref [] in
+        Array.iteri
+          (fun k p -> if p >= n_in && mem.(p - n_in) then expected := k :: !expected)
+          po;
+        if
+          sorted (Compiled.reachable_outputs c g0)
+          <> sorted (Array.of_list !expected)
+        then ok := false
+      done;
+      !ok && !widest = Compiled.max_cone_size c)
+
 (* QCheck: engine agreement on random monotone circuits and patterns. *)
 let qcheck_engines =
   QCheck2.Test.make ~name:"engines agree on random circuits" ~count:20
@@ -489,6 +708,11 @@ let () =
           Alcotest.test_case "coverage monotone in patterns" `Quick test_more_patterns_dont_hurt;
           Alcotest.test_case "fault dropping consistent" `Quick test_drop_consistency;
         ] );
+      ( "fanout-cone",
+        [
+          Alcotest.test_case "reconvergent circuit" `Quick test_cone_reconvergent;
+          Alcotest.test_case "reconvergent random circuits" `Quick test_cone_reconvergent_random;
+        ] );
       ( "domain-parallel",
         [
           Alcotest.test_case "equal across domain counts" `Quick test_domain_counts_equal;
@@ -511,6 +735,11 @@ let () =
           Alcotest.test_case "obs on/off parity" `Quick test_obs_parity;
           Alcotest.test_case "eval counters reconcile with serial" `Quick
             test_obs_eval_reconciliation;
+          Alcotest.test_case "cone cuts gate evals, not invocations" `Quick test_cone_gate_evals;
+          Alcotest.test_case "all-detected early exit accounting" `Quick
+            test_early_exit_accounting;
+          Alcotest.test_case "deductive/concurrent dropping cuts evals" `Quick
+            test_deductive_drop_saves_evals;
           Alcotest.test_case "domain clamp" `Quick test_domain_clamp;
         ] );
       ( "diagnosis",
@@ -520,5 +749,9 @@ let () =
           Alcotest.test_case "equivalence groups" `Quick test_diagnosis_groups;
           Alcotest.test_case "adaptive diagnosing set" `Quick test_diagnosing_patterns;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest qcheck_engines ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_engines;
+          QCheck_alcotest.to_alcotest qcheck_cone_structure;
+        ] );
     ]

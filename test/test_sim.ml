@@ -52,6 +52,40 @@ let test_override () =
   check "good is 1" true (Compiled.eval c pi).(0);
   check "faulty is 0" false (Compiled.eval ~override:(gate.Compiled.g.Netlist.id, stuck0) c pi).(0)
 
+(* Cone-restricted faulty evaluation: for every gate and a batch of
+   packed patterns, eval_cone_into must (a) return the exact OR over all
+   POs of faulty lxor good that whole-circuit injection computes, and
+   (b) leave the scratch baseline bit-identical afterwards. *)
+let test_eval_cone_into () =
+  let nl =
+    Generators.random_monotone ~seed:9 ~n_inputs:6 ~n_gates:20
+      ~technology:Technology.Domino_cmos ()
+  in
+  let c = Compiled.compile nl in
+  let n = Compiled.n_inputs c in
+  let po = Compiled.po_indices c in
+  let stuck0 =
+    Compiled.fn_of_table
+      (Truth_table.of_expr ~vars:[| "x0"; "x1" |] (e "0"))
+  in
+  let prng = Dynmos_util.Prng.create 31 in
+  let words = Array.init n (fun _ -> Dynmos_util.Prng.bits62 prng) in
+  let scratch = Compiled.make_scratch c in
+  Compiled.eval_words_into c ~scratch words;
+  let baseline = Array.copy scratch in
+  let buf = Compiled.make_cone_buffer c in
+  for gid = 0 to Compiled.n_gates c - 1 do
+    let tally = ref 0 in
+    let diff = Compiled.eval_cone_into ~tally c ~override:(gid, stuck0) ~scratch ~buf in
+    check (Fmt.str "gate %d: scratch restored" gid) true (scratch = baseline);
+    let fscratch = Compiled.make_scratch c in
+    Compiled.eval_words_into ~override:(gid, stuck0) c ~scratch:fscratch words;
+    let expected = Array.fold_left (fun acc p -> acc lor (baseline.(p) lxor fscratch.(p))) 0 po in
+    check (Fmt.str "gate %d: diff matches whole-circuit injection" gid) true (diff = expected);
+    check (Fmt.str "gate %d: tally bounded by cone" gid) true
+      (!tally >= 1 && !tally <= Array.length (Compiled.fanout_cone c gid))
+  done
+
 let test_output_expr () =
   let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 3 in
   let c = Compiled.compile nl in
@@ -410,6 +444,7 @@ let () =
           Alcotest.test_case "matches reference eval" `Quick test_compiled_vs_reference;
           Alcotest.test_case "word packing" `Quick test_eval_words_packing;
           Alcotest.test_case "fault override" `Quick test_override;
+          Alcotest.test_case "cone-restricted injection kernel" `Quick test_eval_cone_into;
           Alcotest.test_case "cone extraction" `Quick test_output_expr;
         ] );
       ( "charge_fig1",
