@@ -731,6 +731,55 @@ let e17 () =
            \"patterns_per_s\": %.1f"
           t.median t.t_min t.t_max t.reps (pps t)
       in
+      (* Checkpoint overhead (rand60 only): the identical serial sweep
+         with a checkpoint controller at the default interval (1000
+         pattern-units: interval-gated ticks, a write every 1000
+         patterns, one finalize write).  Measured on a campaign long
+         enough for the interval to amortize the ~0.3 ms file write —
+         checkpointing exists for long runs; on a 5 ms sweep the single
+         finalize write alone would be ~6% and say nothing about the
+         steady state.  The robustness tax is budgeted at < 2%; the JSON
+         records the measured figure so regressions show up in the
+         artifact diff. *)
+      let checkpoint_json =
+        if name <> "rand60" then ""
+        else begin
+          let ck_count = if !tiny_mode then 512 else 4096 in
+          let prng = Prng.create 17 in
+          let ck_pats =
+            Faultsim.random_patterns prng
+              ~n_inputs:(List.length (Netlist.inputs nl))
+              ~count:ck_count
+          in
+          let t_plain =
+            time_reps ~reps (fun () -> Faultsim.run_serial ~drop:false u ck_pats)
+          in
+          let path = Filename.temp_file "dynmos_bench_ckpt" ".dat" in
+          let t_ckpt =
+            time_reps ~reps (fun () ->
+                let ctl = Faultsim.checkpoint_ctl ~path ~interval:1000 u ck_pats in
+                Faultsim.run_serial ~drop:false ~checkpoint:ctl u ck_pats)
+          in
+          if Sys.file_exists path then Sys.remove path;
+          let overhead =
+            (t_ckpt.median -. t_plain.median) /. Float.max 1e-9 t_plain.median
+          in
+          let pps t = float_of_int ck_count /. Float.max 1e-9 t.median in
+          pf "    %-26s %8.4f s [%0.4f..%0.4f]  %10.0f patterns/s  (%d patterns, overhead %+.2f%%)@."
+            "serial+checkpoint" t_ckpt.median t_ckpt.t_min t_ckpt.t_max (pps t_ckpt) ck_count
+            (100.0 *. overhead);
+          let json_ck t =
+            Fmt.str
+              "\"seconds_median\": %.6f, \"seconds_min\": %.6f, \"seconds_max\": %.6f, \
+               \"reps\": %d, \"patterns_per_s\": %.1f"
+              t.median t.t_min t.t_max t.reps (pps t)
+          in
+          Fmt.str
+            ",\n     \"checkpoint\": {\"interval\": 1000, \"patterns\": %d, \"without\": \
+             {%s}, \"with\": {%s}, \"overhead_pct\": %.2f}"
+            ck_count (json_ck t_plain) (json_ck t_ckpt) (100.0 *. overhead)
+        end
+      in
       let json_engine name t = Fmt.str "\"%s\": {%s}" name (json_timing t) in
       let json_scaled prefix results =
         let t1 = t1_of results in
@@ -753,7 +802,7 @@ let e17 () =
       Buffer.add_string buf
         (Fmt.str
            "    {\"name\": \"%s\", \"gates\": %d, \"sites\": %d, \"patterns\": %d,\n     \
-            \"engines\": {%s},\n     \"algos\": {%s}}%s\n"
+            \"engines\": {%s},\n     \"algos\": {%s}%s}%s\n"
            name (Netlist.n_gates nl) (Faultsim.n_sites u) count
            (String.concat ", "
               ([ json_engine "serial" t_serial; json_engine "bit_parallel" t_bitpar ]
@@ -761,6 +810,7 @@ let e17 () =
               @ json_scaled "domains_serial" dom_ser))
            (String.concat ", "
               [ json_algos "serial" algo_serial; json_algos "bit_parallel" algo_bitpar ])
+           checkpoint_json
            (if ci = n_circuits - 1 then "" else ",")))
     circuits;
   Buffer.add_string buf "  ]\n}\n";

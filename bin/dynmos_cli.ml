@@ -49,11 +49,39 @@ let open_probability ~what =
   in
   Arg.conv (parse, Format.pp_print_float)
 
+let positive_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Fmt.str "%s: expected a number, got %S" what s))
+    | Some f when f > 0.0 -> Ok f
+    | Some f -> Error (`Msg (Fmt.str "%s must be positive (got %g)" what f))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 (* Second line of defense for anything the converters cannot know (file
    errors, library-level validation): report instead of backtracing. *)
 let guard f =
   try f () with
   | Invalid_argument msg | Failure msg | Sys_error msg -> `Error (false, msg)
+  | Checkpoint.Error msg -> `Error (false, "checkpoint: " ^ msg)
+
+(* --- Signal handling ------------------------------------------------------- *)
+
+(* Long campaigns stop cooperatively: the first SIGINT/SIGTERM sets a
+   flag the engines poll via [?interrupt], so the run winds down at the
+   next pattern-unit boundary — final checkpoint written, trace sink
+   flushed — and the process exits 130.  A second signal aborts
+   immediately (also 130; [Stdlib.exit] still flushes open channels). *)
+let interrupt_flag = Atomic.make false
+
+let install_signal_handlers () =
+  let handler =
+    Sys.Signal_handle
+      (fun _ -> if Atomic.exchange interrupt_flag true then Stdlib.exit 130)
+  in
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
+  fun () -> Atomic.get interrupt_flag
 
 (* --- Built-in benchmark circuits ----------------------------------------- *)
 
@@ -73,6 +101,11 @@ let builtin_circuits =
     ("wideand12", fun () -> Generators.wide_and ~technology:Technology.Domino_cmos 12);
     ("rand20", fun () ->
         Generators.random_monotone ~seed:1 ~n_inputs:8 ~n_gates:20
+          ~technology:Technology.Domino_cmos ());
+    (* Same construction as the bench suite's rand60 — big enough that a
+       checkpoint/kill/resume cycle has something to interrupt. *)
+    ("rand60", fun () ->
+        Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
           ~technology:Technology.Domino_cmos ());
   ]
 
@@ -129,7 +162,7 @@ let faultlib_cmd =
             | `Ocaml -> print_string (Faultlib.to_ocaml lib));
             print_newline ())
           cells;
-        `Ok ()
+        `Ok 0
   in
   let doc = "Generate the technology-dependent fault library of a cell file." in
   Cmd.v (Cmd.info "faultlib" ~doc) Term.(ret (const run $ file $ emit $ weak))
@@ -191,19 +224,63 @@ let faultsim_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Append every observability event as one JSON line to $(docv).")
   in
-  let run name patterns seed engine jobs algo no_drop stats trace =
+  let ckpt =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Persist campaign progress to $(docv) (atomic rename) every \
+                   --checkpoint-interval completed units and at exit.")
+  in
+  let ckpt_interval =
+    Arg.(value & opt (bounded_int ~what:"--checkpoint-interval" ~min:1 ()) 1000
+         & info [ "checkpoint-interval" ] ~docv:"N"
+             ~doc:"Completed pattern-units (patterns, or sites for the 'domains' engine) \
+                   between checkpoint writes.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from --checkpoint FILE, validated against the circuit, fault \
+                   universe and pattern set; a missing file is a fresh start.")
+  in
+  let deadline =
+    Arg.(value & opt (some (positive_float ~what:"--deadline")) None
+         & info [ "deadline" ] ~docv:"SEC"
+             ~doc:"Stop cleanly after $(docv) seconds of wall clock and report the \
+                   partial result (exit code 2).")
+  in
+  let max_evals =
+    Arg.(value & opt (some (bounded_int ~what:"--max-evals" ~min:1 ())) None
+         & info [ "max-evals" ] ~docv:"N"
+             ~doc:"Stop cleanly after a budget of $(docv) faulty gate evaluations and \
+                   report the partial result (exit code 2).")
+  in
+  let run name patterns seed engine jobs algo no_drop stats trace ckpt ckpt_interval resume
+      deadline_in max_evals =
     guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
+    | Ok nl when resume && ckpt = None ->
+        ignore nl;
+        `Error (true, "--resume requires --checkpoint FILE")
     | Ok nl ->
         let u = Faultsim.universe nl in
         let prng = Dynmos_util.Prng.create seed in
+        let prng_state = Dynmos_util.Prng.save prng in
         let pats =
           Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl))
             ~count:patterns
         in
         let drop = not no_drop in
         let num_domains = if jobs <= 0 then None else Some jobs in
+        let checkpoint =
+          Option.map
+            (fun path ->
+              Faultsim.checkpoint_ctl ~path ~interval:ckpt_interval ~resume ~prng_state u
+                pats)
+            ckpt
+        in
+        let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_in in
+        let interrupt = install_signal_handlers () in
         (* Observability: --stats collects events in memory for a printed
            summary; --trace streams them to a JSONL file; both compose. *)
         let fetch_events = ref (fun () -> []) in
@@ -229,13 +306,26 @@ let faultsim_cmd =
         let t0 = Unix.gettimeofday () in
         let s, domain_stats =
           match engine with
-          | `Serial -> (Faultsim.run_serial ~drop ~algo ~obs u pats, None)
-          | `Parallel -> (Faultsim.run_parallel ~drop ~algo ~obs u pats, None)
-          | `Deductive -> (Faultsim.run_deductive ~drop ~obs u pats, None)
-          | `Concurrent -> (Faultsim.run_concurrent ~drop ~obs u pats, None)
+          | `Serial ->
+              ( Faultsim.run_serial ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
+                  ?checkpoint u pats,
+                None )
+          | `Parallel ->
+              ( Faultsim.run_parallel ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
+                  ?checkpoint u pats,
+                None )
+          | `Deductive ->
+              ( Faultsim.run_deductive ~drop ~obs ?deadline ?max_evals ~interrupt
+                  ?checkpoint u pats,
+                None )
+          | `Concurrent ->
+              ( Faultsim.run_concurrent ~drop ~obs ?deadline ?max_evals ~interrupt
+                  ?checkpoint u pats,
+                None )
           | `Domains ->
               let s, st =
-                Faultsim.run_domain_parallel_stats ~drop ~algo ?num_domains ~obs u pats
+                Faultsim.run_domain_parallel_stats ~drop ~algo ?num_domains ~obs ?deadline
+                  ?max_evals ~interrupt ?checkpoint u pats
               in
               (s, Some st)
         in
@@ -257,6 +347,29 @@ let faultsim_cmd =
           (Faultsim.n_detected s);
         Format.printf "engine %s: %.4f s wall, %.0f patterns/s@." engine_name dt
           (float_of_int patterns /. Float.max 1e-9 dt);
+        (match s.Faultsim.outcome with
+        | Outcome.Complete -> ()
+        | Outcome.Partial p ->
+            let cause =
+              match p.Outcome.stopped with
+              | Some c -> Outcome.stop_cause_name c
+              | None -> "site failures"
+            in
+            Format.printf
+              "partial result (%s): %d/%d patterns, %d/%d sites final; coverage is a \
+               lower bound (%.2f%% over finished sites)@."
+              cause s.Faultsim.patterns_done patterns s.Faultsim.sites_done
+              (Faultsim.n_sites u)
+              (100.0 *. Faultsim.coverage_of_done s);
+            List.iter
+              (fun (sid, msg) ->
+                Format.printf "site %d gave up after repeated failures: %s@." sid msg)
+              p.Outcome.failed_sites);
+        (match checkpoint with
+        | Some ctl ->
+            Format.printf "checkpoint %s: %d write(s)@." (Checkpoint.path ctl)
+              (Checkpoint.writes ctl)
+        | None -> ());
         if stats then begin
           List.iter
             (fun e ->
@@ -280,17 +393,26 @@ let faultsim_cmd =
         (match trace with
         | Some file -> Format.printf "trace written to %s@." file
         | None -> ());
-        `Ok ()
+        (* 0 = complete; 2 = partial (deadline / budget / failed sites);
+           130 = interrupted by SIGINT/SIGTERM, after the final
+           checkpoint and trace flush. *)
+        let code =
+          match s.Faultsim.outcome with
+          | Outcome.Partial { Outcome.stopped = Some Outcome.Interrupted; _ } -> 130
+          | o -> Outcome.exit_code o
+        in
+        `Ok code
   in
   let doc =
     "Random-pattern fault simulation with a selectable engine (--jobs for multicore, --algo \
-     for cone-restricted injection)."
+     for cone-restricted injection, --checkpoint/--resume for fault tolerance, --deadline \
+     and --max-evals for budgeted partial results)."
   in
   Cmd.v (Cmd.info "faultsim" ~doc)
     Term.(
       ret
         (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ algo $ no_drop $ stats
-       $ trace))
+       $ trace $ ckpt $ ckpt_interval $ resume $ deadline $ max_evals))
 
 (* --- protest ---------------------------------------------------------------- *)
 
@@ -319,7 +441,7 @@ let protest_cmd =
             (100.0 *. v.Protest.achieved_coverage)
             v.Protest.predicted_confidence
         end;
-        `Ok ()
+        `Ok 0
   in
   let doc = "Probabilistic testability analysis (the PROTEST pipeline)." in
   Cmd.v (Cmd.info "protest" ~doc)
@@ -342,7 +464,7 @@ let selftest_cmd =
         let cov = Dynmos_bist.Selftest.coverage ~seed u ~n_cycles:cycles in
         Format.printf "%s: %d fault sites, BILBO session of %d cycles -> %.2f%% coverage@."
           (Netlist.name nl) (Faultsim.n_sites u) cycles (100.0 *. cov);
-        `Ok ()
+        `Ok 0
   in
   let doc = "Signature-based random self test (LFSR + MISR)." in
   Cmd.v (Cmd.info "selftest" ~doc) Term.(ret (const run $ circuit_arg $ cycles $ seed))
@@ -371,7 +493,7 @@ let atpg_cmd =
           untestable r.Podem.covered_by_simulation;
         Format.printf "A2: apply the set twice -> %d test applications@."
           (2 * Array.length r.Podem.vectors);
-        `Ok ()
+        `Ok 0
   in
   let doc = "Deterministic test generation (PODEM baseline)." in
   Cmd.v (Cmd.info "atpg" ~doc) Term.(ret (const run $ circuit_arg))
@@ -401,7 +523,7 @@ let diagnose_cmd =
                   (String.concat " | "
                      (List.map (fun sid -> Faultsim.site_label u u.Faultsim.sites.(sid)) g)))
             groups;
-          `Ok ()
+          `Ok 0
         end
   in
   let doc = "Build an adaptive diagnosing pattern set and report its resolution." in
@@ -420,7 +542,7 @@ let circuits_cmd =
           (List.length (Netlist.outputs nl))
           (Netlist.n_transistors nl))
       builtin_circuits;
-    `Ok ()
+    `Ok 0
   in
   let doc = "List the built-in benchmark circuits." in
   Cmd.v (Cmd.info "circuits" ~doc) Term.(ret (const run $ const ()))
@@ -428,8 +550,10 @@ let circuits_cmd =
 let () =
   let doc = "Fault modeling and random self test for dynamic MOS circuits (DAC'86)." in
   let info = Cmd.info "dynmos" ~version:"1.0.0" ~doc in
+  (* eval': subcommands return their own exit code (faultsim uses 2 for
+     partial results and 130 for an interrupted-but-flushed campaign). *)
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             faultlib_cmd;

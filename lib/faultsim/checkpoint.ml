@@ -1,0 +1,301 @@
+(* Campaign checkpoints: serialize fault-simulation progress to a
+   versioned file so an interrupted run (crash, SIGINT, deadline) can be
+   resumed bit-identically instead of being thrown away.
+
+   Design constraints:
+   - *atomic*: the state is written to a sibling temporary file and
+     published with [Sys.rename], so a reader never observes a
+     half-written checkpoint, even if the writer is killed mid-write;
+   - *self-validating*: a trailing MD5 checksum over the payload detects
+     truncation or corruption at load time (a torn tmp file left behind
+     by a crash is never the published checkpoint);
+   - *digest-pinned*: the circuit, fault-universe and pattern digests of
+     the producing campaign are stored, and resume refuses to continue
+     against different ones — silently mixing campaigns would produce
+     confidently wrong coverage;
+   - *engine-honest*: pattern-sweep engines (serial, bit-parallel,
+     deductive, concurrent) checkpoint "patterns 0..K done for every
+     site"; the site-sweep domains engine checkpoints "these sites fully
+     done".  The [mode] field keeps the two from being resumed by the
+     wrong kind of engine.
+
+   The format is deliberately plain text (one [key value] line each, the
+   detection array space-separated) rather than [Marshal]: it survives
+   compiler upgrades, is inspectable with [cat], and parsing failures
+   produce named errors instead of segfaults. *)
+
+exception Error of string
+
+let version = 1
+
+type mode = Patterns | Sites
+
+let mode_name = function Patterns -> "patterns" | Sites -> "sites"
+
+type state = {
+  mode : mode;
+  circuit_digest : string;
+  universe_digest : string;
+  pattern_digest : string;
+  n_sites : int;
+  n_patterns : int;
+  units_done : int;
+  first_detection : int option array;
+  site_done : bool array option;
+  prng_state : string option;
+}
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+(* --- Serialization ---------------------------------------------------------- *)
+
+let payload st =
+  let buf = Buffer.create (256 + (8 * st.n_sites)) in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "dynmos-checkpoint v%d" version;
+  line "mode %s" (mode_name st.mode);
+  line "circuit %s" st.circuit_digest;
+  line "universe %s" st.universe_digest;
+  line "patterns %s" st.pattern_digest;
+  line "n_sites %d" st.n_sites;
+  line "n_patterns %d" st.n_patterns;
+  line "units_done %d" st.units_done;
+  (match st.prng_state with Some s -> line "prng %s" s | None -> ());
+  line "first %s"
+    (String.concat " "
+       (Array.to_list
+          (Array.map (function None -> "-" | Some p -> string_of_int p) st.first_detection)));
+  (match st.site_done with
+  | Some d ->
+      line "done %s" (String.init (Array.length d) (fun i -> if d.(i) then '1' else '0'))
+  | None -> ());
+  Buffer.contents buf
+
+let save path st =
+  let body = payload st in
+  let body = body ^ Printf.sprintf "checksum %s\n" (Digest.to_hex (Digest.string body)) in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc =
+    try open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+    with Sys_error msg -> fail "checkpoint: cannot write %s: %s" tmp msg
+  in
+  (try
+     output_string oc body;
+     close_out oc
+   with Sys_error msg ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     fail "checkpoint: short write to %s: %s" tmp msg);
+  try Sys.rename tmp path
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    fail "checkpoint: cannot publish %s: %s" path msg
+
+let load path =
+  let ic =
+    try open_in_bin path with Sys_error msg -> fail "checkpoint: cannot read %s: %s" path msg
+  in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* split the trailing checksum line off and verify it first: any
+     truncation or bit-rot is reported as such, not as a parse error *)
+  let body, sum =
+    match String.rindex_opt (String.trim raw) '\n' with
+    | None -> fail "checkpoint %s: not a checkpoint file" path
+    | Some i ->
+        let raw = String.trim raw in
+        (String.sub raw 0 (i + 1), String.sub raw (i + 1) (String.length raw - i - 1))
+  in
+  (match String.split_on_char ' ' sum with
+  | [ "checksum"; hex ] ->
+      if not (String.equal hex (Digest.to_hex (Digest.string body))) then
+        fail "checkpoint %s: checksum mismatch (truncated or corrupted file)" path
+  | _ -> fail "checkpoint %s: missing checksum line (truncated file?)" path);
+  let lines = String.split_on_char '\n' body |> List.filter (fun l -> l <> "") in
+  let kv =
+    List.map
+      (fun l ->
+        match String.index_opt l ' ' with
+        | Some i -> (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+        | None -> (l, ""))
+      lines
+  in
+  let get k =
+    match List.assoc_opt k kv with
+    | Some v -> v
+    | None -> fail "checkpoint %s: missing field %S" path k
+  in
+  let get_int k =
+    match int_of_string_opt (get k) with
+    | Some n -> n
+    | None -> fail "checkpoint %s: field %S is not an integer (%S)" path k (get k)
+  in
+  (match get "dynmos-checkpoint" with
+  | "v1" -> ()
+  | v -> fail "checkpoint %s: unsupported version %s (this build reads v%d)" path v version);
+  let mode =
+    match get "mode" with
+    | "patterns" -> Patterns
+    | "sites" -> Sites
+    | m -> fail "checkpoint %s: unknown mode %S" path m
+  in
+  let n_sites = get_int "n_sites" in
+  let n_patterns = get_int "n_patterns" in
+  let units_done = get_int "units_done" in
+  if n_sites < 0 || n_patterns < 0 || units_done < 0 then
+    fail "checkpoint %s: negative counts" path;
+  let first_detection =
+    let words =
+      String.split_on_char ' ' (get "first") |> List.filter (fun w -> w <> "") |> Array.of_list
+    in
+    if Array.length words <> n_sites then
+      fail "checkpoint %s: %d detection entries for %d sites" path (Array.length words) n_sites;
+    Array.map
+      (fun w ->
+        if w = "-" then None
+        else
+          match int_of_string_opt w with
+          | Some p when p >= 0 && p < n_patterns -> Some p
+          | Some p -> fail "checkpoint %s: detection index %d out of range" path p
+          | None -> fail "checkpoint %s: bad detection entry %S" path w)
+      words
+  in
+  let site_done =
+    match List.assoc_opt "done" kv with
+    | None -> None
+    | Some bits ->
+        if String.length bits <> n_sites then
+          fail "checkpoint %s: %d done bits for %d sites" path (String.length bits) n_sites;
+        Some
+          (Array.init n_sites (fun i ->
+               match bits.[i] with
+               | '1' -> true
+               | '0' -> false
+               | c -> fail "checkpoint %s: bad done bit %C" path c))
+  in
+  (match (mode, site_done) with
+  | Sites, None -> fail "checkpoint %s: site-sweep checkpoint has no done bitmap" path
+  | _ -> ());
+  {
+    mode;
+    circuit_digest = get "circuit";
+    universe_digest = get "universe";
+    pattern_digest = get "patterns";
+    n_sites;
+    n_patterns;
+    units_done;
+    first_detection;
+    site_done;
+    prng_state = List.assoc_opt "prng" kv;
+  }
+
+(* --- Controllers ------------------------------------------------------------- *)
+
+(* The mutable handle threaded into the engines.  [tick] throttles writes
+   to every [interval] completed pattern-units (sites for the site-sweep
+   mode); [finalize] always writes.  All writes go through one mutex so
+   the domains engine's worker 0 and a pattern-sweep engine's single
+   thread use the same code path. *)
+type ctl = {
+  path : string;
+  interval : int;
+  circuit_digest : string;
+  universe_digest : string;
+  pattern_digest : string;
+  n_sites : int;
+  n_patterns : int;
+  prng_state : string option;
+  resume : state option;
+  lock : Mutex.t;
+  mutable last_units : int;
+  mutable writes : int;
+}
+
+let create ~path ~interval ?prng_state ?resume ~circuit_digest ~universe_digest ~pattern_digest
+    ~n_sites ~n_patterns () =
+  if interval < 1 then fail "checkpoint: interval must be >= 1 (got %d)" interval;
+  (match (resume : state option) with
+  | Some st ->
+      if st.n_sites <> n_sites then
+        fail "checkpoint %s: has %d sites, campaign has %d" path st.n_sites n_sites;
+      if st.n_patterns <> n_patterns then
+        fail "checkpoint %s: campaign length %d patterns, this run has %d" path st.n_patterns
+          n_patterns;
+      let pin what saved fresh =
+        if not (String.equal saved fresh) then
+          fail
+            "checkpoint %s: %s digest mismatch (%s vs %s) — refusing to resume against a \
+             different %s"
+            path what saved fresh what
+      in
+      pin "circuit" st.circuit_digest circuit_digest;
+      pin "universe" st.universe_digest universe_digest;
+      pin "pattern" st.pattern_digest pattern_digest
+  | None -> ());
+  {
+    path;
+    interval;
+    circuit_digest;
+    universe_digest;
+    pattern_digest;
+    n_sites;
+    n_patterns;
+    prng_state;
+    resume;
+    lock = Mutex.create ();
+    last_units = (match resume with Some st -> st.units_done | None -> 0);
+    writes = 0;
+  }
+
+let resume_state ctl = ctl.resume
+let interval ctl = ctl.interval
+let path ctl = ctl.path
+let writes ctl = ctl.writes
+
+let require_mode ctl mode ~engine =
+  match ctl.resume with
+  | Some st when st.mode <> mode ->
+      fail
+        "checkpoint %s: written by a %s-sweep engine, but %s is a %s-sweep engine — resume \
+         with a matching engine"
+        ctl.path (mode_name st.mode) engine (mode_name mode)
+  | _ -> ()
+
+let write ctl ~mode ~units_done ~first_detection ~site_done =
+  let st =
+    {
+      mode;
+      circuit_digest = ctl.circuit_digest;
+      universe_digest = ctl.universe_digest;
+      pattern_digest = ctl.pattern_digest;
+      n_sites = ctl.n_sites;
+      n_patterns = ctl.n_patterns;
+      units_done;
+      first_detection = Array.copy first_detection;
+      site_done = Option.map Array.copy site_done;
+      prng_state = ctl.prng_state;
+    }
+  in
+  save ctl.path st;
+  ctl.last_units <- units_done;
+  ctl.writes <- ctl.writes + 1
+
+let tick ctl ~mode ~units_done ~first_detection ?site_done () =
+  Mutex.lock ctl.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctl.lock)
+    (fun () ->
+      if units_done - ctl.last_units >= ctl.interval then begin
+        write ctl ~mode ~units_done ~first_detection ~site_done;
+        true
+      end
+      else false)
+
+let finalize ctl ~mode ~units_done ~first_detection ?site_done () =
+  Mutex.lock ctl.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctl.lock)
+    (fun () -> write ctl ~mode ~units_done ~first_detection ~site_done)

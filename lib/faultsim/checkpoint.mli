@@ -1,0 +1,116 @@
+(** Campaign checkpoints: versioned, atomically-written progress files
+    that let an interrupted fault-simulation campaign (crash, Ctrl-C,
+    deadline) resume bit-identically instead of starting over.
+
+    A checkpoint pins the campaign it belongs to with digests of the
+    circuit, the fault universe and the pattern set; {!create} refuses to
+    resume against mismatched digests.  Files are published with a
+    write-to-temporary + [rename] so readers never see a torn file, and
+    carry a trailing checksum so truncation is detected at {!load}. *)
+
+exception Error of string
+(** Raised on unreadable, corrupted, version-incompatible or
+    digest-mismatched checkpoint files.  Never raised for a merely
+    missing file at the CLI level — see [Faultsim.resume]. *)
+
+type mode =
+  | Patterns
+      (** pattern-sweep engines (serial, bit-parallel, deductive,
+          concurrent): [units_done] patterns are complete for all sites *)
+  | Sites
+      (** the site-sweep domains engine: the sites flagged in
+          [site_done] are complete for all patterns *)
+
+val mode_name : mode -> string
+
+type state = {
+  mode : mode;
+  circuit_digest : string;
+  universe_digest : string;
+  pattern_digest : string;
+  n_sites : int;
+  n_patterns : int;
+  units_done : int;  (** patterns done ([Patterns]) or sites done ([Sites]) *)
+  first_detection : int option array;
+      (** per-site earliest detecting pattern index, as of the snapshot *)
+  site_done : bool array option;
+      (** per-site completion bitmap; present iff [mode = Sites] *)
+  prng_state : string option;
+      (** {!Dynmos_util.Prng.save} token of the campaign generator, for
+          diagnostics; resume regenerates patterns from the seed and
+          validates them via [pattern_digest] *)
+}
+
+val save : string -> state -> unit
+(** [save path st] atomically publishes [st] at [path] (temp file +
+    rename, checksum trailer).  Raises {!Error} on I/O failure. *)
+
+val load : string -> state
+(** Parse and validate a checkpoint file.  Raises {!Error} on missing
+    file, bad checksum (truncation), unknown version, or malformed
+    fields. *)
+
+(** {1 Controllers}
+
+    The handle engines thread through a run.  It owns the write
+    throttling (every [interval] completed units) and the campaign
+    digests; all writes are mutex-serialized so the domains engine's
+    checkpointing worker uses the same path as single-threaded
+    engines. *)
+
+type ctl
+
+val create :
+  path:string ->
+  interval:int ->
+  ?prng_state:string ->
+  ?resume:state ->
+  circuit_digest:string ->
+  universe_digest:string ->
+  pattern_digest:string ->
+  n_sites:int ->
+  n_patterns:int ->
+  unit ->
+  ctl
+(** Build a controller for this campaign.  When [resume] is given, its
+    digests and dimensions must match the fresh campaign's — {!Error}
+    otherwise (resuming against a different circuit, universe or pattern
+    set would silently corrupt coverage numbers). *)
+
+val resume_state : ctl -> state option
+(** The validated state passed as [?resume], for engines to preload. *)
+
+val require_mode : ctl -> mode -> engine:string -> unit
+(** Fail early ({!Error}) when a resume state was produced by the other
+    sweep mode than engine [engine] uses. *)
+
+val tick :
+  ctl ->
+  mode:mode ->
+  units_done:int ->
+  first_detection:int option array ->
+  ?site_done:bool array ->
+  unit ->
+  bool
+(** Interval-gated write: persists a snapshot iff at least [interval]
+    units completed since the last write.  Returns whether a file was
+    written.  Thread-safe. *)
+
+val finalize :
+  ctl ->
+  mode:mode ->
+  units_done:int ->
+  first_detection:int option array ->
+  ?site_done:bool array ->
+  unit ->
+  unit
+(** Unconditional write — called at clean completion, deadline stop and
+    interrupt, so the published file always reflects the returned
+    summary. *)
+
+val interval : ctl -> int
+val path : ctl -> string
+
+val writes : ctl -> int
+(** Number of files written through this controller (tests and the
+    checkpoint-overhead bench read this). *)

@@ -85,13 +85,31 @@ type summary = {
   n_sites : int;
   n_patterns : int;
   first_detection : int option array;  (* per site: index of first detecting pattern *)
+  outcome : Outcome.t;       (* did the campaign finish, and if not, why *)
+  patterns_done : int;       (* patterns completed for every live site
+                                (pattern-sweep engines; the site-sweep
+                                domains engine reports [n_patterns] when
+                                complete and 0 on a partial stop —
+                                its progress lives in [sites_done]) *)
+  sites_done : int;          (* sites whose result is final *)
 }
 
-let n_detected s =
-  Array.fold_left (fun acc d -> match d with Some _ -> acc + 1 | None -> acc) 0 s.first_detection
+let detected_count first =
+  Array.fold_left (fun acc d -> match d with Some _ -> acc + 1 | None -> acc) 0 first
 
+let n_detected s = detected_count s.first_detection
+
+(* Coverage over the whole universe: on a partial run this is the
+   *conservative lower bound* — every site the stopped sweep never
+   resolved counts as undetected. *)
 let coverage s =
   if s.n_sites = 0 then 1.0 else float_of_int (n_detected s) /. float_of_int s.n_sites
+
+(* Coverage over the sites actually resolved — the optimistic companion
+   of [coverage] on partial runs; identical to it on complete ones. *)
+let coverage_of_done s =
+  if s.sites_done = 0 then 1.0
+  else float_of_int (n_detected s) /. float_of_int s.sites_done
 
 let undetected u s =
   let acc = ref [] in
@@ -128,14 +146,97 @@ let coverage_curve s =
 
 let start_time obs = if Obs.enabled obs then Obs.now () else 0.0
 
-let emit_run obs ~engine ~n_sites ~n_patterns ~t0 fields =
+let emit_run obs ~engine ~n_sites ~n_patterns ?(outcome = Outcome.Complete) ?(patterns_done = 0)
+    ?(sites_done = 0) ~t0 fields =
   if Obs.enabled obs then
     Obs.emit obs ~ev:"faultsim.run"
       (("engine", Obs.String engine)
       :: ("sites", Obs.Int n_sites)
       :: ("patterns", Obs.Int n_patterns)
+      :: ("outcome", Obs.String (Outcome.to_string outcome))
+      :: ("patterns_done", Obs.Int patterns_done)
+      :: ("sites_done", Obs.Int sites_done)
       :: ("dt_s", Obs.Float (Obs.now () -. t0))
       :: fields)
+
+let emit_site_failed obs ~engine failed_sites =
+  if Obs.enabled obs then
+    List.iter
+      (fun (sid, msg) ->
+        Obs.emit obs ~ev:"faultsim.site_failed"
+          [ ("engine", Obs.String engine); ("sid", Obs.Int sid); ("error", Obs.String msg) ])
+      failed_sites
+
+let emit_checkpoint obs ~engine ctl ~units_done =
+  if Obs.enabled obs then
+    Obs.emit obs ~ev:"faultsim.checkpoint"
+      [
+        ("engine", Obs.String engine);
+        ("path", Obs.String (Checkpoint.path ctl));
+        ("units_done", Obs.Int units_done);
+        ("writes", Obs.Int (Checkpoint.writes ctl));
+      ]
+
+(* --- Campaign robustness ---------------------------------------------------
+
+   Every engine below accepts:
+   - [?deadline] (absolute epoch seconds), [?max_evals] (gate-evaluation
+     budget) and [?interrupt] (cooperative stop flag), polled at
+     pattern-unit boundaries through a [Limits.gauge]; a tripped limit
+     stops the sweep cleanly and the summary's [outcome] records the
+     cause — detections gathered so far are returned, never discarded;
+   - [?checkpoint], a [Checkpoint.ctl] (build one with
+     {!checkpoint_ctl}): progress is persisted every [interval]
+     completed units and unconditionally when the run returns, and a
+     controller carrying a validated resume state preloads it and
+     continues bit-identically (each pattern is evaluated exactly once
+     across the combined runs, in ascending order, so first-detections
+     cannot move).
+
+   The injection engines (serial, bit-parallel, domains) additionally
+   supervise per-site evaluation: a site whose faulty function raises is
+   retried a bounded number of times ([?max_attempts], with the
+   good-machine baseline restored first — a mid-cone exception leaves
+   the shared scratch dirty) and, if it keeps raising, excluded and
+   reported in [outcome]'s [failed_sites] — the other sites' detections
+   are identical to a clean run.  [?crash_hook] is the fault-injection
+   point the supervision tests use (called with the site id before every
+   evaluation; no-op by default).  The deductive and concurrent engines
+   propagate all sites jointly through shared per-net structures, so a
+   raising site cannot be isolated mid-pattern — they take limits and
+   checkpoints but not per-site supervision. *)
+
+let make_gauge ?deadline ?max_evals ?interrupt () =
+  Limits.gauge (Limits.make ?deadline ?max_evals ?interrupt ())
+
+let default_max_attempts = Parallel_exec.default_max_attempts
+
+(* Preload a patterns-mode resume state: trusted detections are blitted
+   in and the scan continues after the last fully-completed pattern. *)
+let preload_patterns ~engine checkpoint (first : int option array) =
+  match checkpoint with
+  | None -> 0
+  | Some ctl -> (
+      Checkpoint.require_mode ctl Checkpoint.Patterns ~engine;
+      match Checkpoint.resume_state ctl with
+      | None -> 0
+      | Some st ->
+          Array.blit st.Checkpoint.first_detection 0 first 0 (Array.length first);
+          st.Checkpoint.units_done)
+
+let tick_patterns checkpoint ~obs ~engine ~units_done ~first =
+  match checkpoint with
+  | None -> ()
+  | Some ctl ->
+      if Checkpoint.tick ctl ~mode:Checkpoint.Patterns ~units_done ~first_detection:first ()
+      then emit_checkpoint obs ~engine ctl ~units_done
+
+let finalize_patterns checkpoint ~obs ~engine ~units_done ~first =
+  match checkpoint with
+  | None -> ()
+  | Some ctl ->
+      Checkpoint.finalize ctl ~mode:Checkpoint.Patterns ~units_done ~first_detection:first ();
+      emit_checkpoint obs ~engine ctl ~units_done
 
 (* --- Injection algorithms ------------------------------------------------- *)
 
@@ -171,8 +272,9 @@ let detects u site pattern =
   let faulty = Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern in
   good <> faulty
 
-let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
-    (patterns : bool array array) =
+let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) ?deadline ?max_evals
+    ?interrupt ?checkpoint ?(max_attempts = default_max_attempts)
+    ?(crash_hook = fun (_ : int) -> ()) u (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
@@ -192,47 +294,92 @@ let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
   let gate_evals = ref 0 in
   let undetected = ref n in
   let total = Array.length patterns in
-  let pi = ref 0 in
+  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
+  let attempts = Array.make n 0 in
+  let failed = Array.make n false in
+  let failures = ref [] in
+  let pi = ref (preload_patterns ~engine:"serial" checkpoint first) in
+  Array.iter (function Some _ -> decr undetected | None -> ()) first;
   (* Early exit: once every site is detected (and dropping is on), the
      remaining patterns can neither detect anything new nor simulate
      anything — skip them, good machine included. *)
-  while !pi < total && not (drop && !undetected = 0) do
+  let stopping = ref false in
+  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
     let pattern = patterns.(!pi) in
     for i = 0 to n_inputs - 1 do
       pat_words.(i) <- if pattern.(i) then 1 else 0
     done;
     Compiled.eval_words_into compiled ~scratch pat_words;
     incr good_evals;
+    let g0 = !gate_evals in
     Array.iter
       (fun site ->
-        if (not drop) || first.(site.sid) = None then begin
-          incr evals;
-          let diff =
-            match algo with
-            | `Cone ->
-                Compiled.eval_cone_into ~tally:gate_evals compiled
-                  ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
-            | `Full ->
-                Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
-                  ~scratch:fscratch pat_words;
-                gate_evals := !gate_evals + n_gates;
-                let d = ref 0 in
-                for k = 0 to n_po - 1 do
-                  d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
-                done;
-                !d
+        if failed.(site.sid) then ()
+        else if (not drop) || first.(site.sid) = None then begin
+          (* bounded immediate retry at this very pattern, so a
+             transient crash cannot skip a pattern and move the site's
+             first detection *)
+          let rec attempt () =
+            incr evals;
+            match
+              crash_hook site.sid;
+              (match algo with
+              | `Cone ->
+                  Compiled.eval_cone_into ~tally:gate_evals compiled
+                    ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
+              | `Full ->
+                  Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
+                    ~scratch:fscratch pat_words;
+                  gate_evals := !gate_evals + n_gates;
+                  let d = ref 0 in
+                  for k = 0 to n_po - 1 do
+                    d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
+                  done;
+                  !d)
+            with
+            | diff -> Some diff
+            | exception exn ->
+                (* a mid-cone exception leaves [scratch] partially
+                   overwritten; restore the good-machine baseline before
+                   anyone reads it again *)
+                if algo = `Cone then Compiled.eval_words_into compiled ~scratch pat_words;
+                attempts.(site.sid) <- attempts.(site.sid) + 1;
+                if attempts.(site.sid) >= max_attempts then begin
+                  failed.(site.sid) <- true;
+                  failures := (site.sid, Printexc.to_string exn) :: !failures;
+                  None
+                end
+                else attempt ()
           in
-          if diff land 1 <> 0 && first.(site.sid) = None then begin
-            first.(site.sid) <- Some !pi;
-            decr undetected
-          end
+          match attempt () with
+          | None -> ()
+          | Some diff ->
+              if diff land 1 <> 0 && first.(site.sid) = None then begin
+                first.(site.sid) <- Some !pi;
+                decr undetected
+              end
         end
         else incr saved)
       u.sites;
-    incr pi
+    incr pi;
+    Limits.add_evals gauge (!gate_evals - g0);
+    if Limits.check gauge then stopping := true;
+    tick_patterns checkpoint ~obs ~engine:"serial" ~units_done:!pi ~first
   done;
-  if !pi < total then saved := !saved + ((total - !pi) * n);
-  emit_run obs ~engine:"serial" ~n_sites:n ~n_patterns:total ~t0
+  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
+  finalize_patterns checkpoint ~obs ~engine:"serial" ~units_done:!pi ~first;
+  let failed_sites = List.sort compare !failures in
+  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) ~failed_sites () in
+  (* A stopped pattern sweep has resolved exactly the detected sites (a
+     detection is final once found; undetected sites still had patterns
+     to see); a finished sweep has resolved everything but the failed
+     sites. *)
+  let sites_done =
+    if !stopping then detected_count first else n - List.length failed_sites
+  in
+  emit_site_failed obs ~engine:"serial" failed_sites;
+  emit_run obs ~engine:"serial" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
+    ~sites_done ~t0
     [
       ("algo", Obs.String (algo_name algo));
       ("evals", Obs.Int !evals);
@@ -242,14 +389,16 @@ let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
       ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
       ("cone_gates", Obs.Int (total_cone_gates u));
     ];
-  { n_sites = n; n_patterns = total; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
+    sites_done }
 
 (* --- Bit-parallel (62 patterns per word) --------------------------------- *)
 
 let word_bits = 62
 
-let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
-    (patterns : bool array array) =
+let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) ?deadline ?max_evals
+    ?interrupt ?checkpoint ?(max_attempts = default_max_attempts)
+    ?(crash_hook = fun (_ : int) -> ()) u (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
@@ -268,8 +417,18 @@ let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
   let undetected = ref n in
   let n_chunks = (total + word_bits - 1) / word_bits in
   let chunks_done = ref 0 in
-  let chunk_start = ref 0 in
-  while !chunk_start < total && not (drop && !undetected = 0) do
+  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
+  let attempts = Array.make n 0 in
+  let failed = Array.make n false in
+  let failures = ref [] in
+  (* A resume point need not be 62-aligned: chunks are packed relative
+     to wherever the scan starts, and first-detection only depends on
+     each pattern being evaluated exactly once in ascending order — the
+     chunk boundaries carry no semantics. *)
+  let chunk_start = ref (preload_patterns ~engine:"parallel" checkpoint first) in
+  Array.iter (function Some _ -> decr undetected | None -> ()) first;
+  let stopping = ref false in
+  while !chunk_start < total && (not (drop && !undetected = 0)) && not !stopping do
     let len = min word_bits (total - !chunk_start) in
     Array.fill words 0 n_inputs 0;
     for j = 0 to len - 1 do
@@ -280,40 +439,72 @@ let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
     done;
     let mask = if len >= word_bits then max_int else (1 lsl len) - 1 in
     Compiled.eval_words_into compiled ~scratch words;
+    let g0 = !gate_evals in
     Array.iter
       (fun site ->
-        if (not drop) || first.(site.sid) = None then begin
-          incr evals;
-          let diff =
-            match algo with
-            | `Cone ->
-                Compiled.eval_cone_into ~tally:gate_evals compiled
-                  ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
-            | `Full ->
-                Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
-                  ~scratch:fscratch words;
-                gate_evals := !gate_evals + n_gates;
-                let d = ref 0 in
-                for k = 0 to n_po - 1 do
-                  d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
-                done;
-                !d
+        if failed.(site.sid) then ()
+        else if (not drop) || first.(site.sid) = None then begin
+          let rec attempt () =
+            incr evals;
+            match
+              crash_hook site.sid;
+              (match algo with
+              | `Cone ->
+                  Compiled.eval_cone_into ~tally:gate_evals compiled
+                    ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
+              | `Full ->
+                  Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
+                    ~scratch:fscratch words;
+                  gate_evals := !gate_evals + n_gates;
+                  let d = ref 0 in
+                  for k = 0 to n_po - 1 do
+                    d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
+                  done;
+                  !d)
+            with
+            | diff -> Some diff
+            | exception exn ->
+                (* restore the chunk's good-machine baseline a mid-cone
+                   exception may have left dirty *)
+                if algo = `Cone then Compiled.eval_words_into compiled ~scratch words;
+                attempts.(site.sid) <- attempts.(site.sid) + 1;
+                if attempts.(site.sid) >= max_attempts then begin
+                  failed.(site.sid) <- true;
+                  failures := (site.sid, Printexc.to_string exn) :: !failures;
+                  None
+                end
+                else attempt ()
           in
-          let diff = diff land mask in
-          if diff <> 0 && first.(site.sid) = None then begin
-            (* First detecting pattern: lowest set bit. *)
-            let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
-            first.(site.sid) <- Some (!chunk_start + lowest 0);
-            decr undetected
-          end
+          match attempt () with
+          | None -> ()
+          | Some diff ->
+              let diff = diff land mask in
+              if diff <> 0 && first.(site.sid) = None then begin
+                (* First detecting pattern: lowest set bit. *)
+                let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
+                first.(site.sid) <- Some (!chunk_start + lowest 0);
+                decr undetected
+              end
         end
         else incr saved)
       u.sites;
     incr chunks_done;
-    chunk_start := !chunk_start + len
+    chunk_start := !chunk_start + len;
+    Limits.add_evals gauge (!gate_evals - g0);
+    if Limits.check gauge then stopping := true;
+    tick_patterns checkpoint ~obs ~engine:"parallel" ~units_done:!chunk_start ~first
   done;
-  if !chunks_done < n_chunks then saved := !saved + ((n_chunks - !chunks_done) * n);
-  emit_run obs ~engine:"parallel" ~n_sites:n ~n_patterns:total ~t0
+  if !chunks_done < n_chunks && not !stopping then
+    saved := !saved + ((n_chunks - !chunks_done) * n);
+  finalize_patterns checkpoint ~obs ~engine:"parallel" ~units_done:!chunk_start ~first;
+  let failed_sites = List.sort compare !failures in
+  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) ~failed_sites () in
+  let sites_done =
+    if !stopping then detected_count first else n - List.length failed_sites
+  in
+  emit_site_failed obs ~engine:"parallel" failed_sites;
+  emit_run obs ~engine:"parallel" ~n_sites:n ~n_patterns:total ~outcome
+    ~patterns_done:!chunk_start ~sites_done ~t0
     [
       ("algo", Obs.String (algo_name algo));
       ("evals", Obs.Int !evals);
@@ -322,7 +513,8 @@ let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) u
       ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
       ("cone_gates", Obs.Int (total_cone_gates u));
     ];
-  { n_sites = n; n_patterns = total; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first; outcome;
+    patterns_done = !chunk_start; sites_done }
 
 (* --- Deductive ------------------------------------------------------------ *)
 
@@ -334,7 +526,8 @@ module Int_set = Set.Make (Int)
    on the faults' membership pattern (this handles multiple faulted inputs
    from reconvergent fan-out correctly), plus the gate's own local faults
    whose faulty function differs under the applied input vector. *)
-let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+let run_deductive ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
+    ?checkpoint u (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
@@ -355,9 +548,19 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array 
   let dropped = Array.make n false in
   let undetected = ref n in
   let total = Array.length patterns in
-  let pi = ref 0 in
-  while !pi < total && not (drop && !undetected = 0) do
+  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
+  let pi = ref (preload_patterns ~engine:"deductive" checkpoint first) in
+  Array.iteri
+    (fun i d ->
+      if d <> None then begin
+        decr undetected;
+        if drop then dropped.(i) <- true
+      end)
+    first;
+  let stopping = ref false in
+  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
     let pattern = patterns.(!pi) in
+    let e0 = !evals in
     let values = Compiled.eval_nets compiled pattern in
     let lists : Int_set.t array = Array.make n_nets Int_set.empty in
     Array.iter
@@ -420,14 +623,22 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array 
             with_local;
         lists.(cg.Compiled.out) <- with_local)
       gates;
-    incr pi
+    incr pi;
+    Limits.add_evals gauge (!evals - e0);
+    if Limits.check gauge then stopping := true;
+    tick_patterns checkpoint ~obs ~engine:"deductive" ~units_done:!pi ~first
   done;
   (* Early exit once every site is detected: each skipped pattern saves at
      least the n local spawn evaluations (plus all propagation work). *)
-  if !pi < total then saved := !saved + ((total - !pi) * n);
-  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:total ~t0
+  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
+  finalize_patterns checkpoint ~obs ~engine:"deductive" ~units_done:!pi ~first;
+  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) () in
+  let sites_done = if !stopping then detected_count first else n in
+  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
+    ~sites_done ~t0
     [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = total; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
+    sites_done }
 
 (* --- Concurrent ------------------------------------------------------------ *)
 
@@ -447,7 +658,8 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array 
 
 module Int_map = Map.Make (Int)
 
-let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array array) =
+let run_concurrent ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
+    ?checkpoint u (patterns : bool array array) =
   let t0 = start_time obs in
   let n = n_sites u in
   let first = Array.make n None in
@@ -467,9 +679,19 @@ let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array
   let dropped = Array.make n false in
   let undetected = ref n in
   let total = Array.length patterns in
-  let pi = ref 0 in
-  while !pi < total && not (drop && !undetected = 0) do
+  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
+  let pi = ref (preload_patterns ~engine:"concurrent" checkpoint first) in
+  Array.iteri
+    (fun i d ->
+      if d <> None then begin
+        decr undetected;
+        if drop then dropped.(i) <- true
+      end)
+    first;
+  let stopping = ref false in
+  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
     let pattern = patterns.(!pi) in
+    let e0 = !evals in
     let values = Compiled.eval_nets compiled pattern in
     (* Per net: the diverged machines as a map site -> faulty value
        (present only when it differs from the good value). *)
@@ -536,32 +758,98 @@ let run_concurrent ?(drop = true) ?(obs = Obs.disabled) u (patterns : bool array
             !out_map;
         diverged.(cg.Compiled.out) <- !out_map)
       gates;
-    incr pi
+    incr pi;
+    Limits.add_evals gauge (!evals - e0);
+    if Limits.check gauge then stopping := true;
+    tick_patterns checkpoint ~obs ~engine:"concurrent" ~units_done:!pi ~first
   done;
-  if !pi < total then saved := !saved + ((total - !pi) * n);
-  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:total ~t0
+  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
+  finalize_patterns checkpoint ~obs ~engine:"concurrent" ~units_done:!pi ~first;
+  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) () in
+  let sites_done = if !stopping then detected_count first else n in
+  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
+    ~sites_done ~t0
     [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = total; first_detection = first }
+  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
+    sites_done }
 
 (* --- Domain-parallel -------------------------------------------------------- *)
 
 (* Multicore wrapper: fault sites are partitioned across OCaml 5 domains
    (work-stealing pool in Parallel_exec); inside each site the serial or
    bit-parallel kernel runs unchanged, so first-detection results are
-   bit-identical to [run_serial] for every domain count. *)
+   bit-identical to [run_serial] for every domain count.
+
+   This engine sweeps *sites*, not patterns, so its checkpoints are
+   site-mode: a done bitmap plus the done sites' detections.  On resume,
+   done sites are preloaded and their jobs never submitted to the pool;
+   the rest re-run from pattern 0 (idempotent — a site's scan has no
+   cross-site state).  Progress snapshots are taken from inside the
+   pool's progress mutex, which orders them after the detections they
+   cover. *)
 let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain
-    ?(obs = Obs.disabled) u (patterns : bool array array) =
+    ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
+    u (patterns : bool array array) =
   let t0 = start_time obs in
+  let n = n_sites u in
+  let total = Array.length patterns in
+  let first = Array.make n None in
+  let done_mask = Array.make n false in
+  (match checkpoint with
+  | None -> ()
+  | Some ctl -> (
+      Checkpoint.require_mode ctl Checkpoint.Sites ~engine:"domains";
+      match Checkpoint.resume_state ctl with
+      | None -> ()
+      | Some st -> (
+          match st.Checkpoint.site_done with
+          | None -> ()
+          | Some d ->
+              Array.iteri
+                (fun i dn ->
+                  if dn then begin
+                    done_mask.(i) <- true;
+                    first.(i) <- st.Checkpoint.first_detection.(i)
+                  end)
+                d)));
   let jobs =
-    Array.map
-      (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
-      u.sites
+    u.sites
+    |> Array.to_seq
+    |> Seq.filter (fun s -> not done_mask.(s.sid))
+    |> Seq.map (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
+    |> Array.of_seq
   in
-  let first, stats =
-    Parallel_exec.run_with_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
-      u.compiled jobs patterns
+  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
+  let on_progress ~sites_done =
+    match checkpoint with
+    | None -> ()
+    | Some ctl ->
+        if
+          Checkpoint.tick ctl ~mode:Checkpoint.Sites ~units_done:sites_done
+            ~first_detection:first ~site_done:done_mask ()
+        then emit_checkpoint obs ~engine:"domains" ctl ~units_done:sites_done
   in
-  emit_run obs ~engine:"domains" ~n_sites:(n_sites u) ~n_patterns:(Array.length patterns) ~t0
+  let rfirst, report, stats =
+    Parallel_exec.run_supervised ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
+      ~gauge ?max_attempts ?crash_hook ~first ~done_mask ~on_progress u.compiled jobs patterns
+  in
+  assert (rfirst == first);
+  (match checkpoint with
+  | None -> ()
+  | Some ctl ->
+      Checkpoint.finalize ctl ~mode:Checkpoint.Sites
+        ~units_done:report.Parallel_exec.sites_done ~first_detection:first
+        ~site_done:done_mask ();
+      emit_checkpoint obs ~engine:"domains" ctl ~units_done:report.Parallel_exec.sites_done);
+  let outcome =
+    Outcome.make ?stopped:report.Parallel_exec.stopped
+      ~failed_sites:report.Parallel_exec.failed_sites ()
+  in
+  let sites_done = report.Parallel_exec.sites_done in
+  let patterns_done = if Outcome.is_complete outcome then total else 0 in
+  emit_site_failed obs ~engine:"domains" report.Parallel_exec.failed_sites;
+  emit_run obs ~engine:"domains" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done
+    ~sites_done ~t0
     [
       ("algo", Obs.String (Parallel_exec.algo_name stats.Parallel_exec.algo_used));
       ("evals", Obs.Int (Parallel_exec.stats_evals stats));
@@ -569,14 +857,19 @@ let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_doma
       ("gate_evals", Obs.Int (Parallel_exec.stats_gate_evals stats));
       ("cone_gates", Obs.Int (total_cone_gates u));
       ("effective_domains", Obs.Int stats.Parallel_exec.effective_domains);
+      ("retries", Obs.Int report.Parallel_exec.retries);
+      ("spawn_failures", Obs.Int report.Parallel_exec.spawn_failures);
+      ("worker_crashes", Obs.Int report.Parallel_exec.worker_crashes);
     ];
-  ( { n_sites = n_sites u; n_patterns = Array.length patterns; first_detection = first },
+  ( { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done;
+      sites_done },
     stats )
 
-let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs u patterns =
+let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
+    ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u patterns =
   fst
-    (run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs u
-       patterns)
+    (run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
+       ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u patterns)
 
 (* --- Random-pattern driver ------------------------------------------------ *)
 
@@ -621,3 +914,66 @@ let exhaustive_patterns n_inputs =
          n_inputs n_inputs max_exhaustive_inputs);
   Array.init (1 lsl n_inputs) (fun row ->
       Array.init n_inputs (fun i -> (row lsr i) land 1 = 1))
+
+(* --- Checkpoint wiring ------------------------------------------------------ *)
+
+(* Digests pin a checkpoint to the exact campaign that produced it.
+   They cover campaign *identity* — topology, fault universe, pattern
+   set — not implementation details like engine choice or domain count
+   (any engine may resume any patterns-mode checkpoint and still be
+   bit-identical). *)
+
+let circuit_digest u =
+  let b = Buffer.create 1024 in
+  Array.iter
+    (fun cg ->
+      let g = cg.Compiled.g in
+      Buffer.add_string b (string_of_int g.Netlist.id);
+      Buffer.add_char b ':';
+      Buffer.add_string b g.Netlist.gname;
+      Buffer.add_char b ':';
+      Buffer.add_string b (Cell.name g.Netlist.cell);
+      Array.iter
+        (fun i ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int i))
+        cg.Compiled.ins;
+      Buffer.add_char b '>';
+      Buffer.add_string b (string_of_int cg.Compiled.out);
+      Buffer.add_char b ';')
+    (Compiled.gates u.compiled);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let universe_digest u =
+  let b = Buffer.create 1024 in
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int s.sid);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int s.gate.Netlist.id);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int s.entry.Faultlib.class_id);
+      Buffer.add_char b ':';
+      Buffer.add_string b (String.concat "," (List.map snd s.entry.Faultlib.members));
+      Buffer.add_char b ';')
+    u.sites;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let patterns_digest (patterns : bool array array) =
+  let b = Buffer.create (Array.length patterns * 8) in
+  Array.iter
+    (fun p ->
+      Array.iter (fun v -> Buffer.add_char b (if v then '1' else '0')) p;
+      Buffer.add_char b ';')
+    patterns;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let checkpoint_ctl ~path ~interval ?(resume = false) ?prng_state u patterns =
+  (* a missing file under [resume] is a fresh start, not an error: a
+     campaign killed before its first tick leaves no checkpoint, and its
+     retry must still come up *)
+  let resume_state = if resume && Sys.file_exists path then Some (Checkpoint.load path) else None in
+  Checkpoint.create ~path ~interval ?prng_state ?resume:resume_state
+    ~circuit_digest:(circuit_digest u) ~universe_digest:(universe_digest u)
+    ~pattern_digest:(patterns_digest patterns) ~n_sites:(n_sites u)
+    ~n_patterns:(Array.length patterns) ()

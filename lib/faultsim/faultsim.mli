@@ -37,10 +37,34 @@ type summary = {
   n_sites : int;
   n_patterns : int;
   first_detection : int option array;  (** per site: first detecting pattern *)
+  outcome : Outcome.t;
+      (** [Complete], or [Partial] with the stop cause (deadline /
+          evaluation budget / interrupt) and any permanently-failed
+          sites.  Detections gathered before a stop are always
+          returned. *)
+  patterns_done : int;
+      (** patterns completed for every live site (pattern-sweep
+          engines).  The site-sweep domains engine reports [n_patterns]
+          when complete and [0] on a partial stop — its progress is
+          [sites_done]. *)
+  sites_done : int;
+      (** sites whose result is final: everything except failed sites on
+          a complete run; on a stopped run, the detected sites
+          (pattern-sweep) or the fully-swept sites (domains engine,
+          including checkpoint-preloaded ones). *)
 }
 
 val n_detected : summary -> int
+
 val coverage : summary -> float
+(** Detected fraction over the {e whole} universe — on a [Partial] run
+    this is the conservative lower bound (unresolved sites count as
+    undetected). *)
+
+val coverage_of_done : summary -> float
+(** Detected fraction over [sites_done] — the optimistic companion on
+    partial runs; equals {!coverage} on complete, failure-free runs. *)
+
 val undetected : universe -> summary -> site list
 
 val coverage_curve : summary -> float array
@@ -74,12 +98,44 @@ val detects : universe -> site -> bool array -> bool
       primary output (the classical kernel).
 
     Both produce bit-identical [first_detection] (a fault can only
-    influence its fanout cone); they differ only in work performed. *)
+    influence its fanout cone); they differ only in work performed.
+
+    {b Robustness} (see also {!Outcome}, {!Limits}, {!Checkpoint}):
+    every engine takes [?deadline] (absolute epoch seconds),
+    [?max_evals] (a gate-evaluation budget) and [?interrupt] (a polled
+    cooperative stop flag).  A tripped limit stops the sweep cleanly at
+    pattern-unit granularity and the summary's [outcome] records the
+    cause; detections gathered so far are returned, never discarded, and
+    {!coverage} is then the conservative lower bound.  Every engine also
+    takes [?checkpoint] (build with {!checkpoint_ctl}): progress is
+    persisted every interval and at return, and a controller carrying a
+    validated resume state continues {e bit-identically} — each pattern
+    is evaluated exactly once across the combined runs, in ascending
+    order, so no first detection can move.
+
+    The injection engines ({!run_serial}, {!run_parallel},
+    {!run_domain_parallel}) additionally supervise per-site evaluation:
+    a site whose faulty function raises is retried (bounded by
+    [?max_attempts], default 3; the good-machine baseline is restored
+    first) and, if it keeps raising, excluded and reported in the
+    outcome's [failed_sites] — every other site's detections are
+    identical to a clean run.  [?crash_hook] (default no-op, called with
+    the site id before each evaluation) is the fault-injection point the
+    supervision tests use.  The deductive and concurrent engines
+    propagate all sites jointly through shared per-net lists, so a
+    raising site cannot be isolated there; they support limits and
+    checkpoints only. *)
 
 val run_serial :
   ?drop:bool ->
   ?algo:[ `Full | `Cone ] ->
   ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -88,12 +144,37 @@ val run_parallel :
   ?drop:bool ->
   ?algo:[ `Full | `Cone ] ->
   ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
   universe ->
   bool array array ->
   summary
-val run_deductive : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
 
-val run_concurrent : ?drop:bool -> ?obs:Dynmos_obs.Obs.t -> universe -> bool array array -> summary
+val run_deductive :
+  ?drop:bool ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  universe ->
+  bool array array ->
+  summary
+
+val run_concurrent :
+  ?drop:bool ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  universe ->
+  bool array array ->
+  summary
 (** Concurrent engine: per net, the list of diverged faulty machines with
     their explicit faulty values (the third classical simulator the paper
     names alongside parallel and deductive). *)
@@ -105,18 +186,30 @@ val run_domain_parallel :
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
   universe ->
   bool array array ->
   summary
 (** Multicore engine: fault sites partitioned across OCaml 5 domains (a
-    work-stealing pool, see {!Parallel_exec}), each running the serial or
-    bit-parallel kernel with private scratch state.  [first_detection] is
-    bit-identical to {!run_serial} for every [num_domains], [inner],
-    [algo] and [drop].  [num_domains] defaults to
-    [Domain.recommended_domain_count ()] and is clamped to the number of
-    sites and to the estimated work (one domain per [min_work_per_domain]
-    gate-evaluations, see {!Parallel_exec.run}); [inner] defaults to
-    [Bit_parallel]; [algo] defaults to [`Cone]. *)
+    supervised work-stealing pool, see {!Parallel_exec.run_supervised}),
+    each running the serial or bit-parallel kernel with private scratch
+    state.  [first_detection] is bit-identical to {!run_serial} for
+    every [num_domains], [inner], [algo] and [drop].  [num_domains]
+    defaults to [Domain.recommended_domain_count ()] and is clamped to
+    the number of sites and to the estimated work (one domain per
+    [min_work_per_domain] gate-evaluations, see {!Parallel_exec.run});
+    [inner] defaults to [Bit_parallel]; [algo] defaults to [`Cone].
+
+    This engine sweeps sites, not patterns, so its checkpoints are
+    site-mode (a done bitmap plus the done sites' detections) and cannot
+    be exchanged with the pattern-sweep engines' — {!Checkpoint.Error}
+    on a mode mismatch.  A failed [Domain.spawn] degrades gracefully to
+    fewer domains (down to the calling one) with results unchanged. *)
 
 val run_domain_parallel_stats :
   ?drop:bool ->
@@ -125,6 +218,12 @@ val run_domain_parallel_stats :
   ?num_domains:int ->
   ?min_work_per_domain:int ->
   ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
   universe ->
   bool array array ->
   summary * Parallel_exec.stats
@@ -146,3 +245,36 @@ val max_exhaustive_inputs : int
 val exhaustive_patterns : int -> bool array array
 (** All [2^n] patterns in row order.  Raises [Invalid_argument] when [n]
     is negative or exceeds {!max_exhaustive_inputs}. *)
+
+(** {1 Checkpointing}
+
+    Campaign digests pin a checkpoint file to the exact circuit, fault
+    universe and pattern set that produced it; resuming against anything
+    else is refused ({!Checkpoint.Error}).  The digests cover campaign
+    identity only — engine choice, domain count and [drop] are free to
+    differ between the producing and resuming runs (pattern-sweep
+    checkpoints are interchangeable among serial / bit-parallel /
+    deductive / concurrent; the domains engine uses site-mode
+    checkpoints). *)
+
+val circuit_digest : universe -> string
+val universe_digest : universe -> string
+val patterns_digest : bool array array -> string
+
+val checkpoint_ctl :
+  path:string ->
+  interval:int ->
+  ?resume:bool ->
+  ?prng_state:string ->
+  universe ->
+  bool array array ->
+  Checkpoint.ctl
+(** Build the checkpoint controller to pass as [?checkpoint] to any
+    engine: computes the campaign digests and, when [resume] is true and
+    [path] exists, loads and validates the saved state (a {e missing}
+    file under [resume] is a fresh start, not an error — a campaign
+    killed before its first tick left nothing behind).  [interval] is in
+    completed pattern-units (patterns for the pattern-sweep engines,
+    sites for the domains engine).  [prng_state] (a {!Prng.save} token)
+    is stored for diagnostics; resume regenerates patterns from the seed
+    and validates them via the pattern digest. *)

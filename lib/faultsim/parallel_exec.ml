@@ -29,6 +29,18 @@ module Obs = Dynmos_obs.Obs
    spawn/join cost so the cases where spawn would have dominated are
    visible rather than silently slow.
 
+   Supervision (see [run_supervised]): the pool never lets one bad fault
+   site take the campaign down.  Every job evaluation runs under a
+   per-job exception handler; a job that raises is requeued with a
+   bounded attempt count and re-run in isolation on the calling domain
+   after the main sweep, and a job that keeps raising is reported in
+   [report.failed_sites] — every *other* site's detections are identical
+   to a clean run.  [Domain.spawn] failure degrades gracefully: the
+   shared-cursor design means whatever domains did start (down to just
+   the calling domain) simply drain the whole queue.  Limits
+   ([Limits.gauge]) are polled at block/chunk boundaries and stop the
+   sweep cleanly, recording which sites completed.
+
    Correctness-critical sharing audit (see Compiled):
    - [Compiled.t] is immutable after [compile]; shared read-only.  OK.
    - All mutable evaluation state lives in a [Compiled.scratch] buffer;
@@ -39,7 +51,14 @@ module Obs = Dynmos_obs.Obs
    - Pattern words and good-value arrays are computed once, before the
      domains spawn, and only read afterwards.
    - Per-domain stats are written to a private slot of [per_domain] by
-     the owning worker and only read after every domain is joined. *)
+     the owning worker and only read after every domain is joined.
+   - Supervision state (attempt counts, retry queue, failure list, the
+     done bitmap and counter) is guarded by mutexes; [first] slots of
+     *done* jobs are published via the progress mutex (marked done only
+     under it, after the owning worker's writes), so a progress callback
+     snapshotting under that mutex sees consistent (first, done) pairs.
+     In-flight jobs' [first] slots may be read stale by a snapshot —
+     harmless, because resume only trusts slots marked done. *)
 
 type job = {
   jid : int;            (* slot in the result array *)
@@ -78,6 +97,16 @@ type stats = {
   join_s : float;
   total_s : float;
   per_domain : domain_stats array;
+}
+
+type report = {
+  stopped : Outcome.stop_cause option;
+  failed_sites : (int * string) list;
+  sites_done : int;
+  done_mask : bool array;
+  retries : int;
+  spawn_failures : int;
+  worker_crashes : int;
 }
 
 let stats_evals s = Array.fold_left (fun acc d -> acc + d.evals) 0 s.per_domain
@@ -168,6 +197,20 @@ let pack_single_chunks compiled (patterns : bool array array) =
       })
     patterns
 
+(* Supervision context threaded into the block runners.  [hook] is the
+   crash-injection point (identity in production; tests raise from it);
+   [crashed] flags jobs that raised in the current pass so block runners
+   stop touching them; [record] books a crash (bounded requeue or
+   permanent failure); [should_stop]/[spend] poll and feed the limit
+   gauge. *)
+type sup_ctx = {
+  hook : int -> unit;
+  crashed : bool array;                 (* per jid *)
+  record : int -> int -> exn -> unit;   (* job index, jid, exn *)
+  should_stop : unit -> bool;
+  spend : int -> unit;                  (* gate evaluations *)
+}
+
 (* Earliest detecting pattern of one job, scanning chunks in order.  With
    [drop] the scan stops at the first detecting chunk; without it every
    chunk is still evaluated (mirroring the serial engine's ~drop:false
@@ -228,8 +271,20 @@ let run_job_serial ~drop compiled (pat_words : int array array) (good : int arra
    (a found job stops being evaluated on later chunks) plus a block-level
    exit once every job in the block is found; both are accounted so
    t_evals/t_saved match the job-inner kernels above invocation for
-   invocation. *)
-let run_block_cone ~drop compiled chunks (jobs : job array) (first : int option array)
+   invocation.
+
+   A job that raises mid-cone leaves [scratch] partially overwritten
+   ([eval_cone_into] only restores on normal return), so the handler
+   re-blits the chunk baseline before moving on — the next job in the
+   block sees an intact good machine.  Crashed jobs are flagged and
+   skipped on the remaining chunks; their partial detections are
+   discarded ([record] resets the slot) so a later isolated re-run is
+   bit-identical to a clean scan.
+
+   Returns the exclusive end of the fully-completed job prefix: [stop+1]
+   when every chunk was scanned, [start] when a limit stopped the block
+   between chunks (no job in the block saw every pattern). *)
+let run_block_cone ~drop ctx compiled chunks (jobs : job array) (first : int option array)
     scratch buf tally start stop =
   let n_chunks = Array.length chunks in
   let n_nets = Compiled.n_nets compiled in
@@ -237,30 +292,45 @@ let run_block_cone ~drop compiled chunks (jobs : job array) (first : int option 
   let remaining = ref block_jobs in
   let gate_tally = ref tally.t_gate in
   let c = ref 0 in
-  while !c < n_chunks && not (drop && !remaining = 0) do
-    let ch = chunks.(!c) in
-    Array.blit ch.nets 0 scratch 0 n_nets;
-    for j = start to stop do
-      let job = jobs.(j) in
-      if drop && first.(job.jid) <> None then tally.t_saved <- tally.t_saved + 1
-      else begin
-        tally.t_evals <- tally.t_evals + 1;
-        let diff =
-          Compiled.eval_cone_into ~tally:gate_tally compiled ~override:(job.gate_id, job.fn)
-            ~scratch ~buf
-          land ch.mask
-        in
-        if diff <> 0 && first.(job.jid) = None then begin
-          let rec lowest k = if (diff lsr k) land 1 = 1 then k else lowest (k + 1) in
-          first.(job.jid) <- Some (ch.start + lowest 0);
-          if drop then decr remaining
+  let stopped = ref false in
+  while !c < n_chunks && not (drop && !remaining = 0) && not !stopped do
+    if ctx.should_stop () then stopped := true
+    else begin
+      let ch = chunks.(!c) in
+      Array.blit ch.nets 0 scratch 0 n_nets;
+      let g0 = !gate_tally in
+      for j = start to stop do
+        let job = jobs.(j) in
+        if ctx.crashed.(job.jid) then ()
+        else if drop && first.(job.jid) <> None then tally.t_saved <- tally.t_saved + 1
+        else begin
+          tally.t_evals <- tally.t_evals + 1;
+          match
+            ctx.hook job.jid;
+            Compiled.eval_cone_into ~tally:gate_tally compiled ~override:(job.gate_id, job.fn)
+              ~scratch ~buf
+          with
+          | diff ->
+              let diff = diff land ch.mask in
+              if diff <> 0 && first.(job.jid) = None then begin
+                let rec lowest k = if (diff lsr k) land 1 = 1 then k else lowest (k + 1) in
+                first.(job.jid) <- Some (ch.start + lowest 0);
+                if drop then decr remaining
+              end
+          | exception exn ->
+              Array.blit ch.nets 0 scratch 0 n_nets;
+              ctx.record j job.jid exn;
+              decr remaining
         end
-      end
-    done;
-    incr c
+      done;
+      ctx.spend (!gate_tally - g0);
+      incr c
+    end
   done;
   tally.t_gate <- !gate_tally;
-  if !c < n_chunks then tally.t_saved <- tally.t_saved + ((n_chunks - !c) * block_jobs)
+  if !c < n_chunks && not !stopped then
+    tally.t_saved <- tally.t_saved + ((n_chunks - !c) * block_jobs);
+  if !stopped then start else stop + 1
 
 let default_domains () = Domain.recommended_domain_count ()
 
@@ -270,10 +340,16 @@ let default_domains () = Domain.recommended_domain_count ()
    marginal even on a loaded host. *)
 let default_min_work_per_domain = 50_000
 
-let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_domains
-    ?(min_work_per_domain = default_min_work_per_domain) ?(obs = Obs.disabled) compiled
-    (jobs : job array) (patterns : bool array array) =
+let default_max_attempts = 3
+
+let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_domains
+    ?(min_work_per_domain = default_min_work_per_domain) ?(obs = Obs.disabled)
+    ?(gauge = Limits.gauge Limits.none) ?(max_attempts = default_max_attempts)
+    ?(crash_hook = fun (_ : int) -> ()) ?first:first_init ?done_mask:done_init
+    ?(on_progress = fun ~sites_done:(_ : int) -> ()) compiled (jobs : job array)
+    (patterns : bool array array) =
   let t_total0 = Obs.now () in
+  if max_attempts < 1 then invalid_arg "Parallel_exec.run_supervised: max_attempts must be >= 1";
   let requested =
     match num_domains with
     | Some n ->
@@ -284,7 +360,54 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
   let n = Array.length jobs in
   let n_patterns = Array.length patterns in
   let n_chunks = (n_patterns + word_bits - 1) / word_bits in
-  let first = Array.make n None in
+  let n_slots =
+    match first_init with
+    | Some a -> Array.length a
+    | None -> Array.fold_left (fun acc j -> max acc (j.jid + 1)) n jobs
+  in
+  let first = match first_init with Some a -> a | None -> Array.make n_slots None in
+  let done_mask = match done_init with Some a -> a | None -> Array.make n_slots false in
+  if Array.length done_mask <> n_slots then
+    invalid_arg "Parallel_exec.run_supervised: first and done_mask lengths differ";
+  Array.iter
+    (fun j ->
+      if j.jid < 0 || j.jid >= n_slots then
+        invalid_arg
+          (Printf.sprintf "Parallel_exec.run_supervised: jid %d outside result array of %d"
+             j.jid n_slots))
+    jobs;
+  (* supervision state, all guarded by [sup_lock] *)
+  let sup_lock = Mutex.create () in
+  let attempts = Array.make n_slots 0 in
+  let crashed = Array.make n_slots false in
+  let retry_q = Queue.create () in
+  let failures = ref [] in
+  let retries = ref 0 in
+  let worker_crashes = ref 0 in
+  let spawn_failures = ref 0 in
+  (* progress state, guarded by [progress_lock]; [done_count] includes
+     any preloaded (resumed) sites *)
+  let progress_lock = Mutex.create () in
+  let done_count = ref (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 done_mask) in
+  let record j jid exn =
+    Mutex.lock sup_lock;
+    crashed.(jid) <- true;
+    first.(jid) <- None;
+    attempts.(jid) <- attempts.(jid) + 1;
+    if attempts.(jid) >= max_attempts then
+      failures := (jid, Printexc.to_string exn) :: !failures
+    else Queue.add j retry_q;
+    Mutex.unlock sup_lock
+  in
+  let ctx =
+    {
+      hook = crash_hook;
+      crashed;
+      record;
+      should_stop = (fun () -> Limits.check gauge);
+      spend = Limits.add_evals gauge;
+    }
+  in
   let per_job_evals = match inner with Bit_parallel -> n_chunks | Serial -> n_patterns in
   let work_estimate = n * per_job_evals * Compiled.n_gates compiled in
   let work_cap =
@@ -309,6 +432,17 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
         per_domain;
       }
     in
+    let report =
+      {
+        stopped = Limits.stopped gauge;
+        failed_sites = List.sort compare !failures;
+        sites_done = !done_count;
+        done_mask;
+        retries = !retries;
+        spawn_failures = !spawn_failures;
+        worker_crashes = !worker_crashes;
+      }
+    in
     if Obs.enabled obs then begin
       Array.iter
         (fun d ->
@@ -323,6 +457,15 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
               ("steal_s", Obs.Float d.steal_s);
             ])
         stats.per_domain;
+      List.iter
+        (fun (jid, msg) ->
+          Obs.emit obs ~ev:"parallel_exec.job_failed"
+            [
+              ("jid", Obs.Int jid);
+              ("attempts", Obs.Int attempts.(jid));
+              ("error", Obs.String msg);
+            ])
+        report.failed_sites;
       Obs.emit obs ~ev:"parallel_exec.run"
         [
           ("requested_domains", Obs.Int stats.requested_domains);
@@ -337,36 +480,67 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
           ("evals_saved", Obs.Int (stats_evals_saved stats));
           ("gate_evals", Obs.Int (stats_gate_evals stats));
           ("spawn_dominated", Obs.Bool (spawn_dominated stats));
+          ("sites_done", Obs.Int report.sites_done);
+          ("retries", Obs.Int report.retries);
+          ("failed_jobs", Obs.Int (List.length report.failed_sites));
+          ("spawn_failures", Obs.Int report.spawn_failures);
+          ("worker_crashes", Obs.Int report.worker_crashes);
+          ( "stopped",
+            Obs.String
+              (match report.stopped with
+              | Some c -> Outcome.stop_cause_name c
+              | None -> "none") );
           ("prepare_s", Obs.Float stats.prepare_s);
           ("spawn_s", Obs.Float stats.spawn_s);
           ("join_s", Obs.Float stats.join_s);
           ("total_s", Obs.Float stats.total_s);
         ]
     end;
-    (first, stats)
+    (first, report, stats)
   in
   if n = 0 || n_patterns = 0 then
     finish ~prepare_s:0.0 ~spawn_s:0.0 ~join_s:0.0 ~per_domain:[||]
   else begin
     let t_prep0 = Obs.now () in
     let po = Compiled.po_indices compiled in
-    (* [run_block scratch buf tally start stop] processes one claimed
-       block of jobs.  [`Full] runs the classical per-job kernels;
-       [`Cone] runs the chunk-outer cone runner (the serial inner uses
-       single-pattern chunks so both inners share it). *)
+    (* [run_block ctx scratch buf tally start stop] processes one claimed
+       block of jobs and returns the exclusive end of the job prefix
+       that completed (jobs past it were skipped by a tripped limit;
+       crashed jobs inside the prefix are flagged in [ctx.crashed]).
+       [`Full] runs the classical per-job kernels under a per-job
+       handler; [`Cone] runs the chunk-outer cone runner (the serial
+       inner uses single-pattern chunks so both inners share it). *)
+    let full_block run1 =
+      fun ctx scratch tally start stop ->
+       let j = ref start in
+       let finished = ref false in
+       while (not !finished) && !j <= stop do
+         if ctx.should_stop () then finished := true
+         else begin
+           let job = jobs.(!j) in
+           let g0 = tally.t_gate in
+           (try
+              ctx.hook job.jid;
+              first.(job.jid) <- run1 scratch tally job
+            with exn -> ctx.record !j job.jid exn);
+           ctx.spend (tally.t_gate - g0);
+           incr j
+         end
+       done;
+       !j
+    in
     let run_block =
       match (inner, algo) with
       | Bit_parallel, `Full ->
           let chunks = pack_chunks compiled patterns in
-          fun scratch _buf tally start stop ->
-            for j = start to stop do
-              let job = jobs.(j) in
-              first.(job.jid) <- run_job_bit_parallel ~drop compiled chunks po scratch tally job
-            done
+          let runner = full_block (fun scratch tally job ->
+              run_job_bit_parallel ~drop compiled chunks po scratch tally job)
+          in
+          fun ctx scratch _buf tally start stop -> runner ctx scratch tally start stop
       | Bit_parallel, `Cone ->
           let chunks = pack_chunks compiled patterns in
-          fun scratch buf tally start stop ->
-            run_block_cone ~drop compiled chunks jobs first scratch buf tally start stop
+          fun ctx scratch buf tally start stop ->
+            run_block_cone ~drop ctx compiled chunks jobs first scratch buf tally start stop
       | Serial, `Full ->
           let pat_words =
             Array.map (fun p -> Array.map (fun b -> if b then 1 else 0) p) patterns
@@ -379,15 +553,37 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
                 Array.map (fun i -> scratch.(i) land 1) po)
               pat_words
           in
-          fun scratch _buf tally start stop ->
-            for j = start to stop do
-              let job = jobs.(j) in
-              first.(job.jid) <- run_job_serial ~drop compiled pat_words good po scratch tally job
-            done
+          let runner = full_block (fun scratch tally job ->
+              run_job_serial ~drop compiled pat_words good po scratch tally job)
+          in
+          fun ctx scratch _buf tally start stop -> runner ctx scratch tally start stop
       | Serial, `Cone ->
           let chunks = pack_single_chunks compiled patterns in
-          fun scratch buf tally start stop ->
-            run_block_cone ~drop compiled chunks jobs first scratch buf tally start stop
+          fun ctx scratch buf tally start stop ->
+            run_block_cone ~drop ctx compiled chunks jobs first scratch buf tally start stop
+    in
+    (* mark the completed, non-crashed jobs of [start..fin-1] done and
+       report progress — under the progress mutex, so a checkpoint
+       snapshot taken inside [on_progress] observes every done job's
+       final [first] slot (the marker's writes happen-before via this
+       mutex) *)
+    let mark_done start fin =
+      if fin > start then begin
+        Mutex.lock progress_lock;
+        for j = start to fin - 1 do
+          let jid = jobs.(j).jid in
+          if (not crashed.(jid)) && not done_mask.(jid) then begin
+            done_mask.(jid) <- true;
+            incr done_count
+          end
+        done;
+        let sites_done = !done_count in
+        (try on_progress ~sites_done
+         with exn ->
+           Mutex.unlock progress_lock;
+           raise exn);
+        Mutex.unlock progress_lock
+      end
     in
     let prepare_s = Obs.now () -. t_prep0 in
     let next = Atomic.make 0 in
@@ -404,6 +600,11 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
             steal_s = 0.0;
           })
     in
+    (* [cur.(di)] is the block domain [di] is currently processing: if a
+       worker dies outside the per-job handlers (a supervision bug, an
+       asynchronous exception), the survivors' join path requeues that
+       block instead of losing it *)
+    let cur = Array.make effective None in
     let worker di () =
       let scratch = Compiled.make_scratch compiled in
       let buf = Compiled.make_cone_buffer compiled in
@@ -417,10 +618,26 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
         let start = Atomic.fetch_and_add next block in
         let t1 = Obs.now () in
         steal := !steal +. (t1 -. t0);
-        if start >= n then continue := false
+        if start >= n || ctx.should_stop () then continue := false
         else begin
           let stop = min n (start + block) - 1 in
-          run_block scratch buf tally start stop;
+          cur.(di) <- Some (start, stop);
+          let fin =
+            try run_block ctx scratch buf tally start stop
+            with exn ->
+              (* block-level escape (outside the per-job handlers):
+                 requeue every job in the block that has not already
+                 been booked as crashed — re-running a job that did in
+                 fact finish is idempotent (the retry resets its slot
+                 and rescans every pattern) *)
+              for j = start to stop do
+                let jid = jobs.(j).jid in
+                if not crashed.(jid) then record j jid exn
+              done;
+              start
+          in
+          mark_done start fin;
+          cur.(di) <- None;
           claimed := !claimed + (stop - start + 1);
           busy := !busy +. (Obs.now () -. t1)
         end
@@ -437,14 +654,102 @@ let run_with_stats ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
         }
     in
     let t_spawn0 = Obs.now () in
-    let helpers = Array.init (effective - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
+    let helpers =
+      Array.init (effective - 1) (fun i ->
+          let di = i + 1 in
+          try
+            Some
+              (Domain.spawn (fun () ->
+                   try worker di ()
+                   with exn ->
+                     (* the worker loop itself died; requeue its
+                        in-flight block so the post-join retry pass
+                        recovers it, and flag the degradation *)
+                     Mutex.lock sup_lock;
+                     incr worker_crashes;
+                     Mutex.unlock sup_lock;
+                     (match cur.(di) with
+                     | Some (start, stop) ->
+                         for j = start to stop do
+                           let jid = jobs.(j).jid in
+                           if (not crashed.(jid)) && not done_mask.(jid) then record j jid exn
+                         done
+                     | None -> ())))
+          with _spawn_failed ->
+            (* Domain.spawn itself failed (resource exhaustion): degrade
+               gracefully — the shared cursor means the domains that did
+               start (down to just the calling one) drain everything *)
+            incr spawn_failures;
+            None)
+    in
     let spawn_s = Obs.now () -. t_spawn0 in
-    worker 0 ();
+    (try worker 0 ()
+     with exn ->
+       Mutex.lock sup_lock;
+       incr worker_crashes;
+       Mutex.unlock sup_lock;
+       (match cur.(0) with
+       | Some (start, stop) ->
+           for j = start to stop do
+             let jid = jobs.(j).jid in
+             if (not crashed.(jid)) && not done_mask.(jid) then record j jid exn
+           done
+       | None -> ()));
     let t_join0 = Obs.now () in
-    Array.iter Domain.join helpers;
+    Array.iter (Option.iter Domain.join) helpers;
     let join_s = Obs.now () -. t_join0 in
+    (* Retry pass: isolated re-runs on the calling domain, after every
+       helper has quiesced (so the queue is stable and the crashed flags
+       race with nobody).  Each re-run resets the job's slot and rescans
+       every pattern — bit-identical to a clean evaluation. *)
+    if not (Queue.is_empty retry_q) then begin
+      let scratch = Compiled.make_scratch compiled in
+      let buf = Compiled.make_cone_buffer compiled in
+      let rtally = { t_evals = 0; t_saved = 0; t_gate = 0 } in
+      let continue = ref true in
+      while !continue && not (ctx.should_stop ()) do
+        match Queue.take_opt retry_q with
+        | None -> continue := false
+        | Some j ->
+            incr retries;
+            let jid = jobs.(j).jid in
+            crashed.(jid) <- false;
+            first.(jid) <- None;
+            let fin =
+              try run_block ctx scratch buf rtally j j
+              with exn ->
+                if not crashed.(jid) then record j jid exn;
+                j
+            in
+            if fin > j && not crashed.(jid) then mark_done j (j + 1)
+      done;
+      if Array.length per_domain > 0 then begin
+        let d = per_domain.(0) in
+        per_domain.(0) <-
+          {
+            d with
+            evals = d.evals + rtally.t_evals;
+            evals_saved = d.evals_saved + rtally.t_saved;
+            gate_evals = d.gate_evals + rtally.t_gate;
+          }
+      end
+    end;
     finish ~prepare_s ~spawn_s ~join_s ~per_domain
   end
+
+let run_with_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs
+    patterns =
+  let first, report, stats =
+    run_supervised ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs
+      patterns
+  in
+  (* legacy entry point: preserve fail-loudly semantics — before
+     supervision, a raising job tore down the whole run *)
+  (match report.failed_sites with
+  | (jid, msg) :: _ ->
+      failwith (Printf.sprintf "Parallel_exec.run: job %d failed after retries: %s" jid msg)
+  | [] -> ());
+  (first, stats)
 
 let run ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs patterns =
   fst

@@ -18,6 +18,13 @@ type job = {
 
 type inner = Serial | Bit_parallel  (** per-site evaluation kernel *)
 
+(** The pool is {e supervised}: a job whose evaluation raises is retried
+    a bounded number of times in isolation and, if it keeps raising,
+    reported per-site instead of tearing the campaign down; failed
+    [Domain.spawn]s degrade gracefully to fewer domains (down to the
+    calling one) because every domain steals from the same cursor.  See
+    {!run_supervised}. *)
+
 val inner_name : inner -> string
 (** ["serial"] / ["bit_parallel"], as used in stats events and bench
     JSON. *)
@@ -65,6 +72,25 @@ type stats = {
   total_s : float;
   per_domain : domain_stats array;  (** empty when there was nothing to do *)
 }
+
+type report = {
+  stopped : Outcome.stop_cause option;
+      (** why the sweep stopped early ([None] = ran to the end) *)
+  failed_sites : (int * string) list;
+      (** jobs that kept raising after bounded retries, sorted by jid:
+          (jid, exception message).  Their result slots are [None];
+          every other slot is identical to a clean run. *)
+  sites_done : int;
+      (** result slots fully evaluated (including preloaded ones) *)
+  done_mask : bool array;  (** per-slot completion (the array passed as
+                               [?done_mask], or a fresh one) *)
+  retries : int;           (** isolated re-runs performed *)
+  spawn_failures : int;    (** [Domain.spawn] calls that failed *)
+  worker_crashes : int;    (** worker loops that died outside the
+                               per-job handlers (recovered by requeue) *)
+}
+(** What the supervisor observed: how much of the sweep completed and
+    every degradation it absorbed. *)
 
 val stats_evals : stats -> int
 (** Total evaluations over all domains; with the [Serial] kernel and
@@ -131,3 +157,50 @@ val run_with_stats :
   bool array array ->
   int option array * stats
 (** [run] plus the scheduling statistics of the call. *)
+
+val default_max_attempts : int
+(** Evaluation attempts per job before it is declared failed (3). *)
+
+val run_supervised :
+  ?drop:bool ->
+  ?inner:inner ->
+  ?algo:[ `Full | `Cone ] ->
+  ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?gauge:Limits.gauge ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
+  ?first:int option array ->
+  ?done_mask:bool array ->
+  ?on_progress:(sites_done:int -> unit) ->
+  Compiled.t ->
+  job array ->
+  bool array array ->
+  int option array * report * stats
+(** The fault-tolerant entry point {!run}/{!run_with_stats} wrap.
+
+    Supervision: every job evaluation runs under a per-job exception
+    handler.  A raising job is requeued (at most [max_attempts] total
+    attempts, default {!default_max_attempts}) and re-run in isolation
+    on the calling domain after the main sweep and join; a job that
+    keeps raising lands in [report.failed_sites] with its slot [None].
+    Either way its partial progress is discarded and re-runs rescan
+    every pattern, so surviving results are bit-identical to a clean
+    run.  [crash_hook] is called with the job's [jid] before every
+    evaluation — it exists for fault-injection tests and defaults to a
+    no-op.
+
+    Limits: [gauge] is polled at job/chunk/block boundaries and fed the
+    gate-evaluations performed; when it trips, the sweep stops cleanly
+    at the next boundary and [report.stopped] records the cause.  Slots
+    not fully evaluated stay unmarked in [report.done_mask].
+
+    Resume support: [first] and [done_mask] (same length, defining the
+    result-slot space) may carry preloaded results from a checkpoint —
+    pass only the jobs still to run; preloaded slots count toward
+    [report.sites_done].  [on_progress] is invoked under the pool's
+    progress mutex after each completed block with the running done
+    count; a checkpoint snapshot taken inside it observes every done
+    slot's final result (in-flight slots may read stale, which is safe
+    because resume only trusts slots marked done). *)

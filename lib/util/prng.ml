@@ -81,6 +81,31 @@ let split t =
   let s3 = next () in
   { s0; s1; s2; s3 }
 
+(* Save/restore: the four state words as a versioned, human-readable
+   token.  Resumable campaigns (Dynmos_faultsim.Checkpoint) persist the
+   generator alongside their progress so a resumed run continues the
+   exact stream — [restore (save t)] and [t] produce identical outputs
+   forever after, from any point mid-stream. *)
+
+let save t = Printf.sprintf "xoshiro256ss:v1:%016Lx:%016Lx:%016Lx:%016Lx" t.s0 t.s1 t.s2 t.s3
+
+let restore s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Prng.restore: %S is not a saved generator state (expected %s)" s
+         "\"xoshiro256ss:v1:<16 hex>:<16 hex>:<16 hex>:<16 hex>\"")
+  in
+  match String.split_on_char ':' s with
+  | [ "xoshiro256ss"; "v1"; a; b; c; d ] ->
+      let word w =
+        if String.length w <> 16 then fail ();
+        match Int64.of_string_opt ("0x" ^ w) with Some x -> x | None -> fail ()
+      in
+      let s0 = word a and s1 = word b and s2 = word c and s3 = word d in
+      if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then fail ();
+      { s0; s1; s2; s3 }
+  | _ -> fail ()
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

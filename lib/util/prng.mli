@@ -33,6 +33,17 @@ val bernoulli : t -> float -> bool
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t]. *)
 
+val save : t -> string
+(** The generator state as a versioned printable token
+    (["xoshiro256ss:v1:<hex>:<hex>:<hex>:<hex>"]).  Saving does not
+    advance the generator. *)
+
+val restore : string -> t
+(** Rebuild a generator from {!save} output; the restored generator
+    continues the exact stream of the saved one (bit-identical resume of
+    checkpointed campaigns).  Raises [Invalid_argument] on a malformed or
+    all-zero token. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 

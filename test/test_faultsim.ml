@@ -560,6 +560,321 @@ let test_domain_clamp () =
   check "work estimate positive" true (st.Parallel_exec.work_estimate > 0)
 
 
+(* --- Robustness: supervision, limits, checkpoint/resume ---------------------- *)
+
+(* A crash hook that raises for one victim site the first [transients]
+   times that site comes up for evaluation.  Keyed on the site id and
+   counted atomically, so it serves both the serial engines (hook called
+   per pattern) and the domain pool (hook called per job evaluation,
+   possibly from several domains). *)
+let crashing_hook ~victim ~transients =
+  let hits = Atomic.make 0 in
+  fun sid ->
+    if sid = victim then
+      if Atomic.fetch_and_add hits 1 < transients then failwith "injected crash"
+
+let always_crashing ~victim =
+  fun sid -> if sid = victim then failwith "injected permanent crash"
+
+let robustness_fixture () =
+  let nl =
+    Generators.random_monotone ~seed:3 ~n_inputs:8 ~n_gates:30
+      ~technology:Technology.Domino_cmos ()
+  in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 71 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
+  (u, pats)
+
+let supervised_engines =
+  [
+    ( "serial/cone",
+      fun ~crash_hook u pats ->
+        Faultsim.run_serial ~drop:false ~algo:`Cone ~crash_hook u pats );
+    ( "serial/full",
+      fun ~crash_hook u pats ->
+        Faultsim.run_serial ~drop:false ~algo:`Full ~crash_hook u pats );
+    ( "parallel/cone",
+      fun ~crash_hook u pats ->
+        Faultsim.run_parallel ~drop:false ~algo:`Cone ~crash_hook u pats );
+    ( "domains/cone",
+      fun ~crash_hook u pats ->
+        Faultsim.run_domain_parallel ~drop:false ~algo:`Cone ~num_domains:2
+          ~min_work_per_domain:0 ~crash_hook u pats );
+    ( "domains/full",
+      fun ~crash_hook u pats ->
+        Faultsim.run_domain_parallel ~drop:false ~algo:`Full ~num_domains:2
+          ~min_work_per_domain:0 ~crash_hook u pats );
+  ]
+
+(* A site that crashes transiently (fewer times than the attempt budget)
+   is retried and the whole summary — including the victim — is
+   bit-identical to a clean run, with a [Complete] outcome.  The cone
+   variants also exercise the baseline-restore path: a corrupted good
+   machine would change *other* sites' results. *)
+let test_transient_crash_recovered () =
+  let u, pats = robustness_fixture () in
+  let clean = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  let victim = Faultsim.n_sites u / 2 in
+  List.iter
+    (fun (name, run) ->
+      let s = run ~crash_hook:(crashing_hook ~victim ~transients:2) u pats in
+      check (name ^ ": complete outcome") true (Outcome.is_complete s.Faultsim.outcome);
+      check (name ^ ": bit-identical to clean run") true
+        (s.Faultsim.first_detection = clean.Faultsim.first_detection))
+    supervised_engines
+
+(* A site that keeps crashing is excluded and reported; every other
+   site's detections are identical to the clean run and never lost. *)
+let test_permanent_crash_isolated () =
+  let u, pats = robustness_fixture () in
+  let clean = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  let victim = 3 in
+  List.iter
+    (fun (name, run) ->
+      let s = run ~crash_hook:(always_crashing ~victim) u pats in
+      (match s.Faultsim.outcome with
+      | Outcome.Partial { Outcome.failed_sites = [ (sid, msg) ]; stopped = None } ->
+          check_i (name ^ ": victim reported") victim sid;
+          check (name ^ ": message survives") true (contains msg "injected permanent")
+      | _ -> Alcotest.fail (name ^ ": expected exactly one failed site"));
+      check (name ^ ": victim slot unset") true (s.Faultsim.first_detection.(victim) = None);
+      check (name ^ ": other sites unharmed") true
+        (Array.for_all
+           (fun i -> i = victim || s.Faultsim.first_detection.(i) = clean.Faultsim.first_detection.(i))
+           (Array.init (Faultsim.n_sites u) Fun.id));
+      check_i (name ^ ": sites_done excludes victim") (Faultsim.n_sites u - 1)
+        s.Faultsim.sites_done;
+      check_i (name ^ ": exit code 2") 2 (Outcome.exit_code s.Faultsim.outcome))
+    supervised_engines
+
+(* Every engine under every limit kind stops cleanly with the right
+   cause, keeps the detections gathered so far (each a verbatim prefix
+   fact of the reference run), and reports coverage as a lower bound. *)
+type limited_run =
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  Faultsim.universe ->
+  bool array array ->
+  Faultsim.summary
+
+let limited_engines : (string * limited_run) list =
+  [
+    ( "serial",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_serial ?deadline ?max_evals ?interrupt u pats );
+    ( "parallel",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_parallel ?deadline ?max_evals ?interrupt u pats );
+    ( "deductive",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_deductive ?deadline ?max_evals ?interrupt u pats );
+    ( "concurrent",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_concurrent ?deadline ?max_evals ?interrupt u pats );
+    ( "domains",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_domain_parallel ~num_domains:2 ~min_work_per_domain:0 ?deadline
+          ?max_evals ?interrupt u pats );
+  ]
+
+let check_partial name reference expected_cause (s : Faultsim.summary) =
+  (match s.Faultsim.outcome with
+  | Outcome.Partial { Outcome.stopped = Some c; failed_sites = [] } ->
+      check (name ^ ": stop cause") true (c = expected_cause)
+  | o -> Alcotest.fail (Fmt.str "%s: expected a stopped partial, got %s" name (Outcome.to_string o)));
+  (* nothing invented: every detection the partial run reports is the
+     reference run's detection for that site *)
+  check (name ^ ": detections are a subset of the reference") true
+    (Array.for_all2
+       (fun p r -> p = None || p = r)
+       s.Faultsim.first_detection reference.Faultsim.first_detection);
+  check (name ^ ": coverage is a lower bound") true
+    (Faultsim.coverage s <= Faultsim.coverage reference);
+  check_i (name ^ ": exit code 2") 2 (Outcome.exit_code s.Faultsim.outcome)
+
+let test_deadline_partial () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  let past = Unix.gettimeofday () -. 1.0 in
+  List.iter
+    (fun (name, (run : limited_run)) ->
+      check_partial name reference Outcome.Deadline (run ~deadline:past u pats))
+    limited_engines
+
+let test_max_evals_partial () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  List.iter
+    (fun (name, (run : limited_run)) ->
+      let s = run ~max_evals:50 u pats in
+      check_partial name reference Outcome.Max_evals s;
+      check (name ^ ": stopped before the end") true
+        (s.Faultsim.patterns_done < Array.length pats))
+    limited_engines
+
+let test_interrupt_partial () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  List.iter
+    (fun (name, (run : limited_run)) ->
+      check_partial name reference Outcome.Interrupted
+        (run ~interrupt:(fun () -> true) u pats))
+    limited_engines
+
+(* An unreachable limit changes nothing: outcome stays [Complete] and the
+   summary is bit-identical to the unlimited run. *)
+let test_lax_limits_are_free () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false ~algo:`Full u pats in
+  List.iter
+    (fun (name, (run : limited_run)) ->
+      let s =
+        run ~deadline:(Unix.gettimeofday () +. 3600.0) ~max_evals:max_int
+          ~interrupt:(fun () -> false) u pats
+      in
+      check (name ^ ": complete") true (Outcome.is_complete s.Faultsim.outcome);
+      check (name ^ ": identical results") true
+        (s.Faultsim.first_detection = reference.Faultsim.first_detection);
+      check_i (name ^ ": exit code 0") 0 (Outcome.exit_code s.Faultsim.outcome))
+    limited_engines
+
+(* --- Checkpoint/resume ------------------------------------------------------- *)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "dynmos_ckpt" ".dat" in
+  Sys.remove path;
+  (* engines write it themselves (atomic rename) *)
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* Interrupt a campaign partway, then resume from the checkpoint file:
+   the combined runs must be bit-identical to one uninterrupted run, the
+   resumed run must be [Complete], and no pattern may be evaluated twice
+   (checked through the evals counter for the serial engine). *)
+let test_checkpoint_resume_serial () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false u pats in
+  List.iter
+    (fun algo ->
+      with_temp_checkpoint @@ fun path ->
+      let ctl = Faultsim.checkpoint_ctl ~path ~interval:7 u pats in
+      let s1 = Faultsim.run_serial ~drop:false ~algo ~max_evals:400 ~checkpoint:ctl u pats in
+      check "first leg stopped" true (not (Outcome.is_complete s1.Faultsim.outcome));
+      check "first leg left a checkpoint" true (Sys.file_exists path);
+      let ctl2 = Faultsim.checkpoint_ctl ~path ~interval:7 ~resume:true u pats in
+      let s2 = Faultsim.run_serial ~drop:false ~algo ~checkpoint:ctl2 u pats in
+      check "resumed leg complete" true (Outcome.is_complete s2.Faultsim.outcome);
+      check "combined = uninterrupted" true
+        (s2.Faultsim.first_detection = reference.Faultsim.first_detection))
+    [ `Cone; `Full ]
+
+let test_checkpoint_resume_domains () =
+  let u, pats = robustness_fixture () in
+  let reference = Faultsim.run_serial ~drop:false u pats in
+  with_temp_checkpoint @@ fun path ->
+  let ctl = Faultsim.checkpoint_ctl ~path ~interval:3 u pats in
+  let s1 =
+    Faultsim.run_domain_parallel ~drop:false ~num_domains:2 ~min_work_per_domain:0
+      ~max_evals:400 ~checkpoint:ctl u pats
+  in
+  check "first leg stopped" true (not (Outcome.is_complete s1.Faultsim.outcome));
+  check "sites-mode progress recorded" true (s1.Faultsim.sites_done < Faultsim.n_sites u);
+  let ctl2 = Faultsim.checkpoint_ctl ~path ~interval:3 ~resume:true u pats in
+  let s2 =
+    Faultsim.run_domain_parallel ~drop:false ~num_domains:2 ~min_work_per_domain:0
+      ~checkpoint:ctl2 u pats
+  in
+  check "resumed leg complete" true (Outcome.is_complete s2.Faultsim.outcome);
+  check "combined = uninterrupted" true
+    (s2.Faultsim.first_detection = reference.Faultsim.first_detection)
+
+let raises_checkpoint_error f =
+  match f () with exception Checkpoint.Error _ -> true | _ -> false
+
+(* Digest pinning: a checkpoint written for one campaign must refuse to
+   resume another circuit or pattern set; a pattern-mode file must refuse
+   a sites-sweep engine. *)
+let test_checkpoint_validation () =
+  let u, pats = robustness_fixture () in
+  with_temp_checkpoint @@ fun path ->
+  let ctl = Faultsim.checkpoint_ctl ~path ~interval:5 u pats in
+  ignore (Faultsim.run_serial ~drop:false ~checkpoint:ctl u pats);
+  check "resume with other patterns refused" true
+    (raises_checkpoint_error (fun () ->
+         let prng = Prng.create 999 in
+         let other = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
+         Faultsim.checkpoint_ctl ~path ~interval:5 ~resume:true u other));
+  check "resume with another circuit refused" true
+    (raises_checkpoint_error (fun () ->
+         let u2 = Faultsim.universe (Generators.c17 ~style:`Domino ()) in
+         Faultsim.checkpoint_ctl ~path ~interval:5 ~resume:true u2 pats));
+  (* mode mismatch: the file is pattern-mode, the domains engine sweeps sites *)
+  let ctl2 = Faultsim.checkpoint_ctl ~path ~interval:5 ~resume:true u pats in
+  check "pattern-mode file refused by the sites-sweep engine" true
+    (raises_checkpoint_error (fun () ->
+         Faultsim.run_domain_parallel ~num_domains:1 ~min_work_per_domain:0
+           ~checkpoint:ctl2 u pats))
+
+(* A crash-torn checkpoint (truncated mid-write would only ever be the
+   .tmp file thanks to the atomic rename, but disks corrupt too) is
+   detected by the checksum trailer and reported as truncation, never
+   parsed into a half-resumed campaign. *)
+let test_checkpoint_truncation_detected () =
+  let u, pats = robustness_fixture () in
+  with_temp_checkpoint @@ fun path ->
+  let ctl = Faultsim.checkpoint_ctl ~path ~interval:5 u pats in
+  ignore (Faultsim.run_serial ~drop:false ~checkpoint:ctl u pats);
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 17));
+  close_out oc;
+  match Checkpoint.load path with
+  | exception Checkpoint.Error msg ->
+      check "reported as truncation/corruption" true
+        (contains msg "truncated" || contains msg "checksum")
+  | _ -> Alcotest.fail "truncated checkpoint must not load"
+
+(* QCheck: checkpoint round-trip on random circuits — stop a campaign
+   with a tiny evaluation budget, resume from the file, and the combined
+   detections are bit-identical to an uninterrupted run, for both
+   injection algorithms and for the sites-sweep domains engine. *)
+let qcheck_checkpoint_roundtrip =
+  QCheck2.Test.make ~name:"checkpoint resume is bit-identical" ~count:15
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 4 8))
+    (fun (seed, n_inputs) ->
+      let nl =
+        Generators.random_monotone ~seed ~n_inputs ~n_gates:15
+          ~technology:Technology.Domino_cmos ()
+      in
+      let u = Faultsim.universe nl in
+      let prng = Prng.create seed in
+      let pats = Faultsim.random_patterns prng ~n_inputs ~count:60 in
+      let reference = Faultsim.run_serial ~drop:false u pats in
+      let roundtrip run =
+        with_temp_checkpoint @@ fun path ->
+        let ctl = Faultsim.checkpoint_ctl ~path ~interval:2 u pats in
+        ignore (run ~max_evals:(Some 60) ~checkpoint:ctl u pats);
+        let ctl2 = Faultsim.checkpoint_ctl ~path ~interval:2 ~resume:true u pats in
+        let s = run ~max_evals:None ~checkpoint:ctl2 u pats in
+        Outcome.is_complete s.Faultsim.outcome
+        && s.Faultsim.first_detection = reference.Faultsim.first_detection
+      in
+      List.for_all roundtrip
+        [
+          (fun ~max_evals ~checkpoint u pats ->
+            Faultsim.run_serial ~drop:false ~algo:`Cone ?max_evals ~checkpoint u pats);
+          (fun ~max_evals ~checkpoint u pats ->
+            Faultsim.run_serial ~drop:false ~algo:`Full ?max_evals ~checkpoint u pats);
+          (fun ~max_evals ~checkpoint u pats ->
+            Faultsim.run_parallel ~drop:false ~algo:`Cone ?max_evals ~checkpoint u pats);
+          (fun ~max_evals ~checkpoint u pats ->
+            Faultsim.run_domain_parallel ~drop:false ~num_domains:2 ~min_work_per_domain:0
+              ?max_evals ~checkpoint u pats);
+        ])
+
 (* --- Diagnosis ------------------------------------------------------------- *)
 
 let test_diagnosis_dictionary () =
@@ -742,6 +1057,24 @@ let () =
             test_deductive_drop_saves_evals;
           Alcotest.test_case "domain clamp" `Quick test_domain_clamp;
         ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "transient crashes recovered" `Quick
+            test_transient_crash_recovered;
+          Alcotest.test_case "permanent crashes isolated" `Quick
+            test_permanent_crash_isolated;
+          Alcotest.test_case "deadline stops cleanly" `Quick test_deadline_partial;
+          Alcotest.test_case "eval budget stops cleanly" `Quick test_max_evals_partial;
+          Alcotest.test_case "interrupt stops cleanly" `Quick test_interrupt_partial;
+          Alcotest.test_case "lax limits change nothing" `Quick test_lax_limits_are_free;
+          Alcotest.test_case "checkpoint/resume serial" `Quick test_checkpoint_resume_serial;
+          Alcotest.test_case "checkpoint/resume domains" `Quick
+            test_checkpoint_resume_domains;
+          Alcotest.test_case "checkpoint digests pin the campaign" `Quick
+            test_checkpoint_validation;
+          Alcotest.test_case "truncated checkpoint detected" `Quick
+            test_checkpoint_truncation_detected;
+        ] );
       ( "diagnosis",
         [
           Alcotest.test_case "exhaustive dictionary" `Quick test_diagnosis_dictionary;
@@ -753,5 +1086,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_engines;
           QCheck_alcotest.to_alcotest qcheck_cone_structure;
+          QCheck_alcotest.to_alcotest qcheck_checkpoint_roundtrip;
         ] );
     ]

@@ -238,6 +238,49 @@ let test_channel_sink_jsonl () =
   check_i "one line per event" 2 (List.length lines);
   List.iter (fun l -> check "line is valid JSON" true (is_valid_json l)) lines
 
+(* Crash tolerance: the channel sink flushes after every event, so a
+   campaign killed mid-run loses at most the line being written at that
+   instant.  A consumer of the trace must therefore survive a torn final
+   line: every complete line (all but possibly the last) still parses,
+   and the torn tail is detectably invalid rather than silently merged
+   into its predecessor. *)
+let test_channel_sink_truncation_tolerance () =
+  let file = Filename.temp_file "obs_trunc" ".jsonl" in
+  let oc = open_out file in
+  let t = Obs.make (Obs.channel_sink oc) in
+  for i = 1 to 5 do
+    Obs.emit t ~ev:"tick" [ ("i", Obs.Int i); ("tag", Obs.String "payload") ]
+  done;
+  close_out oc;
+  (* simulate the crash: chop the file mid-way through the last line *)
+  let ic = open_in_bin file in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let cut = String.length full - 12 in
+  let oc = open_out_bin file in
+  output_string oc (String.sub full 0 cut);
+  close_out oc;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove file;
+  match List.rev !lines with
+  | [] -> Alcotest.fail "expected surviving lines"
+  | lines ->
+      let n = List.length lines in
+      List.iteri
+        (fun i l ->
+          if i < n - 1 then check (Fmt.str "line %d survives" i) true (is_valid_json l)
+          else check "torn tail detected" false (is_valid_json l))
+        lines;
+      (* per-event flushing is what bounds the loss to one line *)
+      check_i "all but the torn line survive" 5 n
+
 (* --- Counters ---------------------------------------------------------------- *)
 
 let test_counters () =
@@ -288,6 +331,8 @@ let () =
           Alcotest.test_case "span" `Quick test_span_event;
           Alcotest.test_case "tee" `Quick test_tee;
           Alcotest.test_case "channel sink writes JSONL" `Quick test_channel_sink_jsonl;
+          Alcotest.test_case "crash-truncated trace stays readable" `Quick
+            test_channel_sink_truncation_tolerance;
         ] );
       ( "counters",
         [

@@ -98,6 +98,44 @@ let test_shuffle_permutation () =
   check "shuffle is a permutation" true (sorted = Array.init 20 Fun.id);
   check "shuffle moved something" true (a <> Array.init 20 Fun.id)
 
+(* Save/restore round-trips the generator mid-stream: a generator that is
+   saved after an arbitrary warm-up and restored in a fresh value must
+   produce the exact same continuation stream, across every draw kind. *)
+let test_save_restore_midstream () =
+  let p = Prng.create 31 in
+  (* advance past the seed expansion with a mix of draw kinds *)
+  for _ = 1 to 137 do
+    ignore (Prng.next_int64 p);
+    ignore (Prng.int p 7);
+    ignore (Prng.float p)
+  done;
+  let token = Prng.save p in
+  let q = Prng.restore token in
+  check "save does not advance: token is stable" true (String.equal token (Prng.save p));
+  let stream g =
+    List.init 500 (fun i ->
+        match i mod 4 with
+        | 0 -> Int64.to_string (Prng.next_int64 g)
+        | 1 -> string_of_int (Prng.int g 1000)
+        | 2 -> string_of_float (Prng.float g)
+        | _ -> string_of_bool (Prng.bool g))
+  in
+  check "restored generator continues the exact stream" true (stream p = stream q);
+  (* and the round-trip composes: save the restored copy again *)
+  let r = Prng.restore (Prng.save q) in
+  check "second round-trip still identical" true (stream q = stream r)
+
+let test_restore_rejects_garbage () =
+  let bad s = match Prng.restore s with exception Invalid_argument _ -> true | _ -> false in
+  check "empty" true (bad "");
+  check "wrong magic" true (bad "mt19937:v1:0:0:0:0");
+  check "short words" true (bad "xoshiro256ss:v1:00:00:00:00");
+  check "non-hex" true (bad "xoshiro256ss:v1:zzzzzzzzzzzzzzzz:0000000000000000:0000000000000000:0000000000000001");
+  check "all-zero state" true
+    (bad "xoshiro256ss:v1:0000000000000000:0000000000000000:0000000000000000:0000000000000000");
+  check "valid token accepted" true
+    (match Prng.restore (Prng.save (Prng.create 1)) with _ -> true)
+
 let test_choose () =
   let p = Prng.create 3 in
   let a = [| "x"; "y"; "z" |] in
@@ -118,6 +156,8 @@ let () =
           Alcotest.test_case "int unbiased" `Quick test_int_unbiased_bound;
           Alcotest.test_case "bernoulli" `Quick test_bernoulli;
           Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "save/restore mid-stream" `Quick test_save_restore_midstream;
+          Alcotest.test_case "restore validation" `Quick test_restore_rejects_garbage;
           Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
           Alcotest.test_case "choose" `Quick test_choose;
         ] );
