@@ -85,37 +85,9 @@ let install_signal_handlers () =
 
 (* --- Built-in benchmark circuits ----------------------------------------- *)
 
-let builtin_circuits =
-  [
-    ("fig9", fun () -> Generators.fig9_network ());
-    ("fig5", fun () -> Generators.fig5_network ());
-    ("carry8", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 8);
-    ("carry16", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 16);
-    ("c17-static", fun () -> Generators.c17 ~style:`Static ());
-    ("c17-domino", fun () -> Generators.c17 ~style:`Domino ());
-    ("adder3-domino", fun () -> Generators.ripple_adder ~style:`Domino 3);
-    ("parity6-domino", fun () -> Generators.parity ~style:`Domino 6);
-    ("parity6-static", fun () -> Generators.parity ~style:`Static 6);
-    ("decoder3-domino", fun () -> Generators.decoder ~style:`Domino 3);
-    ("mux3-domino", fun () -> Generators.mux_tree ~style:`Domino 3);
-    ("wideand12", fun () -> Generators.wide_and ~technology:Technology.Domino_cmos 12);
-    ("rand20", fun () ->
-        Generators.random_monotone ~seed:1 ~n_inputs:8 ~n_gates:20
-          ~technology:Technology.Domino_cmos ());
-    (* Same construction as the bench suite's rand60 — big enough that a
-       checkpoint/kill/resume cycle has something to interrupt. *)
-    ("rand60", fun () ->
-        Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
-          ~technology:Technology.Domino_cmos ());
-  ]
-
-let circuit_of_name name =
-  match List.assoc_opt name builtin_circuits with
-  | Some f -> Ok (f ())
-  | None ->
-      Error
-        (Fmt.str "unknown circuit %S; try one of: %s" name
-           (String.concat ", " (List.map fst builtin_circuits)))
+(* The named catalog lives in [Dynmos_circuits.Catalog] so the serve loop
+   resolves the same names as the subcommands. *)
+let circuit_of_name = Catalog.find
 
 let circuit_arg =
   let doc = "Built-in benchmark circuit name (see the 'circuits' subcommand)." in
@@ -529,6 +501,107 @@ let diagnose_cmd =
   let doc = "Build an adaptive diagnosing pattern set and report its resolution." in
   Cmd.v (Cmd.info "diagnose" ~doc) Term.(ret (const run $ circuit_arg))
 
+(* --- serve ---------------------------------------------------------------------- *)
+
+(* Long-lived batch front end: JSONL requests from stdin (or a Unix
+   socket), one response line per request line, crash isolation via the
+   supervised engines, bounded admission queue, graceful drain on the
+   first SIGTERM/SIGINT (second signal hard-exits 130 — the same
+   contract as a checkpointed campaign). *)
+let serve_cmd =
+  let module Server = Dynmos_server.Server in
+  let queue =
+    Arg.(value & opt (bounded_int ~what:"--queue" ~min:1 ()) Server.default_config.Server.queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Pending-request queue capacity; further run requests are answered \
+                   'overloaded' (backpressure instead of unbounded memory).")
+  in
+  let max_patterns =
+    Arg.(value & opt (bounded_int ~what:"--max-patterns" ~min:0 ()) Server.default_config.Server.max_patterns
+         & info [ "max-patterns" ] ~docv:"N" ~doc:"Per-request pattern-count cap.")
+  in
+  let max_seconds =
+    Arg.(value & opt (positive_float ~what:"--max-seconds") Server.default_config.Server.max_seconds
+         & info [ "max-seconds" ] ~docv:"SEC"
+             ~doc:"Per-request wall-clock cap and default deadline; also bounds how long a \
+                   drain can take.")
+  in
+  let max_request_evals =
+    Arg.(value & opt (some (bounded_int ~what:"--max-request-evals" ~min:1 ())) None
+         & info [ "max-request-evals" ] ~docv:"N"
+             ~doc:"Per-request gate-evaluation cap and default budget.")
+  in
+  let global_max_evals =
+    Arg.(value & opt (some (bounded_int ~what:"--global-max-evals" ~min:1 ())) None
+         & info [ "global-max-evals" ] ~docv:"N"
+             ~doc:"Whole-server gate-evaluation budget; once spent, run requests are \
+                   rejected with an error response.")
+  in
+  let max_line_bytes =
+    Arg.(value & opt (bounded_int ~what:"--max-line-bytes" ~min:2 ()) Server.default_config.Server.max_line_bytes
+         & info [ "max-line-bytes" ] ~docv:"N" ~doc:"Reject request lines longer than $(docv) bytes.")
+  in
+  let events =
+    Arg.(value & opt (bounded_int ~what:"--events" ~min:1 ()) Server.default_config.Server.events_capacity
+         & info [ "events" ] ~docv:"N"
+             ~doc:"Capacity of the bounded in-memory observability ring backing the \
+                   'stats' op (oldest events overwritten first).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Append every observability event as one JSON line to $(docv) \
+                   (flushed per event; also flushed on drain).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
+                   stdin/stdout; connections are served sequentially until drain.")
+  in
+  let run queue max_patterns max_seconds max_request_evals global_max_evals max_line_bytes
+      events trace socket =
+    guard @@ fun () ->
+    let config =
+      {
+        Server.queue_capacity = queue;
+        max_patterns;
+        max_seconds;
+        max_request_evals;
+        global_max_evals;
+        max_line_bytes;
+        events_capacity = events;
+      }
+    in
+    let trace_oc =
+      Option.map
+        (fun file -> open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 file)
+        trace
+    in
+    let t =
+      Server.create ~config ?trace:(Option.map Obs.channel_sink trace_oc) ()
+    in
+    (* First SIGTERM/SIGINT: stop admitting, finish queued and in-flight
+       jobs (each bounded by its per-request deadline), flush, exit 0.
+       Second signal: hard exit 130. *)
+    let drain = install_signal_handlers () in
+    (match socket with
+    | Some path -> Server.serve_socket t ~drain path
+    | None -> ignore (Server.serve_channels t ~drain stdin stdout : Server.stop));
+    Option.iter close_out trace_oc;
+    `Ok 0
+  in
+  let doc =
+    "Serve line-delimited JSONL fault-simulation requests (stdin/stdout or --socket) with \
+     per-request limits, admission control and graceful drain.  One response line per \
+     request line; see the README's Serving section for the protocol."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ queue $ max_patterns $ max_seconds $ max_request_evals
+       $ global_max_evals $ max_line_bytes $ events $ trace $ socket))
+
 (* --- circuits ------------------------------------------------------------------ *)
 
 let circuits_cmd =
@@ -541,7 +614,7 @@ let circuits_cmd =
           (List.length (Netlist.inputs nl))
           (List.length (Netlist.outputs nl))
           (Netlist.n_transistors nl))
-      builtin_circuits;
+      Catalog.builtin;
     `Ok 0
   in
   let doc = "List the built-in benchmark circuits." in
@@ -562,5 +635,6 @@ let () =
             selftest_cmd;
             atpg_cmd;
             diagnose_cmd;
+            serve_cmd;
             circuits_cmd;
           ]))

@@ -107,7 +107,12 @@ let cells text =
               | Input is -> (tech, name, Some is, output, assigns)
               | Output o -> (tech, name, inputs, Some o, assigns)
               | Assign (n, e) -> (tech, name, inputs, output, (n, e) :: assigns)
-              | Technology _ -> assert false
+              | Technology _ ->
+                  (* TECHNOLOGY statements are consumed by the outer match
+                     to open a new cell; if one reaches the in-cell merge
+                     the statement stream is malformed — say so instead of
+                     killing the process on an assertion. *)
+                  error "TECHNOLOGY statement must open a new cell, not appear inside one"
             in
             go acc (Some current) rest)
   in

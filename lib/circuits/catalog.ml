@@ -1,0 +1,41 @@
+open Dynmos_cell
+open Dynmos_netlist
+
+(* The named benchmark catalog.  Lived in the CLI until the serve loop
+   needed the same name -> netlist mapping; constructors stay lazy so
+   listing names never builds a circuit. *)
+
+let builtin : (string * (unit -> Netlist.t)) list =
+  [
+    ("fig9", fun () -> Generators.fig9_network ());
+    ("fig5", fun () -> Generators.fig5_network ());
+    ("carry8", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 8);
+    ("carry16", fun () -> Generators.carry_chain ~technology:Technology.Domino_cmos 16);
+    ("c17-static", fun () -> Generators.c17 ~style:`Static ());
+    ("c17-domino", fun () -> Generators.c17 ~style:`Domino ());
+    ("adder3-domino", fun () -> Generators.ripple_adder ~style:`Domino 3);
+    ("parity6-domino", fun () -> Generators.parity ~style:`Domino 6);
+    ("parity6-static", fun () -> Generators.parity ~style:`Static 6);
+    ("decoder3-domino", fun () -> Generators.decoder ~style:`Domino 3);
+    ("mux3-domino", fun () -> Generators.mux_tree ~style:`Domino 3);
+    ("wideand12", fun () -> Generators.wide_and ~technology:Technology.Domino_cmos 12);
+    ("rand20", fun () ->
+        Generators.random_monotone ~seed:1 ~n_inputs:8 ~n_gates:20
+          ~technology:Technology.Domino_cmos ());
+    (* Same construction as the bench suite's rand60 — big enough that a
+       checkpoint/kill/resume cycle has something to interrupt. *)
+    ("rand60", fun () ->
+        Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
+          ~technology:Technology.Domino_cmos ());
+  ]
+
+let names = List.map fst builtin
+
+let mem name = List.mem_assoc name builtin
+
+let find name =
+  match List.assoc_opt name builtin with
+  | Some f -> Ok (f ())
+  | None ->
+      Error
+        (Fmt.str "unknown circuit %S; try one of: %s" name (String.concat ", " names))

@@ -1,0 +1,18 @@
+open Dynmos_netlist
+
+(** The built-in benchmark catalog: the named circuits every front end
+    (CLI subcommands, the serve loop) resolves requests against.
+    Constructors are lazy — a catalog entry costs nothing until
+    {!find} builds it. *)
+
+val builtin : (string * (unit -> Netlist.t)) list
+
+val names : string list
+
+val mem : string -> bool
+(** Name validity without building the circuit — the serve loop's
+    admission check. *)
+
+val find : string -> (Netlist.t, string) result
+(** Build the named circuit, or a user-facing error naming the known
+    circuits. *)

@@ -36,6 +36,38 @@ let site_label u site =
   Fmt.str "%s/class%d(%s)" site.gate.Netlist.gname site.entry.Faultlib.class_id
     (String.concat "," (List.map snd site.entry.Faultlib.members))
 
+(* Structural validation of a universe against its circuit.  The
+   constructor below always produces a valid universe, but the record is
+   public (tests and future front-ends can assemble or slice one by
+   hand), and a broken universe — stale sid, site pointing outside the
+   circuit, the same fault class injected twice at one gate — used to
+   surface only as confusing kernel behavior deep inside an engine.
+   Fail at construction time with a named error instead. *)
+let validate_universe u =
+  let n_gates = Compiled.n_gates u.compiled in
+  let seen = Hashtbl.create (Array.length u.sites) in
+  Array.iteri
+    (fun i s ->
+      if s.sid <> i then
+        invalid_arg
+          (Fmt.str "Faultsim.universe: site at index %d carries sid %d (sids must be dense)" i
+             s.sid);
+      let gid = s.gate.Netlist.id in
+      if gid < 0 || gid >= n_gates then
+        invalid_arg
+          (Fmt.str
+             "Faultsim.universe: site %d references gate id %d outside the circuit (%d gates)"
+             i gid n_gates);
+      let key = (gid, s.entry.Faultlib.class_id) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Fmt.str
+             "Faultsim.universe: duplicate fault site (gate %d %S, class %d) — each \
+              function class may be injected once per gate"
+             gid s.gate.Netlist.gname s.entry.Faultlib.class_id);
+      Hashtbl.add seen key ())
+    u.sites
+
 let universe ?electrical netlist =
   let compiled = Compiled.compile netlist in
   let libraries =
@@ -75,7 +107,35 @@ let universe ?electrical netlist =
           incr sid)
         (Hashtbl.find per_cell (Cell.name g.Netlist.cell)))
     (Netlist.gate_array netlist);
-  { compiled; sites = Array.of_list (List.rev !sites); libraries }
+  let u = { compiled; sites = Array.of_list (List.rev !sites); libraries } in
+  validate_universe u;
+  u
+
+(* Sub-universe over a gate subset (the serve protocol's "gates" field):
+   sites are filtered and renumbered densely so every engine works on the
+   result unchanged.  Out-of-range and duplicate gate ids are user input
+   at the server boundary — named errors, never asserts. *)
+let restrict_universe u ~gates =
+  let n_gates = Compiled.n_gates u.compiled in
+  let wanted = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if g < 0 || g >= n_gates then
+        invalid_arg
+          (Fmt.str "Faultsim.restrict_universe: gate id %d out of range (circuit has %d gates)"
+             g n_gates);
+      if Hashtbl.mem wanted g then
+        invalid_arg (Fmt.str "Faultsim.restrict_universe: duplicate gate id %d" g);
+      Hashtbl.add wanted g ())
+    gates;
+  let kept =
+    Array.to_list u.sites
+    |> List.filter (fun s -> Hashtbl.mem wanted s.gate.Netlist.id)
+    |> List.mapi (fun i s -> { s with sid = i })
+  in
+  let u' = { u with sites = Array.of_list kept } in
+  validate_universe u';
+  u'
 
 let n_sites u = Array.length u.sites
 

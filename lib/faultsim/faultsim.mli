@@ -29,6 +29,19 @@ val universe : ?electrical:Fault_map.electrical -> Netlist.t -> universe
 (** Build the fault universe (one site per gate per detectable function
     class; libraries generated once per distinct cell). *)
 
+val validate_universe : universe -> unit
+(** Structural validation against the circuit: sids must be dense array
+    indices, every site's gate id must exist in the compiled circuit, and
+    no (gate, function class) pair may appear twice.  Raises
+    [Invalid_argument] with a named description of the first violation.
+    {!universe} and {!restrict_universe} validate their results; call
+    this yourself when assembling or slicing a universe by hand. *)
+
+val restrict_universe : universe -> gates:int list -> universe
+(** The sub-universe containing only the fault sites of the listed gate
+    ids, renumbered densely (every engine accepts the result unchanged).
+    Raises [Invalid_argument] on out-of-range or duplicate gate ids. *)
+
 val n_sites : universe -> int
 
 val site_label : universe -> site -> string

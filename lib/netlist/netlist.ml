@@ -107,7 +107,12 @@ module Builder = struct
               Hashtbl.replace level net l;
               order := (p, l) :: !order;
               l
-          | Some `Input | None -> assert false)
+          | Some `Input ->
+              (* Primary inputs are pre-seeded in [level]; reaching here
+                 means the driver and level tables disagree about [net] —
+                 report which net instead of dying on an assertion. *)
+              invalid "input net %s missing from the level table" net
+          | None -> invalid "net %s is undriven" net)
     in
     List.iter (fun p -> ignore (visit_net p.poutput)) pending;
     let ordered = List.rev !order in

@@ -42,6 +42,18 @@ val memory_sink : unit -> sink * (unit -> event list)
     the events emitted so far, in emission order.  For [--stats]
     summaries and tests. *)
 
+val bounded_memory_sink :
+  capacity:int -> sink * (unit -> event list) * (unit -> int)
+(** Ring-buffer variant of {!memory_sink} for long-lived processes: at
+    most [capacity] events are retained, the oldest overwritten first.
+    Returns the sink, a fetch of the retained events (at most [capacity],
+    in emission order) and the total number of events ever emitted (so a
+    caller can report how many were dropped:
+    [total () - List.length (fetch ())]).  Mutex-guarded, domain-safe.
+    Raises [Invalid_argument] when [capacity <= 0].  The server's
+    [--stats] path records into this sink so an unbounded stream of
+    requests cannot grow memory. *)
+
 val tee : sink -> sink -> sink
 (** Every event goes to both sinks. *)
 

@@ -1,0 +1,44 @@
+(** A minimal, strict, total JSON parser and printer for the serve
+    loop's line protocol.  The repo deliberately carries no JSON
+    library; this one is sized for single-line requests and hardened
+    against hostile input:
+
+    - {!parse} never raises: every malformed input — truncated values,
+      raw control bytes (including NUL), numbers too large for the
+      grammar, duplicate object keys, lone UTF-16 surrogates — returns
+      [Error] with an offset-carrying message;
+    - nesting depth is capped ({!max_depth}) so a line of ten thousand
+      ['['] characters reports an error instead of overflowing the
+      stack;
+    - numbers parse to [Int] when they are integral and fit in an OCaml
+      [int], and to [Float] otherwise (overflowing literals become
+      infinities, which field validation then rejects with a named
+      message). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** keys unique, in input order *)
+
+val max_depth : int
+(** Maximum container nesting {!parse} accepts (64). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (surrounding whitespace allowed;
+    trailing garbage is an error).  Never raises. *)
+
+val to_string : t -> string
+(** Canonical one-line encoding: strings escaped per RFC 8259,
+    non-finite floats as the strings ["nan"]/["inf"]/["-inf"] (matching
+    the obs JSONL convention, so every emitted line stays parseable). *)
+
+val type_name : t -> string
+(** ["null"], ["bool"], ["int"], ["float"], ["string"], ["array"],
+    ["object"] — for error messages. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on anything else. *)

@@ -1,0 +1,66 @@
+(** The serve loop's JSONL protocol: one request object per input line,
+    exactly one response object per line, every response carrying the
+    1-based ["line"] it answers (responses may interleave across lines —
+    immediate rejections overtake queued work — so the line number, not
+    arrival order, is the correlation key).
+
+    Requests: [{"op":"run", "circuit":"carry8", ...}] (op defaults to
+    "run"), [{"op":"stats"}], [{"op":"ping"}].  Unknown ops and unknown
+    fields are rejected by name — a typo yields an error response, never
+    silent misbehavior.  Responses: [{"line":N, "id":..., "status":S,
+    ...}] with status one of ok / partial / error / overloaded /
+    draining / pong / stats. *)
+
+type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Domains ]
+
+val engine_name : engine -> string
+
+type run = {
+  id : Json.t option;  (** echoed verbatim in the response *)
+  circuit : string;    (** validated against the catalog at admission *)
+  patterns : int;
+  seed : int;
+  engine : engine;
+  jobs : int option;   (** worker domains, [`Domains] engine only *)
+  drop : bool;
+  algo : [ `Full | `Cone ];
+  gates : int list option;
+      (** restrict the fault universe to these gate ids (validated
+          against the circuit at execution time) *)
+  deadline_s : float;
+      (** effective per-request wall budget, already capped by the
+          server's [max_seconds] *)
+  max_evals : int option;
+      (** effective per-request gate-eval budget, already capped by the
+          server's [max_request_evals] *)
+  crash_sid : int option;
+      (** fault-injection test hook: evaluation of this site id raises,
+          exercising the supervised pool's crash isolation end to end *)
+}
+
+type request =
+  | Run of run
+  | Stats of Json.t option  (** payload: the request id, echoed *)
+  | Ping of Json.t option
+
+type limits = {
+  max_patterns : int;
+  max_seconds : float;
+  max_request_evals : int option;
+}
+(** The admission caps {!parse_request} applies while validating. *)
+
+val parse_request :
+  limits:limits -> known_circuit:(string -> bool) -> string -> (request, string) result
+(** Validate one input line against the schema.  Never raises: malformed
+    JSON, a non-object, wrong field types, unknown fields or ops,
+    unknown circuits, out-of-range pattern counts / seeds / budgets all
+    return [Error] with a message naming the offending field. *)
+
+val request_id : request -> Json.t option
+
+val response :
+  line:int -> ?id:Json.t -> status:string -> (string * Json.t) list -> string
+(** One response line (no trailing newline): [{"line":N, "id":...,
+    "status":S, <fields>}]; ["id"] is omitted when the request carried
+    none. *)

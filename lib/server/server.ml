@@ -1,0 +1,543 @@
+open Dynmos_netlist
+open Dynmos_sim
+open Dynmos_faultsim
+open Dynmos_circuits
+module Obs = Dynmos_obs.Obs
+
+(* The serve loop.  Two domains per [serve] call: the caller's domain
+   reads and validates lines (admission), a spawned executor domain runs
+   admitted jobs.  All cross-domain state is either atomic counters or
+   guarded by a single queue mutex; responses from both sides funnel
+   through one writer mutex so lines never interleave.
+
+   The executor's idle wait is a short sleep-poll rather than a condition
+   variable: the drain signal arrives from a Unix signal handler, which
+   must not take locks, and a 2 ms poll on an idle server is cheaper than
+   the deadlock analysis of signaling a condvar from a handler. *)
+
+type config = {
+  queue_capacity : int;
+  max_patterns : int;
+  max_seconds : float;
+  max_request_evals : int option;
+  global_max_evals : int option;
+  max_line_bytes : int;
+  events_capacity : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    max_patterns = 1_000_000;
+    max_seconds = 60.0;
+    max_request_evals = None;
+    global_max_evals = None;
+    max_line_bytes = 1_048_576;
+    events_capacity = 1024;
+  }
+
+(* --- Counters ----------------------------------------------------------------- *)
+
+type counters = {
+  lines : int Atomic.t;
+  accepted : int Atomic.t;
+  completed_ok : int Atomic.t;
+  completed_partial : int Atomic.t;
+  failed : int Atomic.t;            (* jobs answered with status "error" *)
+  rejected_invalid : int Atomic.t;
+  rejected_overload : int Atomic.t;
+  rejected_draining : int Atomic.t;
+  rejected_budget : int Atomic.t;
+}
+
+let make_counters () =
+  {
+    lines = Atomic.make 0;
+    accepted = Atomic.make 0;
+    completed_ok = Atomic.make 0;
+    completed_partial = Atomic.make 0;
+    failed = Atomic.make 0;
+    rejected_invalid = Atomic.make 0;
+    rejected_overload = Atomic.make 0;
+    rejected_draining = Atomic.make 0;
+    rejected_budget = Atomic.make 0;
+  }
+
+type t = {
+  config : config;
+  counters : counters;
+  obs : Obs.t;
+  fetch_events : unit -> Obs.event list;
+  total_events : unit -> int;
+  cache : (string, Faultsim.universe) Hashtbl.t;
+  cache_m : Mutex.t;
+  global_evals : int Atomic.t;  (* gate evaluations spent across all requests *)
+  t0 : float;
+}
+
+let create ?(config = default_config) ?trace () =
+  let bad what n =
+    invalid_arg (Printf.sprintf "Server.create: %s must be positive (got %d)" what n)
+  in
+  if config.queue_capacity < 1 then bad "queue_capacity" config.queue_capacity;
+  if config.max_patterns < 0 then bad "max_patterns" config.max_patterns;
+  if not (config.max_seconds > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Server.create: max_seconds must be positive (got %g)" config.max_seconds);
+  (match config.max_request_evals with Some n when n < 1 -> bad "max_request_evals" n | _ -> ());
+  (match config.global_max_evals with Some n when n < 1 -> bad "global_max_evals" n | _ -> ());
+  if config.max_line_bytes < 2 then bad "max_line_bytes" config.max_line_bytes;
+  if config.events_capacity < 1 then bad "events_capacity" config.events_capacity;
+  let ring, fetch_events, total_events =
+    Obs.bounded_memory_sink ~capacity:config.events_capacity
+  in
+  let sink = match trace with None -> ring | Some s -> Obs.tee ring s in
+  {
+    config;
+    counters = make_counters ();
+    obs = Obs.make sink;
+    fetch_events;
+    total_events;
+    cache = Hashtbl.create 8;
+    cache_m = Mutex.create ();
+    global_evals = Atomic.make 0;
+    t0 = Obs.now ();
+  }
+
+let obs t = t.obs
+
+let limits t =
+  {
+    Protocol.max_patterns = t.config.max_patterns;
+    max_seconds = t.config.max_seconds;
+    max_request_evals = t.config.max_request_evals;
+  }
+
+(* Universe construction is deterministic per circuit name, so one build
+   serves every request; the mutex covers concurrent first requests from
+   the admission and executor sides of different connections. *)
+let universe_of t name =
+  Mutex.lock t.cache_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cache_m)
+    (fun () ->
+      match Hashtbl.find_opt t.cache name with
+      | Some u -> u
+      | None ->
+          let nl =
+            match Catalog.find name with
+            | Ok nl -> nl
+            | Error e -> failwith e  (* admission already validated; belt and braces *)
+          in
+          let u = Faultsim.universe nl in
+          Hashtbl.add t.cache name u;
+          u)
+
+(* --- Stats -------------------------------------------------------------------- *)
+
+let stats_line t ~queue_depth =
+  let c = t.counters in
+  let buffered = List.length (t.fetch_events ()) in
+  let opt_budget = function None -> Json.Null | Some n -> Json.Int n in
+  [
+    ("uptime_s", Json.Float (Obs.now () -. t.t0));
+    ("lines", Json.Int (Atomic.get c.lines));
+    ("accepted", Json.Int (Atomic.get c.accepted));
+    ("ok", Json.Int (Atomic.get c.completed_ok));
+    ("partial", Json.Int (Atomic.get c.completed_partial));
+    ("failed", Json.Int (Atomic.get c.failed));
+    ("rejected_invalid", Json.Int (Atomic.get c.rejected_invalid));
+    ("rejected_overload", Json.Int (Atomic.get c.rejected_overload));
+    ("rejected_draining", Json.Int (Atomic.get c.rejected_draining));
+    ("rejected_budget", Json.Int (Atomic.get c.rejected_budget));
+    ("queue_depth", Json.Int queue_depth);
+    ("queue_capacity", Json.Int t.config.queue_capacity);
+    ("global_evals_used", Json.Int (Atomic.get t.global_evals));
+    ("global_evals_budget", opt_budget t.config.global_max_evals);
+    ("events_buffered", Json.Int buffered);
+    ("events_total", Json.Int (t.total_events ()));
+    ("circuits_cached", Json.Int (Hashtbl.length t.cache));
+  ]
+
+(* --- Bounded pending queue ----------------------------------------------------- *)
+
+module Pending = struct
+  type 'a t = {
+    m : Mutex.t;
+    items : 'a Queue.t;
+    cap : int;
+    mutable accepting : bool;
+  }
+
+  let create cap = { m = Mutex.create (); items = Queue.create (); cap; accepting = true }
+
+  let with_lock q f =
+    Mutex.lock q.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock q.m) f
+
+  let push q x =
+    with_lock q (fun () ->
+        if not q.accepting then `Closed
+        else if Queue.length q.items >= q.cap then `Full
+        else begin
+          Queue.add x q.items;
+          `Ok (Queue.length q.items)
+        end)
+
+  let pop q = with_lock q (fun () -> Queue.take_opt q.items)
+  let depth q = with_lock q (fun () -> Queue.length q.items)
+
+  (* The drain handshake: flipping [accepting] and observing emptiness
+     happen under one lock, so once this returns true no job can ever be
+     admitted again — a reader mid-push gets [`Closed] and answers
+     "draining". *)
+  let close_if_empty q =
+    with_lock q (fun () ->
+        let empty = Queue.is_empty q.items in
+        if empty then q.accepting <- false;
+        empty)
+end
+
+(* --- Job execution -------------------------------------------------------------- *)
+
+type job = { line_no : int; run : Protocol.run }
+
+(* Gate evaluations a finished run actually performed, read back from the
+   engine's own faultsim.run event (the deductive/concurrent engines
+   report kernel evals; the injection engines report gate_evals).  This
+   is what the global budget is charged with. *)
+let gate_evals_of_events events =
+  List.fold_left
+    (fun acc e ->
+      if e.Obs.ev <> "faultsim.run" then acc
+      else
+        let get k =
+          match List.assoc_opt k e.Obs.fields with Some (Obs.Int n) -> Some n | _ -> None
+        in
+        acc + (match get "gate_evals" with Some n -> n | None -> Option.value ~default:0 (get "evals")))
+    0 events
+
+let stop_cause_field (p : Outcome.partial) =
+  match p.Outcome.stopped with
+  | Some c -> Outcome.stop_cause_name c
+  | None -> "site_failures"
+
+exception Reject of string
+
+let exec_job t job =
+  let r = job.run in
+  (* Global budget: admission control against a server-wide spend.  The
+     check sits at execution time because the budget moves between
+     admission and execution of queued work. *)
+  let global_remaining =
+    match t.config.global_max_evals with
+    | None -> None
+    | Some budget ->
+        let remaining = budget - Atomic.get t.global_evals in
+        if remaining <= 0 then begin
+          Atomic.incr t.counters.rejected_budget;
+          raise (Reject "global gate-evaluation budget exhausted")
+        end;
+        Some remaining
+  in
+  let u = universe_of t r.Protocol.circuit in
+  let u =
+    match r.Protocol.gates with
+    | None -> u
+    | Some gates -> Faultsim.restrict_universe u ~gates  (* Invalid_argument on bad ids *)
+  in
+  let n_sites = Faultsim.n_sites u in
+  (match r.Protocol.crash_sid with
+  | Some sid when sid >= n_sites ->
+      raise
+        (Reject
+           (Printf.sprintf "field \"crash_sid\": site id %d out of range (%d sites)" sid n_sites))
+  | _ -> ());
+  let crash_hook =
+    Option.map
+      (fun sid jid ->
+        if jid = sid then failwith (Printf.sprintf "injected crash at site %d" sid))
+      r.Protocol.crash_sid
+  in
+  let nl = Compiled.netlist u.Faultsim.compiled in
+  let prng = Dynmos_util.Prng.create r.Protocol.seed in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(List.length (Netlist.inputs nl))
+      ~count:r.Protocol.patterns
+  in
+  let deadline = Obs.now () +. r.Protocol.deadline_s in
+  let max_evals =
+    match (r.Protocol.max_evals, global_remaining) with
+    | None, None -> None
+    | Some n, None -> Some n
+    | None, Some g -> Some g
+    | Some n, Some g -> Some (min n g)
+  in
+  (* Each job records into a private memory sink so its gate-eval spend
+     can be read back; the events are forwarded to the server recorder
+     afterwards, so traces carry the engine events too. *)
+  let mem, fetch = Obs.memory_sink () in
+  let job_obs = Obs.make mem in
+  let drop = r.Protocol.drop in
+  let algo = r.Protocol.algo in
+  let t0 = Obs.now () in
+  let summary =
+    match r.Protocol.engine with
+    | `Serial ->
+        Faultsim.run_serial ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
+    | `Parallel ->
+        Faultsim.run_parallel ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
+    | `Deductive -> Faultsim.run_deductive ~drop ~obs:job_obs ~deadline ?max_evals u pats
+    | `Concurrent -> Faultsim.run_concurrent ~drop ~obs:job_obs ~deadline ?max_evals u pats
+    | `Domains ->
+        Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
+          ~deadline ?max_evals ?crash_hook u pats
+  in
+  let dt = Obs.now () -. t0 in
+  let events = fetch () in
+  let evals = gate_evals_of_events events in
+  ignore (Atomic.fetch_and_add t.global_evals evals);
+  (* Forward the engine events into the server trace/ring. *)
+  if Obs.enabled t.obs then
+    List.iter (fun e -> Obs.emit t.obs ~ev:e.Obs.ev e.Obs.fields) events;
+  (summary, dt, evals, n_sites)
+
+let job_response t job =
+  let r = job.run in
+  let base_fields summary dt evals n_sites =
+    [
+      ("circuit", Json.String r.Protocol.circuit);
+      ("engine", Json.String (Protocol.engine_name r.Protocol.engine));
+      ("sites", Json.Int n_sites);
+      ("patterns", Json.Int r.Protocol.patterns);
+      ("detected", Json.Int (Faultsim.n_detected summary));
+      ("coverage", Json.Float (Faultsim.coverage summary));
+      ("dt_s", Json.Float dt);
+      ("gate_evals", Json.Int evals);
+    ]
+  in
+  let respond ~status fields =
+    (status, Protocol.response ~line:job.line_no ?id:r.Protocol.id ~status fields)
+  in
+  match exec_job t job with
+  | summary, dt, evals, n_sites -> (
+      match summary.Faultsim.outcome with
+      | Outcome.Complete -> respond ~status:"ok" (base_fields summary dt evals n_sites)
+      | Outcome.Partial p ->
+          let failed =
+            List.map
+              (fun (sid, msg) ->
+                Json.Obj [ ("sid", Json.Int sid); ("error", Json.String msg) ])
+              p.Outcome.failed_sites
+          in
+          respond ~status:"partial"
+            (base_fields summary dt evals n_sites
+            @ [
+                ("cause", Json.String (stop_cause_field p));
+                ("patterns_done", Json.Int summary.Faultsim.patterns_done);
+                ("sites_done", Json.Int summary.Faultsim.sites_done);
+                ("coverage_of_done", Json.Float (Faultsim.coverage_of_done summary));
+                ("failed_sites", Json.List failed);
+              ]))
+  | exception Reject msg ->
+      respond ~status:"error" [ ("error", Json.String msg) ]
+  | exception (Invalid_argument msg | Failure msg) ->
+      respond ~status:"error" [ ("error", Json.String msg) ]
+  | exception exn ->
+      (* The supervised pool isolates per-site crashes; anything that
+         still lands here (a bug in an engine, Out_of_memory on an
+         absurd workload) is reported on the request's line and the
+         loop keeps serving. *)
+      respond ~status:"error" [ ("error", Json.String (Printexc.to_string exn)) ]
+
+(* --- The serve loop -------------------------------------------------------------- *)
+
+type stop = [ `Eof | `Drained ]
+
+(* Best-effort id salvage for schema-level rejections: when the line is
+   well-formed JSON with an "id", echo it so the client can correlate
+   without relying on line numbers. *)
+let salvage_id line =
+  match Json.parse line with Ok obj -> Json.member "id" obj | Error _ -> None
+
+let admit t q ~write ~line_no line =
+  let c = t.counters in
+  Atomic.incr c.lines;
+  let reject reason msg id =
+    (match reason with
+    | `Invalid -> Atomic.incr c.rejected_invalid
+    | `Overloaded -> Atomic.incr c.rejected_overload
+    | `Draining -> Atomic.incr c.rejected_draining);
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~ev:"serve.reject"
+        [
+          ("line", Obs.Int line_no);
+          ( "reason",
+            Obs.String
+              (match reason with
+              | `Invalid -> "invalid"
+              | `Overloaded -> "overloaded"
+              | `Draining -> "draining") );
+        ];
+    let status = match reason with
+      | `Invalid -> "error"
+      | `Overloaded -> "overloaded"
+      | `Draining -> "draining"
+    in
+    let fields =
+      match reason with
+      | `Overloaded ->
+          [
+            ("error", Json.String msg);
+            ("queue_depth", Json.Int (Pending.depth q));
+            ("queue_capacity", Json.Int t.config.queue_capacity);
+          ]
+      | _ -> [ ("error", Json.String msg) ]
+    in
+    write (Protocol.response ~line:line_no ?id ~status fields)
+  in
+  if String.length line > t.config.max_line_bytes then
+    reject `Invalid
+      (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes)
+      None
+  else
+    match Protocol.parse_request ~limits:(limits t) ~known_circuit:Catalog.mem line with
+    | Error msg -> reject `Invalid msg (salvage_id line)
+    | Ok (Protocol.Ping id) ->
+        write (Protocol.response ~line:line_no ?id ~status:"pong" [])
+    | Ok (Protocol.Stats id) ->
+        write
+          (Protocol.response ~line:line_no ?id ~status:"stats"
+             (stats_line t ~queue_depth:(Pending.depth q)))
+    | Ok (Protocol.Run run) -> (
+        match Pending.push q { line_no; run } with
+        | `Ok depth ->
+            Atomic.incr c.accepted;
+            if Obs.enabled t.obs then
+              Obs.emit t.obs ~ev:"serve.accept"
+                [
+                  ("line", Obs.Int line_no);
+                  ("circuit", Obs.String run.Protocol.circuit);
+                  ("engine", Obs.String (Protocol.engine_name run.Protocol.engine));
+                  ("queue_depth", Obs.Int depth);
+                ]
+        | `Full ->
+            reject `Overloaded
+              (Printf.sprintf "pending queue full (%d requests)" t.config.queue_capacity)
+              run.Protocol.id
+        | `Closed -> reject `Draining "server is draining; request not admitted" run.Protocol.id)
+
+let serve t ?(drain = fun () -> false) ~input ~output () =
+  let out_m = Mutex.create () in
+  let write line =
+    Mutex.lock out_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock out_m) (fun () -> output line)
+  in
+  let q = Pending.create t.config.queue_capacity in
+  let eof = Atomic.make false in
+  let reader_done = Atomic.make false in
+  let reader () =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set eof true;
+        Atomic.set reader_done true)
+      (fun () ->
+        let line_no = ref 0 in
+        let continue = ref true in
+        while !continue && not (drain ()) do
+          match input () with
+          | None -> continue := false
+          | Some line ->
+              incr line_no;
+              admit t q ~write ~line_no:!line_no line
+        done)
+  in
+  let reader_dom = Domain.spawn reader in
+  let rec exec_loop () =
+    match Pending.pop q with
+    | Some job ->
+        let status, resp = job_response t job in
+        (match status with
+        | "ok" -> Atomic.incr t.counters.completed_ok
+        | "partial" -> Atomic.incr t.counters.completed_partial
+        | _ -> Atomic.incr t.counters.failed);
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~ev:"serve.request"
+            [
+              ("line", Obs.Int job.line_no);
+              ("circuit", Obs.String job.run.Protocol.circuit);
+              ("status", Obs.String status);
+            ];
+        write resp;
+        exec_loop ()
+    | None ->
+        if (Atomic.get eof || drain ()) && Pending.close_if_empty q then ()
+        else begin
+          Unix.sleepf 0.002;
+          exec_loop ()
+        end
+  in
+  exec_loop ();
+  (* Give an actively-admitting reader a moment to finish its current
+     line; a reader parked in a blocking [input] is left behind — the
+     process exit reaps its domain (nothing of ours is in flight). *)
+  let patience = Obs.now () +. 0.5 in
+  while (not (Atomic.get reader_done)) && Obs.now () < patience do
+    Unix.sleepf 0.005
+  done;
+  if Atomic.get reader_done then Domain.join reader_dom;
+  let stop : stop = if drain () then `Drained else `Eof in
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~ev:"serve.drain"
+      [
+        ("reason", Obs.String (match stop with `Eof -> "eof" | `Drained -> "signal"));
+        ("lines", Obs.Int (Atomic.get t.counters.lines));
+        ("accepted", Obs.Int (Atomic.get t.counters.accepted));
+      ];
+  stop
+
+let serve_channels t ?drain ic oc =
+  let input () =
+    match input_line ic with
+    | line -> Some line
+    | exception (End_of_file | Sys_error _) -> None
+  in
+  let output line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  serve t ?drain ~input ~output ()
+
+let serve_socket t ?(drain = fun () -> false) path =
+  (if Sys.file_exists path then
+     match (Unix.lstat path).Unix.st_kind with
+     | Unix.S_SOCK -> Unix.unlink path
+     | _ ->
+         invalid_arg
+           (Printf.sprintf "Server.serve_socket: %s exists and is not a socket" path));
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let continue = ref true in
+      while !continue && not (drain ()) do
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()  (* signal: recheck drain *)
+        | fd, _ ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            (* A client hanging up mid-response must not kill the
+               accept loop: absorb I/O failures, close, move on. *)
+            (match serve_channels t ~drain ic oc with
+            | (_ : stop) -> ()
+            | exception (Sys_error _ | Unix.Unix_error _) ->
+                Obs.emit t.obs ~ev:"serve.connection_error" []);
+            (try close_out_noerr oc with _ -> ());
+            (try close_in_noerr ic with _ -> ())
+      done)

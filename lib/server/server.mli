@@ -1,0 +1,92 @@
+open Dynmos_obs
+
+(** [dynmos serve] — a long-lived, crash-isolated batch front end over
+    the fault-simulation engines.
+
+    One JSONL request per input line, exactly one JSONL response per
+    request line (see {!Protocol}).  The loop is built not to die:
+
+    - {e validation}: malformed JSON, schema violations, unknown
+      circuits and out-of-range ids yield [{"status":"error", ...}]
+      responses, never an exception escaping the loop;
+    - {e isolation}: jobs run on the supervised engines with a
+      per-request wall-clock deadline and gate-eval budget (capped by
+      the server {!config}), so one hung or crashing request is reported
+      [partial]/[error] while the server keeps serving;
+    - {e admission control}: run requests pass through a bounded pending
+      queue; once full, new work is rejected immediately with
+      [{"status":"overloaded"}] — backpressure instead of unbounded
+      memory.  An optional global gate-eval budget rejects work once
+      exhausted;
+    - {e graceful drain}: when the [drain] callback turns true (the
+      CLI's first SIGTERM/SIGINT), admission stops ([{"status":
+      "draining"}] for lines still read), queued and in-flight jobs
+      finish under their per-request limits, the obs trace is flushed,
+      and {!serve} returns [`Drained].
+
+    Execution runs on a dedicated domain while the caller's domain reads
+    input, so a slow job never stops admission (and rejections can
+    overtake earlier jobs' responses — correlate by ["line"]). *)
+
+type config = {
+  queue_capacity : int;        (** pending run requests before [overloaded] (default 64) *)
+  max_patterns : int;          (** per-request pattern-count cap (default 1_000_000) *)
+  max_seconds : float;         (** per-request wall-clock cap and default deadline
+                                   (default 60.) — also bounds drain time *)
+  max_request_evals : int option;  (** per-request gate-eval cap and default budget *)
+  global_max_evals : int option;   (** whole-server gate-eval budget; once spent,
+                                       run requests are rejected *)
+  max_line_bytes : int;        (** request lines longer than this are rejected (default 1 MiB) *)
+  events_capacity : int;       (** ring size of the bounded in-memory obs sink
+                                   backing the [stats] op (default 1024) *)
+}
+
+val default_config : config
+
+type t
+(** Server state shared across connections: config, counters, the
+    compiled-universe cache and the obs recorder (a
+    {!Obs.bounded_memory_sink} of [events_capacity] events, teed with
+    the optional trace sink). *)
+
+val create : ?config:config -> ?trace:Obs.sink -> unit -> t
+(** Raises [Invalid_argument] on a nonsensical config (non-positive
+    capacities, limits or line bound). *)
+
+val obs : t -> Obs.t
+(** The server's recorder — serve-loop lifecycle events
+    ([serve.accept], [serve.reject], [serve.request], [serve.drain])
+    and every engine's [faultsim.run] events flow through it. *)
+
+val stats_line : t -> queue_depth:int -> (string * Json.t) list
+(** The fields of a [stats] response: uptime, per-status counters, queue
+    and budget state, obs-ring occupancy.  Exposed for the CLI and
+    tests. *)
+
+type stop = [ `Eof | `Drained ]
+
+val serve :
+  t ->
+  ?drain:(unit -> bool) ->
+  input:(unit -> string option) ->
+  output:(string -> unit) ->
+  unit ->
+  stop
+(** Serve until [input] returns [None] ([`Eof]) or [drain] turns true
+    ([`Drained]); both paths finish all admitted work before returning.
+    [input] yields one line (no newline) per call; [output] receives one
+    complete response line (no newline) per call and may be called from
+    two domains (calls are serialized by the server).  Never raises on
+    request content; it does propagate [output] failures (a dead client
+    pipe) after which the caller owns cleanup. *)
+
+val serve_channels : t -> ?drain:(unit -> bool) -> in_channel -> out_channel -> stop
+(** {!serve} over channels: flushed line-buffered responses; EOF and
+    read errors on [ic] end the loop as [`Eof]. *)
+
+val serve_socket : t -> ?drain:(unit -> bool) -> string -> unit
+(** Listen on a Unix-domain socket at the given path (an existing
+    {e socket} file is replaced; any other file kind is refused) and
+    serve connections sequentially until [drain] turns true.  A
+    connection dying mid-response is absorbed: the loop accepts the next
+    client.  The socket file is unlinked on return. *)

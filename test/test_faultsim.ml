@@ -347,6 +347,75 @@ let test_random_patterns_validation () =
   check "p=0 always false / p=1 always true" true
     (Array.for_all (fun p -> (not p.(0)) && p.(1)) pats)
 
+(* --- Universe validation and restriction ------------------------------------ *)
+
+let invalid_msg f =
+  match f () with
+  | exception Invalid_argument msg -> msg
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* [validate_universe] catches hand-assembled universes that would make
+   the engines index out of bounds or double-count detections. *)
+let test_validate_universe () =
+  let u = Faultsim.universe (Generators.c17 ~style:`Domino ()) in
+  Faultsim.validate_universe u;  (* the constructor's output is valid *)
+  let copy () = { u with Faultsim.sites = Array.map Fun.id u.Faultsim.sites } in
+  (* non-dense sid *)
+  let broken = copy () in
+  broken.Faultsim.sites.(0) <- { broken.Faultsim.sites.(0) with Faultsim.sid = 5 };
+  let msg = invalid_msg (fun () -> Faultsim.validate_universe broken) in
+  check "names the sid" true (contains msg "sid");
+  (* duplicate (gate, class) pair — sids stay dense *)
+  let broken = copy () in
+  broken.Faultsim.sites.(1) <- { broken.Faultsim.sites.(0) with Faultsim.sid = 1 };
+  let msg = invalid_msg (fun () -> Faultsim.validate_universe broken) in
+  check "names the duplicate site" true (contains msg "duplicate");
+  (* gate id outside the compiled circuit *)
+  let broken = copy () in
+  let s0 = broken.Faultsim.sites.(0) in
+  broken.Faultsim.sites.(0) <-
+    { s0 with Faultsim.gate = { s0.Faultsim.gate with Netlist.id = 99 } };
+  let msg = invalid_msg (fun () -> Faultsim.validate_universe broken) in
+  check "names the gate id" true (contains msg "gate")
+
+let test_restrict_universe () =
+  let nl = Generators.c17 ~style:`Domino () in
+  let u = Faultsim.universe nl in
+  let gates = [ 0; 2 ] in
+  let ru = Faultsim.restrict_universe u ~gates in
+  check "fewer sites" true (Faultsim.n_sites ru < Faultsim.n_sites u);
+  check "only the listed gates" true
+    (Array.for_all (fun s -> List.mem s.Faultsim.gate.Netlist.id gates) ru.Faultsim.sites);
+  (* result is valid by construction: dense sids, in-range gates *)
+  Faultsim.validate_universe ru;
+  (* detections on the sub-universe match the corresponding sites of a
+     full-universe run, pattern for pattern *)
+  let prng = Prng.create 7 in
+  let pats =
+    Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count:32
+  in
+  let full = Faultsim.run_serial ~drop:false u pats in
+  let sub = Faultsim.run_serial ~drop:false ru pats in
+  Array.iter
+    (fun s ->
+      let key s = (s.Faultsim.gate.Netlist.id, s.Faultsim.entry.Faultlib.class_id) in
+      let orig =
+        Array.to_list u.Faultsim.sites |> List.find (fun o -> key o = key s)
+      in
+      check "restricted detection matches full run" true
+        (sub.Faultsim.first_detection.(s.Faultsim.sid)
+        = full.Faultsim.first_detection.(orig.Faultsim.sid)))
+    ru.Faultsim.sites;
+  (* bad gate lists are named errors *)
+  check "out-of-range gate raises" true
+    (raises_invalid (fun () -> Faultsim.restrict_universe u ~gates:[ 0; 99 ]));
+  check "negative gate raises" true
+    (raises_invalid (fun () -> Faultsim.restrict_universe u ~gates:[ -1 ]));
+  check "duplicate gate raises" true
+    (raises_invalid (fun () -> Faultsim.restrict_universe u ~gates:[ 1; 1 ]));
+  check "empty restriction is legal" true
+    (Faultsim.n_sites (Faultsim.restrict_universe u ~gates:[]) = 0)
+
 (* --- Observability ---------------------------------------------------------- *)
 
 module Obs = Dynmos_obs.Obs
@@ -1010,6 +1079,8 @@ let () =
           Alcotest.test_case "fig9 sites" `Quick test_universe_fig9;
           Alcotest.test_case "library sharing" `Quick test_universe_shares_libraries;
           Alcotest.test_case "single detection" `Quick test_detects;
+          Alcotest.test_case "structural validation" `Quick test_validate_universe;
+          Alcotest.test_case "gate restriction" `Quick test_restrict_universe;
         ] );
       ( "engines",
         [

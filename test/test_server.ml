@@ -1,0 +1,436 @@
+open Dynmos_server
+open Dynmos_faultsim
+open Dynmos_circuits
+module Obs = Dynmos_obs.Obs
+
+(* Tests for the serve loop: the strict JSON parser, request validation,
+   and the end-to-end robustness contract — a request can be malformed,
+   crashing, over budget or rejected for overload, and the loop answers
+   every line exactly once and keeps serving. *)
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+(* --- Helpers ------------------------------------------------------------------ *)
+
+(* Run a server over an in-memory line list; returns (stop, responses). *)
+let run_server ?config ?drain lines =
+  let t = Server.create ?config () in
+  let remaining = ref lines in
+  let read = ref 0 in
+  let input () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        incr read;
+        Some l
+  in
+  let m = Mutex.create () in
+  let out = ref [] in
+  let output s =
+    Mutex.lock m;
+    out := s :: !out;
+    Mutex.unlock m
+  in
+  let drain = match drain with None -> None | Some f -> Some (fun () -> f !read) in
+  let stop = Server.serve t ?drain ~input ~output () in
+  (stop, List.rev !out, !read)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "response is not valid JSON: %s (%s)" s e
+
+let field name resp =
+  match Json.member name (parse_ok resp) with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name resp
+
+let status resp = match field "status" resp with Json.String s -> s | _ -> "?"
+let line_of resp = match field "line" resp with Json.Int n -> n | _ -> -1
+
+(* The response answering input line [n]. *)
+let response_for n resps =
+  match List.find_opt (fun r -> line_of r = n) resps with
+  | Some r -> r
+  | None -> Alcotest.failf "no response for line %d" n
+
+let small_config =
+  {
+    Server.default_config with
+    Server.max_patterns = 4096;
+    max_seconds = 30.0;
+  }
+
+(* --- JSON parser ---------------------------------------------------------------- *)
+
+let test_json_values () =
+  let ok s v = Alcotest.(check bool) s true (Json.parse s = Ok v) in
+  ok "null" Json.Null;
+  ok "true" (Json.Bool true);
+  ok "42" (Json.Int 42);
+  ok "-17" (Json.Int (-17));
+  ok "1.5" (Json.Float 1.5);
+  ok "1e3" (Json.Float 1000.0);
+  ok "\"a\"" (Json.String "a");
+  ok "[1,2]" (Json.List [ Json.Int 1; Json.Int 2 ]);
+  ok "{\"a\":1}" (Json.Obj [ ("a", Json.Int 1) ]);
+  ok " { \"a\" : [ true , null ] } "
+    (Json.Obj [ ("a", Json.List [ Json.Bool true; Json.Null ]) ]);
+  (* escapes, including a surrogate pair *)
+  check "escape" true
+    (Json.parse "\"a\\n\\u0041\\ud83d\\ude00\"" = Ok (Json.String "a\nA\xf0\x9f\x98\x80"))
+
+let test_json_errors () =
+  let bad s = check s true (Result.is_error (Json.parse s)) in
+  bad "";
+  bad "{";
+  bad "[1,";
+  bad "{\"a\":}";
+  bad "tru";
+  bad "01";
+  bad "1.";
+  bad "- 1";
+  bad "\"unterminated";
+  bad "\"\x00\"";  (* raw NUL in a string *)
+  bad "\"\\ud83d\"";  (* lone high surrogate *)
+  bad "\"\\udc00\"";  (* lone low surrogate *)
+  bad "{\"a\":1,\"a\":2}";  (* duplicate key *)
+  bad "{} extra";
+  bad "nullx";
+  (* deep nesting must be a clean error, not a stack overflow *)
+  bad (String.make 100000 '[');
+  (* huge integer literals degrade to floats; infinity itself parses *)
+  check "huge int becomes float" true
+    (match Json.parse (String.make 400 '9') with Ok (Json.Float f) -> f = infinity | _ -> false)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("n", Json.Int (-3));
+        ("f", Json.Float 0.25);
+        ("l", Json.List [ Json.Null; Json.Bool false ]);
+        ("o", Json.Obj [ ("k", Json.Int 1) ]);
+      ]
+  in
+  check "print/parse round-trip" true (Json.parse (Json.to_string v) = Ok v)
+
+(* --- Request validation --------------------------------------------------------- *)
+
+let limits =
+  { Protocol.max_patterns = 1000; max_seconds = 5.0; max_request_evals = Some 10_000 }
+
+let parse line = Protocol.parse_request ~limits ~known_circuit:Catalog.mem line
+
+let test_request_defaults () =
+  match parse {|{"circuit":"carry8"}|} with
+  | Ok (Protocol.Run r) ->
+      check_s "circuit" "carry8" r.Protocol.circuit;
+      check_i "patterns" 256 r.Protocol.patterns;
+      check_i "seed" 42 r.Protocol.seed;
+      check "engine" true (r.Protocol.engine = `Serial);
+      check "drop" true r.Protocol.drop;
+      check "deadline capped to max_seconds" true (r.Protocol.deadline_s = 5.0);
+      check "max_evals defaults to cap" true (r.Protocol.max_evals = Some 10_000)
+  | _ -> Alcotest.fail "expected a Run request"
+
+let test_request_caps () =
+  (match parse {|{"circuit":"carry8","deadline_s":100.0,"max_evals":1000000}|} with
+  | Ok (Protocol.Run r) ->
+      check "deadline capped" true (r.Protocol.deadline_s = 5.0);
+      check "evals capped" true (r.Protocol.max_evals = Some 10_000)
+  | _ -> Alcotest.fail "expected a Run request");
+  match parse {|{"circuit":"carry8","patterns":1001}|} with
+  | Error msg -> check "pattern cap named" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "over-cap patterns must be rejected"
+
+let test_request_rejections () =
+  let rejected s = check s true (Result.is_error (parse s)) in
+  rejected {|{"circuit":"carry8","patterns":-1}|};
+  rejected {|{"circuit":"unknown-thing"}|};
+  rejected {|{"patterns":10}|};  (* missing circuit *)
+  rejected {|{"circuit":"carry8","typo_field":1}|};
+  rejected {|{"op":"selfdestruct"}|};
+  rejected {|{"circuit":"carry8","engine":"warp"}|};
+  rejected {|{"circuit":"carry8","jobs":2}|};  (* jobs without domains engine *)
+  rejected {|{"circuit":"carry8","engine":"deductive","crash_sid":0}|};
+  rejected {|{"circuit":"carry8","deadline_s":0}|};
+  rejected {|{"circuit":"carry8","max_evals":0}|};
+  rejected {|{"circuit":"carry8","gates":"all"}|};
+  rejected {|[1,2,3]|};
+  rejected {|"just a string"|}
+
+(* --- End-to-end: the robustness contract ----------------------------------------- *)
+
+(* A valid job's coverage equals a standalone engine run bit-for-bit. *)
+let test_server_matches_standalone () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [ {|{"circuit":"carry8","patterns":64,"seed":42,"id":"x"}|} ]
+  in
+  check_i "one response" 1 (List.length resps);
+  let r = response_for 1 resps in
+  check_s "status" "ok" (status r);
+  let cov = match field "coverage" r with Json.Float f -> f | Json.Int n -> float_of_int n | _ -> nan in
+  let nl = match Catalog.find "carry8" with Ok nl -> nl | Error e -> Alcotest.fail e in
+  let u = Faultsim.universe nl in
+  let prng = Dynmos_util.Prng.create 42 in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(List.length (Dynmos_netlist.Netlist.inputs nl))
+      ~count:64
+  in
+  let s = Faultsim.run_serial u pats in
+  Alcotest.(check (float 0.0)) "coverage identical to standalone" (Faultsim.coverage s) cov
+
+(* A crash-injected request and a past-deadline request are reported
+   partial; a subsequent valid request on the same server instance is
+   untouched. *)
+let test_crash_and_deadline_isolated () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [
+        {|{"circuit":"carry8","patterns":64,"crash_sid":0,"id":"crash"}|};
+        {|{"circuit":"rand20","patterns":512,"deadline_s":1e-9,"id":"late"}|};
+        {|{"circuit":"carry8","patterns":64,"id":"after"}|};
+      ]
+  in
+  check_i "three responses" 3 (List.length resps);
+  let crash = response_for 1 resps in
+  check_s "crash partial" "partial" (status crash);
+  (match field "cause" crash with
+  | Json.String c -> check_s "crash cause" "site_failures" c
+  | _ -> Alcotest.fail "missing cause");
+  (match field "failed_sites" crash with
+  | Json.List [ Json.Obj fields ] ->
+      check "failed site 0" true (List.assoc_opt "sid" fields = Some (Json.Int 0))
+  | _ -> Alcotest.fail "expected one failed site");
+  let late = response_for 2 resps in
+  check_s "deadline partial" "partial" (status late);
+  (match field "cause" late with
+  | Json.String c -> check_s "deadline cause" "deadline" c
+  | _ -> Alcotest.fail "missing cause");
+  let after = response_for 3 resps in
+  check_s "subsequent request ok" "ok" (status after);
+  let cov =
+    match field "coverage" after with
+    | Json.Float f -> f
+    | Json.Int n -> float_of_int n
+    | _ -> nan
+  in
+  let nl = match Catalog.find "carry8" with Ok nl -> nl | Error e -> Alcotest.fail e in
+  let u = Faultsim.universe nl in
+  let prng = Dynmos_util.Prng.create 42 in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(List.length (Dynmos_netlist.Netlist.inputs nl))
+      ~count:64
+  in
+  Alcotest.(check (float 0.0)) "coverage unaffected by earlier crashes"
+    (Faultsim.coverage (Faultsim.run_serial u pats))
+    cov
+
+(* Queue overflow answers "overloaded" instead of queuing without bound. *)
+let test_overload () =
+  let slow = {|{"circuit":"carry8","patterns":4096,"algo":"full","drop":false}|} in
+  let config = { small_config with Server.queue_capacity = 1 } in
+  let _, resps, _ = run_server ~config [ slow; slow; slow; slow; slow; slow ] in
+  check_i "every line answered" 6 (List.length resps);
+  let counts st = List.length (List.filter (fun r -> status r = st) resps) in
+  check "some overloaded" true (counts "overloaded" >= 1);
+  check "some completed" true (counts "ok" >= 1);
+  check_i "nothing lost" 6 (counts "ok" + counts "partial" + counts "overloaded" + counts "error")
+
+(* The global eval budget rejects work once spent. *)
+let test_global_budget () =
+  let config = { small_config with Server.global_max_evals = Some 500 } in
+  let job = {|{"circuit":"rand20","patterns":512,"drop":false}|} in
+  let _, resps, _ = run_server ~config [ job; job ] in
+  check_i "two responses" 2 (List.length resps);
+  check_s "first stopped by budget" "partial" (status (response_for 1 resps));
+  let second = response_for 2 resps in
+  check_s "second rejected" "error" (status second);
+  match field "error" second with
+  | Json.String msg -> check "rejection named" true (String.length msg > 0)
+  | _ -> Alcotest.fail "missing error"
+
+(* Drain: once the flag flips, reading stops, admitted work finishes and
+   the loop reports `Drained.  The last read line may race the queue
+   closing and be answered "draining" — either way it gets exactly one
+   response. *)
+let test_drain () =
+  let job = {|{"circuit":"carry8","patterns":64}|} in
+  let stop, resps, read =
+    run_server ~config:small_config ~drain:(fun read -> read >= 2) [ job; job; job; job ]
+  in
+  check "drained" true (stop = `Drained);
+  check "stopped reading" true (read < 4);
+  check_i "every read line answered" read (List.length resps);
+  check_s "first admitted job finished" "ok" (status (response_for 1 resps));
+  List.iter
+    (fun r -> check "finished or refused, never dropped" true
+        (status r = "ok" || status r = "draining"))
+    resps
+
+(* Stats and ping answer immediately with server-global counters. *)
+let test_stats_and_ping () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [
+        {|{"op":"ping","id":9}|};
+        {|{"circuit":"carry8","patterns":64}|};
+        {|not json|};
+        {|{"op":"stats"}|};
+      ]
+  in
+  check_i "four responses" 4 (List.length resps);
+  check_s "pong" "pong" (status (response_for 1 resps));
+  check "ping echoes id" true (field "id" (response_for 1 resps) = Json.Int 9);
+  check_s "bad line is error" "error" (status (response_for 3 resps));
+  let stats = response_for 4 resps in
+  check_s "stats" "stats" (status stats);
+  (match field "lines" stats with
+  | Json.Int n -> check "lines counted" true (n >= 3)
+  | _ -> Alcotest.fail "missing lines");
+  match field "rejected_invalid" stats with
+  | Json.Int n -> check "invalid counted" true (n >= 1)
+  | _ -> Alcotest.fail "missing rejected_invalid"
+
+(* Gate restriction: a sub-universe request matches the full run on the
+   corresponding sites, and bad gate ids are named errors. *)
+let test_gates_restriction () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [
+        {|{"circuit":"carry8","patterns":64,"gates":[0,1,2]}|};
+        {|{"circuit":"carry8","gates":[0,99]}|};
+        {|{"circuit":"carry8","gates":[1,1]}|};
+      ]
+  in
+  let ok = response_for 1 resps in
+  check_s "restricted run ok" "ok" (status ok);
+  let detected = match field "detected" ok with Json.Int n -> n | _ -> -1 in
+  let nl = match Catalog.find "carry8" with Ok nl -> nl | Error e -> Alcotest.fail e in
+  let u = Faultsim.universe nl in
+  let ru = Faultsim.restrict_universe u ~gates:[ 0; 1; 2 ] in
+  let prng = Dynmos_util.Prng.create 42 in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(List.length (Dynmos_netlist.Netlist.inputs nl))
+      ~count:64
+  in
+  check_i "restricted detections match library run" (Faultsim.n_detected (Faultsim.run_serial ru pats)) detected;
+  check_s "out-of-range gate id" "error" (status (response_for 2 resps));
+  check_s "duplicate gate id" "error" (status (response_for 3 resps))
+
+(* The obs ring stays bounded however many requests are served. *)
+let test_bounded_events () =
+  let config = { small_config with Server.events_capacity = 8 } in
+  let job = {|{"circuit":"carry8","patterns":8}|} in
+  let _, resps, _ = run_server ~config (List.init 20 (fun _ -> job) @ [ {|{"op":"stats"}|} ]) in
+  let stats = response_for 21 resps in
+  (match field "events_buffered" stats with
+  | Json.Int n -> check "ring bounded" true (n <= 8)
+  | _ -> Alcotest.fail "missing events_buffered");
+  match field "events_total" stats with
+  | Json.Int n -> check "totals keep counting" true (n > 8)
+  | _ -> Alcotest.fail "missing events_total"
+
+(* --- QCheck fuzz: arbitrary bytes never crash the loop --------------------------- *)
+
+(* Byte-line generator biased toward the nasty cases: truncated JSON,
+   valid-but-wrong schemas, huge numbers, NULs, deep nesting, plus pure
+   random bytes. *)
+let fuzz_line =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (* arbitrary bytes (newline-free: the reader splits on newlines) *)
+      map
+        (fun s -> String.map (fun c -> if c = '\n' then ' ' else c) s)
+        (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 80));
+      (* truncated / mutated valid request *)
+      (let base = {|{"circuit":"carry8","patterns":16,"seed":7}|} in
+       map (fun n -> String.sub base 0 (min n (String.length base))) (int_range 0 43));
+      (* structurally valid, semantically hostile *)
+      oneofl
+        [
+          {|{"circuit":"carry8","patterns":99999999999999999999999999}|};
+          {|{"circuit":"carry8","patterns":1e308}|};
+          {|{"circuit":"carry8","seed":null}|};
+          {|{"circuit":"carry8","gates":[-1]}|};
+          {|{"circuit":"carry8","crash_sid":123456}|};
+          {|{"op":"run"}|};
+          {|{"op":"stats","junk":1}|};
+          {|null|};
+          {|0|};
+          "\x00\x01\x02";
+          String.make 200 '[';
+          String.make 200 '{';
+          {|{"circuit":"\ud800"}|};
+        ];
+    ]
+
+let qcheck_fuzz_serve =
+  QCheck2.Test.make ~name:"serve loop: one response per line, never a crash" ~count:60
+    QCheck2.Gen.(list_size (int_range 0 12) fuzz_line)
+    (fun lines ->
+      let config =
+        { Server.default_config with Server.max_patterns = 64; max_seconds = 5.0 }
+      in
+      let _, resps, read = run_server ~config lines in
+      (* every read line answered exactly once... *)
+      if read <> List.length lines then QCheck2.Test.fail_report "reader dropped lines";
+      if List.length resps <> List.length lines then
+        QCheck2.Test.fail_reportf "%d lines but %d responses" (List.length lines)
+          (List.length resps);
+      (* ...with valid JSON carrying the right line numbers *)
+      let lines_answered =
+        List.map
+          (fun r ->
+            match Json.member "line" (parse_ok r) with
+            | Some (Json.Int n) -> n
+            | _ -> QCheck2.Test.fail_report "response lacks a line number")
+          resps
+      in
+      let sorted = List.sort compare lines_answered in
+      if sorted <> List.init (List.length lines) (fun i -> i + 1) then
+        QCheck2.Test.fail_report "line numbers are not exactly 1..n";
+      true)
+
+(* --- Suite ------------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dynmos server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_request_defaults;
+          Alcotest.test_case "caps applied" `Quick test_request_caps;
+          Alcotest.test_case "rejections" `Quick test_request_rejections;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "matches standalone run" `Quick test_server_matches_standalone;
+          Alcotest.test_case "crash and deadline isolated" `Quick
+            test_crash_and_deadline_isolated;
+          Alcotest.test_case "overload backpressure" `Quick test_overload;
+          Alcotest.test_case "global budget" `Quick test_global_budget;
+          Alcotest.test_case "graceful drain" `Quick test_drain;
+          Alcotest.test_case "stats and ping" `Quick test_stats_and_ping;
+          Alcotest.test_case "gate restriction" `Quick test_gates_restriction;
+          Alcotest.test_case "bounded event ring" `Quick test_bounded_events;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_fuzz_serve ] );
+    ]
