@@ -725,6 +725,22 @@ let e17 () =
         algo_pair "bit-parallel" (fun algo obs ->
             Faultsim.run_parallel ~drop:false ~algo ?obs u pats)
       in
+      (* The propagation engines' cone mode skips gates outside every
+         live fault's fanout cone — measured with dropping on, because
+         the restriction only bites as detected sites retire (with no
+         dropping every gate stays inside some live site's cone).
+         Their per-fault "evals" are identical between algorithms by
+         construction — a gate no live fault reaches evaluates no
+         faults either way — so the cone's win here is the skipped
+         per-gate sweep overhead, i.e. wall-clock only. *)
+      let algo_deductive =
+        algo_pair "deductive" (fun algo obs ->
+            Faultsim.run_deductive ~drop:true ~algo ?obs u pats)
+      in
+      let algo_concurrent =
+        algo_pair "concurrent" (fun algo obs ->
+            Faultsim.run_concurrent ~drop:true ~algo ?obs u pats)
+      in
       let json_timing t =
         Fmt.str
           "\"seconds_median\": %.6f, \"seconds_min\": %.6f, \"seconds_max\": %.6f, \"reps\": %d, \
@@ -809,7 +825,12 @@ let e17 () =
               @ json_scaled "domains_bit_parallel" dom_bit
               @ json_scaled "domains_serial" dom_ser))
            (String.concat ", "
-              [ json_algos "serial" algo_serial; json_algos "bit_parallel" algo_bitpar ])
+              [
+                json_algos "serial" algo_serial;
+                json_algos "bit_parallel" algo_bitpar;
+                json_algos "deductive" algo_deductive;
+                json_algos "concurrent" algo_concurrent;
+              ])
            checkpoint_json
            (if ci = n_circuits - 1 then "" else ",")))
     circuits;

@@ -181,9 +181,9 @@ let faultsim_cmd =
     Arg.(value & opt (enum [ ("full", `Full); ("cone", `Cone) ]) `Cone
          & info [ "algo" ] ~docv:"ALGO"
              ~doc:
-               "Injection algorithm for the serial/parallel/domains engines: cone (re-evaluate \
-                only the fault site's fanout cone; default) or full (re-evaluate the whole \
-                circuit per fault).  Results are bit-identical.")
+               "Injection algorithm, honoured by every engine: cone (restrict work to the \
+                fault sites' fanout cones; default) or full (process the whole circuit per \
+                fault).  Results are bit-identical.")
   in
   let stats =
     Arg.(value & flag
@@ -287,11 +287,11 @@ let faultsim_cmd =
                   ?checkpoint u pats,
                 None )
           | `Deductive ->
-              ( Faultsim.run_deductive ~drop ~obs ?deadline ?max_evals ~interrupt
+              ( Faultsim.run_deductive ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
                   ?checkpoint u pats,
                 None )
           | `Concurrent ->
-              ( Faultsim.run_concurrent ~drop ~obs ?deadline ?max_evals ~interrupt
+              ( Faultsim.run_concurrent ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
                   ?checkpoint u pats,
                 None )
           | `Domains ->

@@ -84,11 +84,19 @@ let generate ?electrical cell =
         incr next_id;
         let expr =
           match members with
-          | (f, _) :: _ -> (
+          | (f, lbl) :: _ -> (
               match Fault_map.map ?electrical cell f with
               | Fault_map.Combinational e -> e
-              | _ -> assert false)
-          | [] -> assert false
+              | _ ->
+                  invalid_arg
+                    (Fmt.str
+                       "Faultlib.generate: cell %s: fault %s grouped as combinational \
+                        but maps to a non-combinational effect"
+                       (Cell.name cell) lbl))
+          | [] ->
+              invalid_arg
+                (Fmt.str "Faultlib.generate: cell %s: empty fault-equivalence class %S"
+                   (Cell.name cell) text)
         in
         let sop, _ = minimize_text ~vars expr in
         {

@@ -1,0 +1,70 @@
+open Dynmos_sim
+
+(** The unified campaign driver.
+
+    One implementation of every campaign policy — {!Limits} (precedence
+    interrupt > deadline > budget, fixed by the gauge's polling order),
+    {!Checkpoint} write/resume, supervision/retry, obs events, fault
+    dropping and the all-detected early exit — shared by all five public
+    engines.  Kernels ({!Kernel.t}) carry only evaluation mechanics.
+
+    [Faultsim.run_serial] / [run_parallel] / [run_deductive] /
+    [run_concurrent] are thin wrappers over {!run_patterns};
+    [Faultsim.run_domain_parallel] wraps {!run_sites}. *)
+
+type summary = {
+  n_sites : int;
+  n_patterns : int;
+  first_detection : int option array;
+  outcome : Outcome.t;
+  patterns_done : int;
+  sites_done : int;
+}
+
+val detected_count : int option array -> int
+
+val run_patterns :
+  ?drop:bool ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
+  n_sites:int ->
+  total:int ->
+  Kernel.t ->
+  summary
+(** Drive a pattern-sweep kernel over [total] patterns.  The driver owns
+    the per-site detection state, the drop/early-exit decisions, the
+    unified [evals]/[evals_saved] accounting (one kernel evaluation per
+    live site per pattern unit), checkpoint preload/tick/finalize in
+    [Patterns] mode, the limits gauge (fed the kernel's gate-level work
+    at unit boundaries) and the ["faultsim.run"] obs emission. *)
+
+val run_sites :
+  ?drop:bool ->
+  ?inner:Parallel_exec.inner ->
+  ?algo:[ `Full | `Cone ] ->
+  ?num_domains:int ->
+  ?min_work_per_domain:int ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?max_attempts:int ->
+  ?crash_hook:(int -> unit) ->
+  ?extra_fields:(string * Dynmos_obs.Obs.value) list ->
+  Compiled.t ->
+  Parallel_exec.job array ->
+  bool array array ->
+  summary * Parallel_exec.report * Parallel_exec.stats
+(** Drive the site-sweep domains engine: checkpoint preload/tick/
+    finalize in [Sites] mode, gauge creation, outcome assembly and obs
+    emission live here; per-site retry and cross-domain degradation are
+    delegated to {!Parallel_exec.run_supervised} (inherently
+    pool-level).  [jobs] must carry dense [jid]s ([0..n-1]); jobs whose
+    site a resumed checkpoint already completed are not re-submitted.
+    [extra_fields] is appended to the ["faultsim.run"] obs event. *)

@@ -10,13 +10,21 @@ module Obs = Dynmos_obs.Obs
    detectable *function classes* of each gate's fault library — this is
    exactly what the paper's model buys: because every physical fault of a
    dynamic gate is combinational, the classical injection-based machinery
-   (serial, bit-parallel, deductive) applies unchanged.  Three engines are
-   provided and cross-checked in tests:
+   (serial, bit-parallel, deductive) applies unchanged.  Four pattern-sweep
+   engines plus the domain-parallel site-sweep engine are provided and
+   cross-checked in tests:
 
    - serial: re-simulate the whole circuit per fault;
    - parallel: 62 patterns per machine word, one pass per fault;
    - deductive: one pass per pattern, propagating fault lists (sets of
-     site ids whose effect inverts the net) through the gates. *)
+     site ids whose effect inverts the net) through the gates;
+   - concurrent: one pass per pattern, propagating diverged faulty
+     machines with explicit faulty values.
+
+   Every campaign policy — limits, checkpointing, obs accounting, fault
+   dropping, supervision and the all-detected early exit — is implemented
+   once in [Campaign]; this module contributes the fault universe, the
+   evaluation kernels ([Kernel.t] builders) and thin public wrappers. *)
 
 type site = {
   sid : int;
@@ -141,23 +149,16 @@ let n_sites u = Array.length u.sites
 
 (* --- Results ------------------------------------------------------------ *)
 
-type summary = {
+type summary = Campaign.summary = {
   n_sites : int;
   n_patterns : int;
   first_detection : int option array;  (* per site: index of first detecting pattern *)
   outcome : Outcome.t;       (* did the campaign finish, and if not, why *)
-  patterns_done : int;       (* patterns completed for every live site
-                                (pattern-sweep engines; the site-sweep
-                                domains engine reports [n_patterns] when
-                                complete and 0 on a partial stop —
-                                its progress lives in [sites_done]) *)
+  patterns_done : int;
   sites_done : int;          (* sites whose result is final *)
 }
 
-let detected_count first =
-  Array.fold_left (fun acc d -> match d with Some _ -> acc + 1 | None -> acc) 0 first
-
-let n_detected s = detected_count s.first_detection
+let n_detected s = Campaign.detected_count s.first_detection
 
 (* Coverage over the whole universe: on a partial run this is the
    *conservative lower bound* — every site the stopped sweep never
@@ -192,116 +193,10 @@ let coverage_curve s =
       float_of_int !acc /. total)
     counts
 
-(* --- Observability -------------------------------------------------------- *)
-
-(* Per-run totals: the engines tally plain ints in their loops (an int
-   add is noise next to a netlist evaluation) and emit one
-   "faultsim.run" event when the recorder is enabled; a disabled
-   recorder costs the [Obs.enabled] branch and never reads the clock.
-   The "evals" field counts faulty-machine kernel evaluations — the unit
-   each engine's work is measured in (single-pattern circuit evaluations
-   for serial, packed-word chunk evaluations for bit-parallel, gate
-   function evaluations for deductive/concurrent) — and "evals_saved"
-   the ones fault dropping skipped. *)
-
-let start_time obs = if Obs.enabled obs then Obs.now () else 0.0
-
-let emit_run obs ~engine ~n_sites ~n_patterns ?(outcome = Outcome.Complete) ?(patterns_done = 0)
-    ?(sites_done = 0) ~t0 fields =
-  if Obs.enabled obs then
-    Obs.emit obs ~ev:"faultsim.run"
-      (("engine", Obs.String engine)
-      :: ("sites", Obs.Int n_sites)
-      :: ("patterns", Obs.Int n_patterns)
-      :: ("outcome", Obs.String (Outcome.to_string outcome))
-      :: ("patterns_done", Obs.Int patterns_done)
-      :: ("sites_done", Obs.Int sites_done)
-      :: ("dt_s", Obs.Float (Obs.now () -. t0))
-      :: fields)
-
-let emit_site_failed obs ~engine failed_sites =
-  if Obs.enabled obs then
-    List.iter
-      (fun (sid, msg) ->
-        Obs.emit obs ~ev:"faultsim.site_failed"
-          [ ("engine", Obs.String engine); ("sid", Obs.Int sid); ("error", Obs.String msg) ])
-      failed_sites
-
-let emit_checkpoint obs ~engine ctl ~units_done =
-  if Obs.enabled obs then
-    Obs.emit obs ~ev:"faultsim.checkpoint"
-      [
-        ("engine", Obs.String engine);
-        ("path", Obs.String (Checkpoint.path ctl));
-        ("units_done", Obs.Int units_done);
-        ("writes", Obs.Int (Checkpoint.writes ctl));
-      ]
-
-(* --- Campaign robustness ---------------------------------------------------
-
-   Every engine below accepts:
-   - [?deadline] (absolute epoch seconds), [?max_evals] (gate-evaluation
-     budget) and [?interrupt] (cooperative stop flag), polled at
-     pattern-unit boundaries through a [Limits.gauge]; a tripped limit
-     stops the sweep cleanly and the summary's [outcome] records the
-     cause — detections gathered so far are returned, never discarded;
-   - [?checkpoint], a [Checkpoint.ctl] (build one with
-     {!checkpoint_ctl}): progress is persisted every [interval]
-     completed units and unconditionally when the run returns, and a
-     controller carrying a validated resume state preloads it and
-     continues bit-identically (each pattern is evaluated exactly once
-     across the combined runs, in ascending order, so first-detections
-     cannot move).
-
-   The injection engines (serial, bit-parallel, domains) additionally
-   supervise per-site evaluation: a site whose faulty function raises is
-   retried a bounded number of times ([?max_attempts], with the
-   good-machine baseline restored first — a mid-cone exception leaves
-   the shared scratch dirty) and, if it keeps raising, excluded and
-   reported in [outcome]'s [failed_sites] — the other sites' detections
-   are identical to a clean run.  [?crash_hook] is the fault-injection
-   point the supervision tests use (called with the site id before every
-   evaluation; no-op by default).  The deductive and concurrent engines
-   propagate all sites jointly through shared per-net structures, so a
-   raising site cannot be isolated mid-pattern — they take limits and
-   checkpoints but not per-site supervision. *)
-
-let make_gauge ?deadline ?max_evals ?interrupt () =
-  Limits.gauge (Limits.make ?deadline ?max_evals ?interrupt ())
-
-let default_max_attempts = Parallel_exec.default_max_attempts
-
-(* Preload a patterns-mode resume state: trusted detections are blitted
-   in and the scan continues after the last fully-completed pattern. *)
-let preload_patterns ~engine checkpoint (first : int option array) =
-  match checkpoint with
-  | None -> 0
-  | Some ctl -> (
-      Checkpoint.require_mode ctl Checkpoint.Patterns ~engine;
-      match Checkpoint.resume_state ctl with
-      | None -> 0
-      | Some st ->
-          Array.blit st.Checkpoint.first_detection 0 first 0 (Array.length first);
-          st.Checkpoint.units_done)
-
-let tick_patterns checkpoint ~obs ~engine ~units_done ~first =
-  match checkpoint with
-  | None -> ()
-  | Some ctl ->
-      if Checkpoint.tick ctl ~mode:Checkpoint.Patterns ~units_done ~first_detection:first ()
-      then emit_checkpoint obs ~engine ctl ~units_done
-
-let finalize_patterns checkpoint ~obs ~engine ~units_done ~first =
-  match checkpoint with
-  | None -> ()
-  | Some ctl ->
-      Checkpoint.finalize ctl ~mode:Checkpoint.Patterns ~units_done ~first_detection:first ();
-      emit_checkpoint obs ~engine ctl ~units_done
-
 (* --- Injection algorithms ------------------------------------------------- *)
 
-(* The injection engines (serial, bit-parallel and the domain-parallel
-   kernels) evaluate faulty machines one of two ways:
+(* The injection kernels (serial, bit-parallel and the domain-parallel
+   inner kernels) evaluate faulty machines one of two ways:
 
    - [`Full]: re-evaluate every gate of the circuit with the override in
      place and compare every primary output — the classical whole-
@@ -316,7 +211,17 @@ let finalize_patterns checkpoint ~obs ~engine ~units_done ~first =
    performed, which the ["gate_evals"] / ["gate_evals_saved"] obs fields
    account for.  ["cone_gates"] reports the summed fanout-cone size over
    all sites (the per-sweep cone workload; [`Full] sweeps cost
-   sites x gates instead). *)
+   sites x gates instead).
+
+   The deductive and concurrent engines propagate fault effects through
+   per-net structures, which is already cone-local per site; their
+   [`Cone] variant adds a structural restriction on top: a gate that
+   lies in no *live* site's fanout cone (initially, gates outside every
+   injected cone — relevant for restricted universes; as dropping
+   retires sites, growing regions of the circuit) cannot carry any list
+   entry or diverged machine, so the whole gate is skipped.  Results are
+   bit-identical: a live site's effects occur only inside its own cone,
+   whose gates stay active by construction. *)
 
 let algo_name = function `Full -> "full" | `Cone -> "cone"
 
@@ -325,258 +230,152 @@ let total_cone_gates u =
     (fun acc s -> acc + Array.length (Compiled.fanout_cone u.compiled s.gate.Netlist.id))
     0 u.sites
 
-(* --- Serial -------------------------------------------------------------- *)
-
 let detects u site pattern =
   let good = Compiled.eval u.compiled pattern in
   let faulty = Compiled.eval ~override:(site.gate.Netlist.id, site.fn) u.compiled pattern in
   good <> faulty
 
-let run_serial ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) ?deadline ?max_evals
-    ?interrupt ?checkpoint ?(max_attempts = default_max_attempts)
-    ?(crash_hook = fun (_ : int) -> ()) u (patterns : bool array array) =
-  let t0 = start_time obs in
-  let n = n_sites u in
-  let first = Array.make n None in
+(* --- Injection kernels (serial / bit-parallel) ---------------------------- *)
+
+let word_bits = 62
+
+(* One builder serves both: the serial engine is the bit-parallel
+   mechanics with one pattern per unit (words are then plain 0/1), which
+   is exactly how the two engines always related — only the packing
+   width differed. *)
+let injection_kernel ~name ~unit_bits ~count_good_evals ~algo u patterns =
   let compiled = u.compiled in
   let n_inputs = Compiled.n_inputs compiled in
   let n_gates = Compiled.n_gates compiled in
   let po = Compiled.po_indices compiled in
   let n_po = Array.length po in
+  let total = Array.length patterns in
   (* All buffers live outside the loops: good machine in [scratch]
      (doubling as the cone baseline), whole-circuit faulty runs in
      [fscratch], cone save/restore in [buf]. *)
   let scratch = Compiled.make_scratch compiled in
   let fscratch = Compiled.make_scratch compiled in
   let buf = Compiled.make_cone_buffer compiled in
-  let pat_words = Array.make n_inputs 0 in
-  let evals = ref 0 and saved = ref 0 and good_evals = ref 0 in
-  let gate_evals = ref 0 in
-  let undetected = ref n in
-  let total = Array.length patterns in
-  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let attempts = Array.make n 0 in
-  let failed = Array.make n false in
-  let failures = ref [] in
-  let pi = ref (preload_patterns ~engine:"serial" checkpoint first) in
-  Array.iter (function Some _ -> decr undetected | None -> ()) first;
-  (* Early exit: once every site is detected (and dropping is on), the
-     remaining patterns can neither detect anything new nor simulate
-     anything — skip them, good machine included. *)
-  let stopping = ref false in
-  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
-    let pattern = patterns.(!pi) in
-    for i = 0 to n_inputs - 1 do
-      pat_words.(i) <- if pattern.(i) then 1 else 0
-    done;
-    Compiled.eval_words_into compiled ~scratch pat_words;
-    incr good_evals;
-    let g0 = !gate_evals in
-    Array.iter
-      (fun site ->
-        if failed.(site.sid) then ()
-        else if (not drop) || first.(site.sid) = None then begin
-          (* bounded immediate retry at this very pattern, so a
-             transient crash cannot skip a pattern and move the site's
-             first detection *)
-          let rec attempt () =
-            incr evals;
-            match
-              crash_hook site.sid;
-              (match algo with
-              | `Cone ->
-                  Compiled.eval_cone_into ~tally:gate_evals compiled
-                    ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
-              | `Full ->
-                  Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
-                    ~scratch:fscratch pat_words;
-                  gate_evals := !gate_evals + n_gates;
-                  let d = ref 0 in
-                  for k = 0 to n_po - 1 do
-                    d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
-                  done;
-                  !d)
-            with
-            | diff -> Some diff
-            | exception exn ->
-                (* a mid-cone exception leaves [scratch] partially
-                   overwritten; restore the good-machine baseline before
-                   anyone reads it again *)
-                if algo = `Cone then Compiled.eval_words_into compiled ~scratch pat_words;
-                attempts.(site.sid) <- attempts.(site.sid) + 1;
-                if attempts.(site.sid) >= max_attempts then begin
-                  failed.(site.sid) <- true;
-                  failures := (site.sid, Printexc.to_string exn) :: !failures;
-                  None
-                end
-                else attempt ()
-          in
-          match attempt () with
-          | None -> ()
-          | Some diff ->
-              if diff land 1 <> 0 && first.(site.sid) = None then begin
-                first.(site.sid) <- Some !pi;
-                decr undetected
-              end
-        end
-        else incr saved)
-      u.sites;
-    incr pi;
-    Limits.add_evals gauge (!gate_evals - g0);
-    if Limits.check gauge then stopping := true;
-    tick_patterns checkpoint ~obs ~engine:"serial" ~units_done:!pi ~first
-  done;
-  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
-  finalize_patterns checkpoint ~obs ~engine:"serial" ~units_done:!pi ~first;
-  let failed_sites = List.sort compare !failures in
-  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) ~failed_sites () in
-  (* A stopped pattern sweep has resolved exactly the detected sites (a
-     detection is final once found; undetected sites still had patterns
-     to see); a finished sweep has resolved everything but the failed
-     sites. *)
-  let sites_done =
-    if !stopping then detected_count first else n - List.length failed_sites
-  in
-  emit_site_failed obs ~engine:"serial" failed_sites;
-  emit_run obs ~engine:"serial" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
-    ~sites_done ~t0
-    [
-      ("algo", Obs.String (algo_name algo));
-      ("evals", Obs.Int !evals);
-      ("evals_saved", Obs.Int !saved);
-      ("good_evals", Obs.Int !good_evals);
-      ("gate_evals", Obs.Int !gate_evals);
-      ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
-      ("cone_gates", Obs.Int (total_cone_gates u));
-    ];
-  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
-    sites_done }
-
-(* --- Bit-parallel (62 patterns per word) --------------------------------- *)
-
-let word_bits = 62
-
-let run_parallel ?(drop = true) ?(algo = `Cone) ?(obs = Obs.disabled) ?deadline ?max_evals
-    ?interrupt ?checkpoint ?(max_attempts = default_max_attempts)
-    ?(crash_hook = fun (_ : int) -> ()) u (patterns : bool array array) =
-  let t0 = start_time obs in
-  let n = n_sites u in
-  let first = Array.make n None in
-  let compiled = u.compiled in
-  let n_inputs = Compiled.n_inputs compiled in
-  let n_gates = Compiled.n_gates compiled in
-  let po = Compiled.po_indices compiled in
-  let n_po = Array.length po in
-  let total = Array.length patterns in
-  let scratch = Compiled.make_scratch compiled in
-  let fscratch = Compiled.make_scratch compiled in
-  let buf = Compiled.make_cone_buffer compiled in
   let words = Array.make n_inputs 0 in
-  let evals = ref 0 and saved = ref 0 in
-  let gate_evals = ref 0 in
-  let undetected = ref n in
-  let n_chunks = (total + word_bits - 1) / word_bits in
-  let chunks_done = ref 0 in
-  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let attempts = Array.make n 0 in
-  let failed = Array.make n false in
-  let failures = ref [] in
-  (* A resume point need not be 62-aligned: chunks are packed relative
-     to wherever the scan starts, and first-detection only depends on
-     each pattern being evaluated exactly once in ascending order — the
-     chunk boundaries carry no semantics. *)
-  let chunk_start = ref (preload_patterns ~engine:"parallel" checkpoint first) in
-  Array.iter (function Some _ -> decr undetected | None -> ()) first;
-  let stopping = ref false in
-  while !chunk_start < total && (not (drop && !undetected = 0)) && not !stopping do
-    let len = min word_bits (total - !chunk_start) in
+  let good_evals = ref 0 in
+  let run_unit (ctx : Kernel.ctx) ~start ~len =
     Array.fill words 0 n_inputs 0;
     for j = 0 to len - 1 do
-      let p = patterns.(!chunk_start + j) in
+      let p = patterns.(start + j) in
       for i = 0 to n_inputs - 1 do
         if p.(i) then words.(i) <- words.(i) lor (1 lsl j)
       done
     done;
     let mask = if len >= word_bits then max_int else (1 lsl len) - 1 in
     Compiled.eval_words_into compiled ~scratch words;
-    let g0 = !gate_evals in
+    incr good_evals;
+    (* a mid-cone exception leaves [scratch] partially overwritten;
+       restore the good-machine baseline before anyone reads it again *)
+    let restore () =
+      if algo = `Cone then Compiled.eval_words_into compiled ~scratch words
+    in
     Array.iter
       (fun site ->
-        if failed.(site.sid) then ()
-        else if (not drop) || first.(site.sid) = None then begin
-          let rec attempt () =
-            incr evals;
-            match
-              crash_hook site.sid;
-              (match algo with
-              | `Cone ->
-                  Compiled.eval_cone_into ~tally:gate_evals compiled
-                    ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
-              | `Full ->
-                  Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
-                    ~scratch:fscratch words;
-                  gate_evals := !gate_evals + n_gates;
-                  let d = ref 0 in
-                  for k = 0 to n_po - 1 do
-                    d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
-                  done;
-                  !d)
-            with
-            | diff -> Some diff
-            | exception exn ->
-                (* restore the chunk's good-machine baseline a mid-cone
-                   exception may have left dirty *)
-                if algo = `Cone then Compiled.eval_words_into compiled ~scratch words;
-                attempts.(site.sid) <- attempts.(site.sid) + 1;
-                if attempts.(site.sid) >= max_attempts then begin
-                  failed.(site.sid) <- true;
-                  failures := (site.sid, Printexc.to_string exn) :: !failures;
-                  None
-                end
-                else attempt ()
+        if ctx.Kernel.failed.(site.sid) then ()
+        else if ctx.Kernel.drop && ctx.Kernel.first.(site.sid) <> None then ()
+        else
+          let eval () =
+            match algo with
+            | `Cone ->
+                Compiled.eval_cone_into ~tally:ctx.Kernel.work compiled
+                  ~override:(site.gate.Netlist.id, site.fn) ~scratch ~buf
+            | `Full ->
+                Compiled.eval_words_into ~override:(site.gate.Netlist.id, site.fn) compiled
+                  ~scratch:fscratch words;
+                ctx.Kernel.work := !(ctx.Kernel.work) + n_gates;
+                let d = ref 0 in
+                for k = 0 to n_po - 1 do
+                  d := !d lor (scratch.(po.(k)) lxor fscratch.(po.(k)))
+                done;
+                !d
           in
-          match attempt () with
+          match ctx.Kernel.supervise ~sid:site.sid ~restore eval with
           | None -> ()
           | Some diff ->
               let diff = diff land mask in
-              if diff <> 0 && first.(site.sid) = None then begin
+              if diff <> 0 && ctx.Kernel.first.(site.sid) = None then begin
                 (* First detecting pattern: lowest set bit. *)
                 let rec lowest j = if (diff lsr j) land 1 = 1 then j else lowest (j + 1) in
-                first.(site.sid) <- Some (!chunk_start + lowest 0);
-                decr undetected
-              end
-        end
-        else incr saved)
-      u.sites;
-    incr chunks_done;
-    chunk_start := !chunk_start + len;
-    Limits.add_evals gauge (!gate_evals - g0);
-    if Limits.check gauge then stopping := true;
-    tick_patterns checkpoint ~obs ~engine:"parallel" ~units_done:!chunk_start ~first
-  done;
-  if !chunks_done < n_chunks && not !stopping then
-    saved := !saved + ((n_chunks - !chunks_done) * n);
-  finalize_patterns checkpoint ~obs ~engine:"parallel" ~units_done:!chunk_start ~first;
-  let failed_sites = List.sort compare !failures in
-  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) ~failed_sites () in
-  let sites_done =
-    if !stopping then detected_count first else n - List.length failed_sites
+                ctx.Kernel.detect ~sid:site.sid ~pat:(start + lowest 0)
+              end)
+      u.sites
   in
-  emit_site_failed obs ~engine:"parallel" failed_sites;
-  emit_run obs ~engine:"parallel" ~n_sites:n ~n_patterns:total ~outcome
-    ~patterns_done:!chunk_start ~sites_done ~t0
-    [
-      ("algo", Obs.String (algo_name algo));
-      ("evals", Obs.Int !evals);
-      ("evals_saved", Obs.Int !saved);
-      ("gate_evals", Obs.Int !gate_evals);
-      ("gate_evals_saved", Obs.Int (((!evals + !saved) * n_gates) - !gate_evals));
-      ("cone_gates", Obs.Int (total_cone_gates u));
-    ];
-  { n_sites = n; n_patterns = total; first_detection = first; outcome;
-    patterns_done = !chunk_start; sites_done }
+  let obs_fields (t : Kernel.totals) =
+    ("algo", Obs.String (algo_name algo))
+    :: (if count_good_evals then [ ("good_evals", Obs.Int !good_evals) ] else [])
+    @ [
+        ("gate_evals", Obs.Int t.Kernel.work);
+        ( "gate_evals_saved",
+          Obs.Int (((t.Kernel.evals + t.Kernel.evals_saved) * n_gates) - t.Kernel.work) );
+        ("cone_gates", Obs.Int (total_cone_gates u));
+      ]
+  in
+  {
+    Kernel.name;
+    unit_len = (fun ~start -> min unit_bits (total - start));
+    units_remaining = (fun ~start -> (total - start + unit_bits - 1) / unit_bits);
+    run_unit;
+    obs_fields;
+  }
 
-(* --- Deductive ------------------------------------------------------------ *)
+(* --- Cone restriction for the propagation engines ------------------------- *)
+
+(* Per gate, the number of live sites whose fanout cone contains it; a
+   gate at zero carries no possible fault effect and is skipped whole.
+   Dropped (and failed) sites are retired at unit boundaries — a site
+   dropped mid-pattern keeps its cone active until the pattern ends,
+   which the inline drop checks already handle. *)
+type cone_tracker = { active : int array; accounted : bool array }
+
+let cone_tracker ~algo u =
+  match algo with
+  | `Full -> None
+  | `Cone ->
+      let active = Array.make (Compiled.n_gates u.compiled) 0 in
+      Array.iter
+        (fun s ->
+          Array.iter
+            (fun g -> active.(g) <- active.(g) + 1)
+            (Compiled.fanout_cone u.compiled s.gate.Netlist.id))
+        u.sites;
+      Some { active; accounted = Array.make (n_sites u) false }
+
+let reconcile_tracker tracker (ctx : Kernel.ctx) u =
+  match tracker with
+  | None -> ()
+  | Some { active; accounted } ->
+      Array.iteri
+        (fun sid acc ->
+          if (not acc) && (ctx.Kernel.dropped.(sid) || ctx.Kernel.failed.(sid)) then begin
+            accounted.(sid) <- true;
+            Array.iter
+              (fun g -> active.(g) <- active.(g) - 1)
+              (Compiled.fanout_cone u.compiled u.sites.(sid).gate.Netlist.id)
+          end)
+        accounted
+
+let skip_gate tracker gid =
+  match tracker with None -> false | Some { active; _ } -> active.(gid) = 0
+
+let propagation_obs_fields ~algo (t : Kernel.totals) =
+  [ ("algo", Obs.String (algo_name algo)); ("gate_evals", Obs.Int t.Kernel.work) ]
+
+(* Local sites per gate id, shared by the two propagation kernels. *)
+let local_sites u =
+  let local = Hashtbl.create 64 in
+  Array.iter
+    (fun site ->
+      let k = site.gate.Netlist.id in
+      Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
+    u.sites;
+  local
+
+(* --- Deductive kernel ------------------------------------------------------ *)
 
 module Int_set = Set.Make (Int)
 
@@ -586,121 +385,82 @@ module Int_set = Set.Make (Int)
    on the faults' membership pattern (this handles multiple faulted inputs
    from reconvergent fan-out correctly), plus the gate's own local faults
    whose faulty function differs under the applied input vector. *)
-let run_deductive ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
-    ?checkpoint u (patterns : bool array array) =
-  let t0 = start_time obs in
-  let n = n_sites u in
-  let first = Array.make n None in
-  let evals = ref 0 in
-  let saved = ref 0 in
+let deductive_kernel ~algo u patterns =
   let compiled = u.compiled in
   let n_nets = Compiled.n_nets compiled in
   let gates = Compiled.gates compiled in
+  let total = Array.length patterns in
   let is_po = Array.make n_nets false in
   Array.iter (fun p -> is_po.(p) <- true) (Compiled.po_indices compiled);
-  (* Local sites per gate id. *)
-  let local = Hashtbl.create 64 in
-  Array.iter
-    (fun site ->
-      let k = site.gate.Netlist.id in
-      Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
-    u.sites;
-  let dropped = Array.make n false in
-  let undetected = ref n in
-  let total = Array.length patterns in
-  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let pi = ref (preload_patterns ~engine:"deductive" checkpoint first) in
-  Array.iteri
-    (fun i d ->
-      if d <> None then begin
-        decr undetected;
-        if drop then dropped.(i) <- true
-      end)
-    first;
-  let stopping = ref false in
-  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
-    let pattern = patterns.(!pi) in
-    let e0 = !evals in
+  let local = local_sites u in
+  let tracker = cone_tracker ~algo u in
+  let run_unit (ctx : Kernel.ctx) ~start ~len:_ =
+    reconcile_tracker tracker ctx u;
+    let drop = ctx.Kernel.drop in
+    let dropped = ctx.Kernel.dropped in
+    let work = ctx.Kernel.work in
+    let pattern = patterns.(start) in
     let values = Compiled.eval_nets compiled pattern in
     let lists : Int_set.t array = Array.make n_nets Int_set.empty in
     Array.iter
       (fun cg ->
-        let ins = cg.Compiled.ins in
-        let arity = Array.length ins in
-        let in_vals = Array.map (fun i -> values.(i)) ins in
-        let good_out = values.(cg.Compiled.out) in
-        let candidates =
-          Array.fold_left (fun acc i -> Int_set.union acc lists.(i)) Int_set.empty ins
-        in
-        let propagated =
-          Int_set.filter
-            (fun f ->
-              (* A dropped site can still sit in upstream lists built
-                 earlier this pattern; skip its propagation outright
-                 instead of re-evaluating the gate for it. *)
-              if drop && dropped.(f) then begin
-                incr saved;
-                false
-              end
-              else begin
-                incr evals;
-                let flipped =
-                  Array.init arity (fun k ->
-                      if Int_set.mem f lists.(ins.(k)) then not in_vals.(k) else in_vals.(k))
-                in
-                let words = Array.map (fun b -> if b then 1 else 0) flipped in
-                Compiled.eval_fn cg.Compiled.fn words land 1 = 1 <> good_out
-              end)
-            candidates
-        in
-        let with_local =
-          List.fold_left
-            (fun acc site ->
-              if drop && dropped.(site.sid) then begin
-                incr saved;
-                acc
-              end
-              else begin
-                incr evals;
-                let words = Array.map (fun b -> if b then 1 else 0) in_vals in
-                let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-                if fv <> good_out then Int_set.add site.sid acc else acc
-              end)
-            propagated
-            (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
-        in
-        (* A fault reaching a primary-output net is detected; record it
-           the moment the driving gate is processed so dropping takes
-           effect for the rest of this very pattern. *)
-        if is_po.(cg.Compiled.out) then
-          Int_set.iter
-            (fun f ->
-              if first.(f) = None then begin
-                first.(f) <- Some !pi;
-                decr undetected
-              end;
-              if drop then dropped.(f) <- true)
-            with_local;
-        lists.(cg.Compiled.out) <- with_local)
-      gates;
-    incr pi;
-    Limits.add_evals gauge (!evals - e0);
-    if Limits.check gauge then stopping := true;
-    tick_patterns checkpoint ~obs ~engine:"deductive" ~units_done:!pi ~first
-  done;
-  (* Early exit once every site is detected: each skipped pattern saves at
-     least the n local spawn evaluations (plus all propagation work). *)
-  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
-  finalize_patterns checkpoint ~obs ~engine:"deductive" ~units_done:!pi ~first;
-  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) () in
-  let sites_done = if !stopping then detected_count first else n in
-  emit_run obs ~engine:"deductive" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
-    ~sites_done ~t0
-    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
-    sites_done }
+        if not (skip_gate tracker cg.Compiled.g.Netlist.id) then begin
+          let ins = cg.Compiled.ins in
+          let arity = Array.length ins in
+          let in_vals = Array.map (fun i -> values.(i)) ins in
+          let good_out = values.(cg.Compiled.out) in
+          let candidates =
+            Array.fold_left (fun acc i -> Int_set.union acc lists.(i)) Int_set.empty ins
+          in
+          let propagated =
+            Int_set.filter
+              (fun f ->
+                (* A dropped site can still sit in upstream lists built
+                   earlier this pattern; skip its propagation outright
+                   instead of re-evaluating the gate for it. *)
+                if drop && dropped.(f) then false
+                else begin
+                  incr work;
+                  let flipped =
+                    Array.init arity (fun k ->
+                        if Int_set.mem f lists.(ins.(k)) then not in_vals.(k) else in_vals.(k))
+                  in
+                  let words = Array.map (fun b -> if b then 1 else 0) flipped in
+                  Compiled.eval_fn cg.Compiled.fn words land 1 = 1 <> good_out
+                end)
+              candidates
+          in
+          let with_local =
+            List.fold_left
+              (fun acc site ->
+                if drop && dropped.(site.sid) then acc
+                else begin
+                  incr work;
+                  let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                  let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                  if fv <> good_out then Int_set.add site.sid acc else acc
+                end)
+              propagated
+              (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id))
+          in
+          (* A fault reaching a primary-output net is detected; record it
+             the moment the driving gate is processed so dropping takes
+             effect for the rest of this very pattern. *)
+          if is_po.(cg.Compiled.out) then
+            Int_set.iter (fun f -> ctx.Kernel.detect ~sid:f ~pat:start) with_local;
+          lists.(cg.Compiled.out) <- with_local
+        end)
+      gates
+  in
+  {
+    Kernel.name = "deductive";
+    unit_len = (fun ~start:_ -> 1);
+    units_remaining = (fun ~start -> total - start);
+    run_unit;
+    obs_fields = propagation_obs_fields ~algo;
+  }
 
-(* --- Concurrent ------------------------------------------------------------ *)
+(* --- Concurrent kernel ------------------------------------------------------ *)
 
 (* Concurrent fault simulation: the third classical engine the paper
    names.  Instead of re-simulating whole circuits (serial/parallel) or
@@ -718,212 +478,143 @@ let run_deductive ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?int
 
 module Int_map = Map.Make (Int)
 
-let run_concurrent ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
-    ?checkpoint u (patterns : bool array array) =
-  let t0 = start_time obs in
-  let n = n_sites u in
-  let first = Array.make n None in
-  let evals = ref 0 in
-  let saved = ref 0 in
+let concurrent_kernel ~algo u patterns =
   let compiled = u.compiled in
   let n_nets = Compiled.n_nets compiled in
   let gates = Compiled.gates compiled in
-  let local = Hashtbl.create 64 in
-  Array.iter
-    (fun site ->
-      let k = site.gate.Netlist.id in
-      Hashtbl.replace local k (site :: Option.value ~default:[] (Hashtbl.find_opt local k)))
-    u.sites;
+  let total = Array.length patterns in
   let is_po = Array.make n_nets false in
   Array.iter (fun p -> is_po.(p) <- true) (Compiled.po_indices compiled);
-  let dropped = Array.make n false in
-  let undetected = ref n in
-  let total = Array.length patterns in
-  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let pi = ref (preload_patterns ~engine:"concurrent" checkpoint first) in
-  Array.iteri
-    (fun i d ->
-      if d <> None then begin
-        decr undetected;
-        if drop then dropped.(i) <- true
-      end)
-    first;
-  let stopping = ref false in
-  while !pi < total && (not (drop && !undetected = 0)) && not !stopping do
-    let pattern = patterns.(!pi) in
-    let e0 = !evals in
+  let local = local_sites u in
+  let tracker = cone_tracker ~algo u in
+  let run_unit (ctx : Kernel.ctx) ~start ~len:_ =
+    reconcile_tracker tracker ctx u;
+    let drop = ctx.Kernel.drop in
+    let dropped = ctx.Kernel.dropped in
+    let work = ctx.Kernel.work in
+    let pattern = patterns.(start) in
     let values = Compiled.eval_nets compiled pattern in
     (* Per net: the diverged machines as a map site -> faulty value
        (present only when it differs from the good value). *)
     let diverged : bool Int_map.t array = Array.make n_nets Int_map.empty in
     Array.iter
       (fun cg ->
-        let ins = cg.Compiled.ins in
-        let arity = Array.length ins in
-        let in_vals = Array.map (fun i -> values.(i)) ins in
-        let good_out = values.(cg.Compiled.out) in
-        (* Machines appearing on any input. *)
-        let candidates =
-          Array.fold_left
-            (fun acc i ->
-              Int_map.fold (fun site _ acc -> Int_map.add site () acc) diverged.(i) acc)
-            Int_map.empty ins
-        in
-        let out_map = ref Int_map.empty in
-        Int_map.iter
-          (fun site () ->
-            (* A dropped machine may still be diverged on upstream nets
-               from earlier this pattern; let it die here for free. *)
-            if drop && dropped.(site) then incr saved
-            else begin
-              incr evals;
-              let faulty_ins =
-                Array.init arity (fun k ->
-                    match Int_map.find_opt site diverged.(ins.(k)) with
-                    | Some v -> v
-                    | None -> in_vals.(k))
-              in
-              let words = Array.map (fun b -> if b then 1 else 0) faulty_ins in
-              let fn =
-                if cg.Compiled.g.Netlist.id = u.sites.(site).gate.Netlist.id then
-                  u.sites.(site).fn
-                else cg.Compiled.fn
-              in
-              let fv = Compiled.eval_fn fn words land 1 = 1 in
-              if fv <> good_out then out_map := Int_map.add site fv !out_map
-            end)
-          candidates;
-        (* Spawn local machines at this gate (their inputs equal the
-           good inputs; their gate function is the faulty one). *)
-        List.iter
-          (fun site ->
-            if drop && dropped.(site.sid) then incr saved
-            else if not (Int_map.mem site.sid !out_map) then begin
-              incr evals;
-              let words = Array.map (fun b -> if b then 1 else 0) in_vals in
-              let fv = Compiled.eval_fn site.fn words land 1 = 1 in
-              if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
-            end)
-          (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
-        (* A machine diverged on a primary-output net is detected; record
-           inline so dropping takes effect within this pattern. *)
-        if is_po.(cg.Compiled.out) then
+        if not (skip_gate tracker cg.Compiled.g.Netlist.id) then begin
+          let ins = cg.Compiled.ins in
+          let arity = Array.length ins in
+          let in_vals = Array.map (fun i -> values.(i)) ins in
+          let good_out = values.(cg.Compiled.out) in
+          (* Machines appearing on any input. *)
+          let candidates =
+            Array.fold_left
+              (fun acc i ->
+                Int_map.fold (fun site _ acc -> Int_map.add site () acc) diverged.(i) acc)
+              Int_map.empty ins
+          in
+          let out_map = ref Int_map.empty in
           Int_map.iter
-            (fun site _ ->
-              if first.(site) = None then begin
-                first.(site) <- Some !pi;
-                decr undetected
-              end;
-              if drop then dropped.(site) <- true)
-            !out_map;
-        diverged.(cg.Compiled.out) <- !out_map)
-      gates;
-    incr pi;
-    Limits.add_evals gauge (!evals - e0);
-    if Limits.check gauge then stopping := true;
-    tick_patterns checkpoint ~obs ~engine:"concurrent" ~units_done:!pi ~first
-  done;
-  if (!pi < total) && not !stopping then saved := !saved + ((total - !pi) * n);
-  finalize_patterns checkpoint ~obs ~engine:"concurrent" ~units_done:!pi ~first;
-  let outcome = Outcome.make ?stopped:(Limits.stopped gauge) () in
-  let sites_done = if !stopping then detected_count first else n in
-  emit_run obs ~engine:"concurrent" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done:!pi
-    ~sites_done ~t0
-    [ ("evals", Obs.Int !evals); ("evals_saved", Obs.Int !saved) ];
-  { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pi;
-    sites_done }
+            (fun site () ->
+              (* A dropped machine may still be diverged on upstream nets
+                 from earlier this pattern; let it die here for free. *)
+              if drop && dropped.(site) then ()
+              else begin
+                incr work;
+                let faulty_ins =
+                  Array.init arity (fun k ->
+                      match Int_map.find_opt site diverged.(ins.(k)) with
+                      | Some v -> v
+                      | None -> in_vals.(k))
+                in
+                let words = Array.map (fun b -> if b then 1 else 0) faulty_ins in
+                let fn =
+                  if cg.Compiled.g.Netlist.id = u.sites.(site).gate.Netlist.id then
+                    u.sites.(site).fn
+                  else cg.Compiled.fn
+                in
+                let fv = Compiled.eval_fn fn words land 1 = 1 in
+                if fv <> good_out then out_map := Int_map.add site fv !out_map
+              end)
+            candidates;
+          (* Spawn local machines at this gate (their inputs equal the
+             good inputs; their gate function is the faulty one). *)
+          List.iter
+            (fun site ->
+              if drop && dropped.(site.sid) then ()
+              else if not (Int_map.mem site.sid !out_map) then begin
+                incr work;
+                let words = Array.map (fun b -> if b then 1 else 0) in_vals in
+                let fv = Compiled.eval_fn site.fn words land 1 = 1 in
+                if fv <> good_out then out_map := Int_map.add site.sid fv !out_map
+              end)
+            (Option.value ~default:[] (Hashtbl.find_opt local cg.Compiled.g.Netlist.id));
+          (* A machine diverged on a primary-output net is detected; record
+             inline so dropping takes effect within this pattern. *)
+          if is_po.(cg.Compiled.out) then
+            Int_map.iter (fun site _ -> ctx.Kernel.detect ~sid:site ~pat:start) !out_map;
+          diverged.(cg.Compiled.out) <- !out_map
+        end)
+      gates
+  in
+  {
+    Kernel.name = "concurrent";
+    unit_len = (fun ~start:_ -> 1);
+    units_remaining = (fun ~start -> total - start);
+    run_unit;
+    obs_fields = propagation_obs_fields ~algo;
+  }
+
+(* --- Public engines: thin wrappers over the campaign driver ---------------- *)
+
+let run_serial ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ?max_attempts ?crash_hook u (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
+    ?crash_hook ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    (injection_kernel ~name:"serial" ~unit_bits:1 ~count_good_evals:true ~algo u patterns)
+
+let run_parallel ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ?max_attempts ?crash_hook u (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
+    ?crash_hook ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    (injection_kernel ~name:"parallel" ~unit_bits:word_bits ~count_good_evals:false ~algo u
+       patterns)
+
+(* The propagation engines move all sites jointly through shared per-net
+   structures, so a raising site cannot be isolated mid-pattern — their
+   wrappers expose no supervision knobs (the driver's supervision simply
+   goes unused). *)
+
+let run_deductive ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint u
+    (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ~n_sites:(n_sites u) ~total:(Array.length patterns) (deductive_kernel ~algo u patterns)
+
+let run_concurrent ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint u
+    (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ~n_sites:(n_sites u) ~total:(Array.length patterns) (concurrent_kernel ~algo u patterns)
 
 (* --- Domain-parallel -------------------------------------------------------- *)
 
 (* Multicore wrapper: fault sites are partitioned across OCaml 5 domains
    (work-stealing pool in Parallel_exec); inside each site the serial or
    bit-parallel kernel runs unchanged, so first-detection results are
-   bit-identical to [run_serial] for every domain count.
-
-   This engine sweeps *sites*, not patterns, so its checkpoints are
-   site-mode: a done bitmap plus the done sites' detections.  On resume,
-   done sites are preloaded and their jobs never submitted to the pool;
-   the rest re-run from pattern 0 (idempotent — a site's scan has no
-   cross-site state).  Progress snapshots are taken from inside the
-   pool's progress mutex, which orders them after the detections they
-   cover. *)
-let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain
-    ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
-    u (patterns : bool array array) =
-  let t0 = start_time obs in
-  let n = n_sites u in
-  let total = Array.length patterns in
-  let first = Array.make n None in
-  let done_mask = Array.make n false in
-  (match checkpoint with
-  | None -> ()
-  | Some ctl -> (
-      Checkpoint.require_mode ctl Checkpoint.Sites ~engine:"domains";
-      match Checkpoint.resume_state ctl with
-      | None -> ()
-      | Some st -> (
-          match st.Checkpoint.site_done with
-          | None -> ()
-          | Some d ->
-              Array.iteri
-                (fun i dn ->
-                  if dn then begin
-                    done_mask.(i) <- true;
-                    first.(i) <- st.Checkpoint.first_detection.(i)
-                  end)
-                d)));
+   bit-identical to [run_serial] for every domain count.  All campaign
+   plumbing lives in [Campaign.run_sites]. *)
+let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
+    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u
+    (patterns : bool array array) =
   let jobs =
-    u.sites
-    |> Array.to_seq
-    |> Seq.filter (fun s -> not done_mask.(s.sid))
-    |> Seq.map (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
-    |> Array.of_seq
+    Array.map
+      (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
+      u.sites
   in
-  let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let on_progress ~sites_done =
-    match checkpoint with
-    | None -> ()
-    | Some ctl ->
-        if
-          Checkpoint.tick ctl ~mode:Checkpoint.Sites ~units_done:sites_done
-            ~first_detection:first ~site_done:done_mask ()
-        then emit_checkpoint obs ~engine:"domains" ctl ~units_done:sites_done
+  let summary, _report, stats =
+    Campaign.run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
+      ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
+      ~extra_fields:[ ("cone_gates", Obs.Int (total_cone_gates u)) ]
+      u.compiled jobs patterns
   in
-  let rfirst, report, stats =
-    Parallel_exec.run_supervised ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
-      ~gauge ?max_attempts ?crash_hook ~first ~done_mask ~on_progress u.compiled jobs patterns
-  in
-  assert (rfirst == first);
-  (match checkpoint with
-  | None -> ()
-  | Some ctl ->
-      Checkpoint.finalize ctl ~mode:Checkpoint.Sites
-        ~units_done:report.Parallel_exec.sites_done ~first_detection:first
-        ~site_done:done_mask ();
-      emit_checkpoint obs ~engine:"domains" ctl ~units_done:report.Parallel_exec.sites_done);
-  let outcome =
-    Outcome.make ?stopped:report.Parallel_exec.stopped
-      ~failed_sites:report.Parallel_exec.failed_sites ()
-  in
-  let sites_done = report.Parallel_exec.sites_done in
-  let patterns_done = if Outcome.is_complete outcome then total else 0 in
-  emit_site_failed obs ~engine:"domains" report.Parallel_exec.failed_sites;
-  emit_run obs ~engine:"domains" ~n_sites:n ~n_patterns:total ~outcome ~patterns_done
-    ~sites_done ~t0
-    [
-      ("algo", Obs.String (Parallel_exec.algo_name stats.Parallel_exec.algo_used));
-      ("evals", Obs.Int (Parallel_exec.stats_evals stats));
-      ("evals_saved", Obs.Int (Parallel_exec.stats_evals_saved stats));
-      ("gate_evals", Obs.Int (Parallel_exec.stats_gate_evals stats));
-      ("cone_gates", Obs.Int (total_cone_gates u));
-      ("effective_domains", Obs.Int stats.Parallel_exec.effective_domains);
-      ("retries", Obs.Int report.Parallel_exec.retries);
-      ("spawn_failures", Obs.Int report.Parallel_exec.spawn_failures);
-      ("worker_crashes", Obs.Int report.Parallel_exec.worker_crashes);
-    ];
-  ( { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done;
-      sites_done },
-    stats )
+  (summary, stats)
 
 let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
     ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u patterns =

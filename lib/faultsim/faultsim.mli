@@ -46,7 +46,7 @@ val n_sites : universe -> int
 
 val site_label : universe -> site -> string
 
-type summary = {
+type summary = Campaign.summary = {
   n_sites : int;
   n_patterns : int;
   first_detection : int option array;  (** per site: first detecting pattern *)
@@ -87,31 +87,47 @@ val coverage_curve : summary -> float array
 val detects : universe -> site -> bool array -> bool
 (** Does one pattern detect one site? *)
 
-(** Every engine takes an optional observability recorder [obs] (default
+(** Every engine is a thin wrapper over the unified campaign driver
+    ({!Campaign}): limits, checkpointing, obs accounting, fault dropping,
+    supervision and the all-detected early exit are implemented exactly
+    once there, so the five entry points cannot drift apart.
+
+    Every engine takes an optional observability recorder [obs] (default
     disabled, one branch of overhead): when enabled it receives one
     ["faultsim.run"] event per run carrying the engine name, site and
-    pattern counts, wall-clock time, the number of faulty-machine kernel
-    evaluations performed ("evals") and the evaluations skipped by fault
-    dropping or the all-detected early exit ("evals_saved").  The
-    injection engines additionally report the algorithm name ("algo"),
-    the faulty gate evaluations performed ("gate_evals"), the gate
-    evaluations the cone restriction avoided relative to whole-circuit
-    sweeps ("gate_evals_saved") and the summed fanout-cone size over all
-    sites ("cone_gates").  The recorder never changes results: with and
-    without [obs], summaries are bit-identical (tested).
+    pattern counts, wall-clock time, the number of kernel evaluations
+    performed ("evals") and the evaluations skipped by fault dropping or
+    the all-detected early exit ("evals_saved").  Both counts follow one
+    driver-level definition — {e one evaluation per live site per
+    pattern unit} — so engines report identical totals on the same
+    campaign (serial, deductive and concurrent sweep one pattern per
+    unit; bit-parallel and the domains engine's bit-parallel inner
+    kernel sweep one 62-pattern word per unit).  Gate-level work is
+    reported separately: every engine carries "gate_evals" (gate or
+    gate-function evaluations performed), and the injection engines add
+    the gate evaluations the cone restriction avoided relative to
+    whole-circuit sweeps ("gate_evals_saved") and the summed fanout-cone
+    size over all sites ("cone_gates").  The recorder never changes
+    results: with and without [obs], summaries are bit-identical
+    (tested).
 
-    The injection engines ({!run_serial}, {!run_parallel},
-    {!run_domain_parallel}) take [?algo]:
+    Every engine takes [?algo]:
 
-    - [`Cone] (default): re-evaluate only the fault site's transitive
-      fanout cone against the good-machine baseline
-      ({!Compiled.eval_cone_into}), exiting immediately when the fault is
-      not activated;
-    - [`Full]: re-evaluate the whole circuit per fault and compare every
-      primary output (the classical kernel).
+    - [`Cone] (default): for the injection engines ({!run_serial},
+      {!run_parallel}, {!run_domain_parallel}), re-evaluate only the
+      fault site's transitive fanout cone against the good-machine
+      baseline ({!Compiled.eval_cone_into}), exiting immediately when
+      the fault is not activated.  For the propagation engines
+      ({!run_deductive}, {!run_concurrent}) — whose per-net propagation
+      is already cone-local per site — skip every gate that lies in no
+      live site's fanout cone (gates outside all injected cones on
+      restricted universes, and, as dropping retires sites, growing
+      regions of the circuit);
+    - [`Full]: sweep every gate (the classical kernels).
 
-    Both produce bit-identical [first_detection] (a fault can only
-    influence its fanout cone); they differ only in work performed.
+    All combinations produce bit-identical [first_detection] (a fault
+    can only influence its fanout cone); they differ only in work
+    performed.
 
     {b Robustness} (see also {!Outcome}, {!Limits}, {!Checkpoint}):
     every engine takes [?deadline] (absolute epoch seconds),
@@ -169,6 +185,7 @@ val run_parallel :
 
 val run_deductive :
   ?drop:bool ->
+  ?algo:[ `Full | `Cone ] ->
   ?obs:Dynmos_obs.Obs.t ->
   ?deadline:float ->
   ?max_evals:int ->
@@ -180,6 +197,7 @@ val run_deductive :
 
 val run_concurrent :
   ?drop:bool ->
+  ?algo:[ `Full | `Cone ] ->
   ?obs:Dynmos_obs.Obs.t ->
   ?deadline:float ->
   ?max_evals:int ->

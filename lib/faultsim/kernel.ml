@@ -1,0 +1,23 @@
+(* Driver/kernel interface types of the unified campaign driver; see
+   kernel.mli.  Pure data — the driver logic is in campaign.ml and the
+   kernel implementations in faultsim.ml. *)
+
+type ctx = {
+  drop : bool;
+  first : int option array;
+  failed : bool array;
+  dropped : bool array;
+  work : int ref;
+  detect : sid:int -> pat:int -> unit;
+  supervise : sid:int -> restore:(unit -> unit) -> (unit -> int) -> int option;
+}
+
+type totals = { evals : int; evals_saved : int; work : int }
+
+type t = {
+  name : string;
+  unit_len : start:int -> int;
+  units_remaining : start:int -> int;
+  run_unit : ctx -> start:int -> len:int -> unit;
+  obs_fields : totals -> (string * Dynmos_obs.Obs.value) list;
+}

@@ -95,7 +95,7 @@ let check_fields ~op ~allowed obj =
                 (String.concat ", " allowed)
       in
       go fields
-  | _ -> assert false (* caller matched Obj *)
+  | _ -> err "internal error: op %S: field check applied to a non-object request" op
 
 (* --- Request parsing --------------------------------------------------------- *)
 

@@ -288,8 +288,10 @@ let exec_job t job =
         Faultsim.run_serial ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
     | `Parallel ->
         Faultsim.run_parallel ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
-    | `Deductive -> Faultsim.run_deductive ~drop ~obs:job_obs ~deadline ?max_evals u pats
-    | `Concurrent -> Faultsim.run_concurrent ~drop ~obs:job_obs ~deadline ?max_evals u pats
+    | `Deductive ->
+        Faultsim.run_deductive ~drop ~algo ~obs:job_obs ~deadline ?max_evals u pats
+    | `Concurrent ->
+        Faultsim.run_concurrent ~drop ~algo ~obs:job_obs ~deadline ?max_evals u pats
     | `Domains ->
         Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
           ~deadline ?max_evals ?crash_hook u pats

@@ -321,12 +321,16 @@ let observed_function ?electrical ?fault cell =
         let w = domino_warmup ?electrical ?fault cell in
         (`D w, fun st v -> match st with
            | `D s -> let s', o = domino_cycle ?electrical ?fault cell s v in (`D s', o)
-           | `N _ -> assert false)
+           | `N _ ->
+               invalid_arg
+                 "Charge_sim.observed_function: dynamic-NMOS state fed to a domino cycle")
     | Technology.Dynamic_nmos ->
         let w = nmos_warmup ?electrical ?fault cell in
         (`N w, fun st v -> match st with
            | `N s -> let s', o = dynamic_nmos_cycle ?electrical ?fault cell s v in (`N s', o)
-           | `D _ -> assert false)
+           | `D _ ->
+               invalid_arg
+                 "Charge_sim.observed_function: domino state fed to a dynamic-NMOS cycle")
     | _ -> invalid_arg "Charge_sim.observed_function: dynamic technologies only"
   in
   let vectors = bool_vectors (Cell.arity cell) in

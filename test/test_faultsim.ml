@@ -58,8 +58,10 @@ let engines_agree u patterns =
   agree (Faultsim.run_serial ~drop:false ~algo:`Cone u patterns)
   && agree (Faultsim.run_parallel ~drop:false ~algo:`Full u patterns)
   && agree (Faultsim.run_parallel ~drop:false ~algo:`Cone u patterns)
-  && agree (Faultsim.run_deductive ~drop:false u patterns)
-  && agree (Faultsim.run_concurrent ~drop:false u patterns)
+  && agree (Faultsim.run_deductive ~drop:false ~algo:`Full u patterns)
+  && agree (Faultsim.run_deductive ~drop:false ~algo:`Cone u patterns)
+  && agree (Faultsim.run_concurrent ~drop:false ~algo:`Full u patterns)
+  && agree (Faultsim.run_concurrent ~drop:false ~algo:`Cone u patterns)
   && List.for_all
        (fun (inner, algo) ->
          agree
@@ -182,6 +184,42 @@ let test_cone_reconvergent_random () =
       let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
       check (Fmt.str "seed %d" seed) true (engines_agree u pats))
     [ 2; 21; 77 ]
+
+(* Cone restriction on the propagation engines specifically: full vs
+   cone must match on reconvergent shapes under both drop settings —
+   dropping retires sites mid-run, which is exactly when a stale
+   active-gate count would make the cone kernel skip a gate some live
+   fault still needs. *)
+let test_propagation_cone_differential () =
+  let circuits =
+    [
+      reconvergent_netlist ();
+      Generators.random_monotone ~seed:21 ~n_inputs:8 ~n_gates:30
+        ~technology:Technology.Domino_cmos ();
+    ]
+  in
+  let prng = Prng.create 97 in
+  List.iter
+    (fun nl ->
+      let u = Faultsim.universe nl in
+      let n_in = List.length (Netlist.inputs nl) in
+      let pats = Faultsim.random_patterns prng ~n_inputs:n_in ~count:100 in
+      List.iter
+        (fun (name, run) ->
+          List.iter
+            (fun drop ->
+              let full = run ~drop ~algo:`Full u pats in
+              let cone = run ~drop ~algo:`Cone u pats in
+              check
+                (Fmt.str "%s %s drop=%b" (Netlist.name nl) name drop)
+                true
+                (full.Faultsim.first_detection = cone.Faultsim.first_detection))
+            [ false; true ])
+        [
+          ("deductive", fun ~drop ~algo u p -> Faultsim.run_deductive ~drop ~algo u p);
+          ("concurrent", fun ~drop ~algo u p -> Faultsim.run_concurrent ~drop ~algo u p);
+        ])
+    circuits
 
 (* --- Domain-parallel layer -------------------------------------------------- *)
 
@@ -502,6 +540,50 @@ let test_obs_eval_reconciliation () =
           in
           check_i "every job claimed exactly once" st.Parallel_exec.n_jobs jobs_sum)
         [ 1; 2; 3 ])
+    [ false; true ]
+
+(* The unified driver owns one accounting definition — one kernel
+   evaluation per live site per pattern unit — so every per-pattern
+   engine must report the SAME evals/evals_saved totals for the same
+   campaign: the numbers are a property of the campaign, not of the
+   kernel.  Bit-parallel units are 62-pattern words, so its totals
+   scale by the chunk count instead. *)
+let test_unified_accounting_totals () =
+  let nl = Generators.carry_chain ~technology:Technology.Domino_cmos 6 in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 67 in
+  let n_in = List.length (Netlist.inputs nl) in
+  let pats = Faultsim.random_patterns prng ~n_inputs:n_in ~count:100 in
+  let totals run =
+    let sink, fetch = Obs.memory_sink () in
+    ignore (run (Obs.make sink));
+    let e = run_event fetch in
+    (Option.get (field_int e "evals"), Option.get (field_int e "evals_saved"))
+  in
+  List.iter
+    (fun drop ->
+      let se, ss = totals (fun obs -> Faultsim.run_serial ~drop ~obs u pats) in
+      check_i
+        (Fmt.str "drop=%b: serial accounts the full workload" drop)
+        (Faultsim.n_sites u * Array.length pats)
+        (se + ss);
+      List.iter
+        (fun (name, run) ->
+          let e, s = totals (run ~drop) in
+          check_i (Fmt.str "drop=%b: %s evals = serial evals" drop name) se e;
+          check_i (Fmt.str "drop=%b: %s evals_saved = serial evals_saved" drop name) ss s)
+        [
+          ("deductive", fun ~drop obs -> Faultsim.run_deductive ~drop ~obs u pats);
+          ("concurrent", fun ~drop obs -> Faultsim.run_concurrent ~drop ~obs u pats);
+        ];
+      let chunks = (Array.length pats + 61) / 62 in
+      let pe, ps = totals (fun obs -> Faultsim.run_parallel ~drop ~obs u pats) in
+      check_i
+        (Fmt.str "drop=%b: parallel accounts sites x chunks" drop)
+        (Faultsim.n_sites u * chunks)
+        (pe + ps);
+      if not drop then
+        check_i "no-drop parallel evals = sites x chunks" (Faultsim.n_sites u * chunks) pe)
     [ false; true ]
 
 (* Cone vs full bookkeeping: identical kernel-invocation counts and
@@ -1098,6 +1180,8 @@ let () =
         [
           Alcotest.test_case "reconvergent circuit" `Quick test_cone_reconvergent;
           Alcotest.test_case "reconvergent random circuits" `Quick test_cone_reconvergent_random;
+          Alcotest.test_case "propagation engines: cone = full" `Quick
+            test_propagation_cone_differential;
         ] );
       ( "domain-parallel",
         [
@@ -1121,6 +1205,8 @@ let () =
           Alcotest.test_case "obs on/off parity" `Quick test_obs_parity;
           Alcotest.test_case "eval counters reconcile with serial" `Quick
             test_obs_eval_reconciliation;
+          Alcotest.test_case "unified totals across engines" `Quick
+            test_unified_accounting_totals;
           Alcotest.test_case "cone cuts gate evals, not invocations" `Quick test_cone_gate_evals;
           Alcotest.test_case "all-detected early exit accounting" `Quick
             test_early_exit_accounting;

@@ -1,0 +1,139 @@
+(* Frozen coverage fixtures: every engine x algo x drop combination on
+   the rand20/rand60 catalog circuits must keep producing bit-identical
+   detection results.  [--gen] prints the current lines (used once to
+   freeze a baseline into fixtures.expected); the default mode, run
+   under [dune runtest] and as a dedicated CI job, recomputes them and
+   fails on the first divergence.  Only detection results are frozen —
+   coverage, detection counts and a digest of the full first_detection
+   array — never cost counters, which are allowed to improve. *)
+
+open Dynmos_circuits
+open Dynmos_sim
+open Dynmos_faultsim
+module Prng = Dynmos_util.Prng
+
+let fixture_count = 256
+
+let circuits = [ ("rand20", 101); ("rand60", 202) ]
+
+let fd_digest (first : int option array) =
+  let b = Buffer.create 256 in
+  Array.iter
+    (function
+      | Some p ->
+          Buffer.add_string b (string_of_int p);
+          Buffer.add_char b ';'
+      | None -> Buffer.add_string b "-;")
+    first;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Every public engine surface.  The deductive/concurrent baseline rows
+   were frozen before those engines took [?algo], so their cone rows pin
+   the campaign driver's cone restriction to the pre-refactor results. *)
+let engines :
+    (string * string * (drop:bool -> Faultsim.universe -> bool array array -> Faultsim.summary))
+    list =
+  [
+    ("serial", "full", fun ~drop u p -> Faultsim.run_serial ~drop ~algo:`Full u p);
+    ("serial", "cone", fun ~drop u p -> Faultsim.run_serial ~drop ~algo:`Cone u p);
+    ("parallel", "full", fun ~drop u p -> Faultsim.run_parallel ~drop ~algo:`Full u p);
+    ("parallel", "cone", fun ~drop u p -> Faultsim.run_parallel ~drop ~algo:`Cone u p);
+    ("deductive", "full", fun ~drop u p -> Faultsim.run_deductive ~drop ~algo:`Full u p);
+    ("deductive", "cone", fun ~drop u p -> Faultsim.run_deductive ~drop ~algo:`Cone u p);
+    ("concurrent", "full", fun ~drop u p -> Faultsim.run_concurrent ~drop ~algo:`Full u p);
+    ("concurrent", "cone", fun ~drop u p -> Faultsim.run_concurrent ~drop ~algo:`Cone u p);
+    ( "domains-serial",
+      "full",
+      fun ~drop u p ->
+        Faultsim.run_domain_parallel ~drop ~inner:Parallel_exec.Serial ~algo:`Full
+          ~num_domains:2 ~min_work_per_domain:0 u p );
+    ( "domains-serial",
+      "cone",
+      fun ~drop u p ->
+        Faultsim.run_domain_parallel ~drop ~inner:Parallel_exec.Serial ~algo:`Cone
+          ~num_domains:2 ~min_work_per_domain:0 u p );
+    ( "domains-bitpar",
+      "full",
+      fun ~drop u p ->
+        Faultsim.run_domain_parallel ~drop ~inner:Parallel_exec.Bit_parallel ~algo:`Full
+          ~num_domains:2 ~min_work_per_domain:0 u p );
+    ( "domains-bitpar",
+      "cone",
+      fun ~drop u p ->
+        Faultsim.run_domain_parallel ~drop ~inner:Parallel_exec.Bit_parallel ~algo:`Cone
+          ~num_domains:2 ~min_work_per_domain:0 u p );
+  ]
+
+let lines () =
+  List.concat_map
+    (fun (cname, seed) ->
+      let netlist =
+        match Catalog.find cname with Ok n -> n | Error m -> failwith m
+      in
+      let u = Faultsim.universe netlist in
+      let prng = Prng.create seed in
+      let patterns =
+        Faultsim.random_patterns prng
+          ~n_inputs:(Compiled.n_inputs u.Faultsim.compiled)
+          ~count:fixture_count
+      in
+      List.concat_map
+        (fun (ename, algo, run) ->
+          List.map
+            (fun drop ->
+              let s = run ~drop u patterns in
+              Printf.sprintf
+                "circuit=%s engine=%s algo=%s drop=%b sites=%d detected=%d \
+                 patterns_done=%d sites_done=%d cov=%.6f fd=%s"
+                cname ename algo drop s.Faultsim.n_sites (Faultsim.n_detected s)
+                s.Faultsim.patterns_done s.Faultsim.sites_done (Faultsim.coverage s)
+                (fd_digest s.Faultsim.first_detection))
+            [ true; false ])
+        engines)
+    circuits
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--gen" then
+    List.iter print_endline (lines ())
+  else begin
+    (* The frozen file is a dune dep copied next to the executable, so
+       resolve it there — cwd differs between runtest and dune exec. *)
+    let path =
+      let beside = Filename.concat (Filename.dirname Sys.executable_name) "fixtures.expected" in
+      if Sys.file_exists beside then beside else "fixtures.expected"
+    in
+    let expected = read_lines path in
+    let actual = lines () in
+    let ne = List.length expected and na = List.length actual in
+    let failures = ref 0 in
+    if ne <> na then begin
+      incr failures;
+      Printf.eprintf "fixture count mismatch: expected %d lines, got %d\n" ne na
+    end;
+    List.iteri
+      (fun i e ->
+        match List.nth_opt actual i with
+        | Some a when a = e -> ()
+        | Some a ->
+            incr failures;
+            Printf.eprintf "fixture drift at line %d:\n  expected: %s\n  actual:   %s\n"
+              (i + 1) e a
+        | None -> ())
+      expected;
+    if !failures > 0 then begin
+      Printf.eprintf "%d fixture mismatch(es) — engine results changed\n" !failures;
+      exit 1
+    end;
+    Printf.printf "fixtures: %d lines bit-identical\n" na
+  end
