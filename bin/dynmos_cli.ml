@@ -504,10 +504,14 @@ let diagnose_cmd =
 (* --- serve ---------------------------------------------------------------------- *)
 
 (* Long-lived batch front end: JSONL requests from stdin (or a Unix
-   socket), one response line per request line, crash isolation via the
-   supervised engines, bounded admission queue, graceful drain on the
-   first SIGTERM/SIGINT (second signal hard-exits 130 — the same
-   contract as a checkpointed campaign). *)
+   socket, serving any number of clients concurrently), one terminal
+   response line per request line, crash isolation via the supervised
+   engines, a shared executor pool with a content-addressed result
+   cache, bounded admission queue, graceful drain on the first
+   SIGTERM/SIGINT (second signal hard-exits 130 — the same contract as
+   a checkpointed campaign).  Signals are converted to drain requests by
+   a dedicated sigwait thread: [Server.request_drain] takes locks and
+   wakes condition variables, which a signal handler must never do. *)
 let serve_cmd =
   let module Server = Dynmos_server.Server in
   let queue =
@@ -515,6 +519,18 @@ let serve_cmd =
          & info [ "queue" ] ~docv:"N"
              ~doc:"Pending-request queue capacity; further run requests are answered \
                    'overloaded' (backpressure instead of unbounded memory).")
+  in
+  let executors =
+    Arg.(value & opt (bounded_int ~what:"--executors" ~min:1 ()) Server.default_config.Server.executors
+         & info [ "executors" ] ~docv:"N"
+             ~doc:"Worker domains in the shared executor pool; jobs from all clients \
+                   multiplex onto it with per-client FIFO fairness.")
+  in
+  let cache =
+    Arg.(value & opt (bounded_int ~what:"--cache" ~min:0 ()) Server.default_config.Server.cache_capacity
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Capacity (entries) of the content-addressed result cache; a repeat of \
+                   a completed run is answered from it without simulating. 0 disables.")
   in
   let max_patterns =
     Arg.(value & opt (bounded_int ~what:"--max-patterns" ~min:0 ()) Server.default_config.Server.max_patterns
@@ -557,20 +573,22 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
-                   stdin/stdout; connections are served sequentially until drain.")
+                   stdin/stdout; connections are served concurrently until drain.")
   in
-  let run queue max_patterns max_seconds max_request_evals global_max_evals max_line_bytes
-      events trace socket =
+  let run queue executors cache max_patterns max_seconds max_request_evals global_max_evals
+      max_line_bytes events trace socket =
     guard @@ fun () ->
     let config =
       {
         Server.queue_capacity = queue;
+        executors;
         max_patterns;
         max_seconds;
         max_request_evals;
         global_max_evals;
         max_line_bytes;
         events_capacity = events;
+        cache_capacity = cache;
       }
     in
     let trace_oc =
@@ -578,16 +596,43 @@ let serve_cmd =
         (fun file -> open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 file)
         trace
     in
+    (* Mask SIGINT/SIGTERM on this thread BEFORE creating the server:
+       executor domains and reader threads inherit the mask at spawn, so
+       signals are delivered only to the sigwait thread below. *)
+    let signals = [ Sys.sigint; Sys.sigterm ] in
+    let masked =
+      try
+        ignore (Thread.sigmask Unix.SIG_BLOCK signals : int list);
+        true
+      with Invalid_argument _ | Unix.Unix_error _ -> false
+    in
     let t =
       Server.create ~config ?trace:(Option.map Obs.channel_sink trace_oc) ()
     in
     (* First SIGTERM/SIGINT: stop admitting, finish queued and in-flight
        jobs (each bounded by its per-request deadline), flush, exit 0.
        Second signal: hard exit 130. *)
-    let drain = install_signal_handlers () in
+    let drain =
+      if masked then begin
+        ignore
+          (Thread.create
+             (fun () ->
+               ignore (Thread.wait_signal signals : int);
+               Server.request_drain t;
+               ignore (Thread.wait_signal signals : int);
+               Stdlib.exit 130)
+             ());
+        fun () -> false
+      end
+      else
+        (* No signal masking on this platform: fall back to the polled
+           handler flag (drain is then only observed between lines). *)
+        install_signal_handlers ()
+    in
     (match socket with
     | Some path -> Server.serve_socket t ~drain path
     | None -> ignore (Server.serve_channels t ~drain stdin stdout : Server.stop));
+    Server.shutdown t;
     Option.iter close_out trace_oc;
     `Ok 0
   in
@@ -599,8 +644,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ queue $ max_patterns $ max_seconds $ max_request_evals
-       $ global_max_evals $ max_line_bytes $ events $ trace $ socket))
+        (const run $ queue $ executors $ cache $ max_patterns $ max_seconds
+       $ max_request_evals $ global_max_evals $ max_line_bytes $ events $ trace $ socket))
 
 (* --- circuits ------------------------------------------------------------------ *)
 

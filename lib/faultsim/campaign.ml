@@ -122,7 +122,8 @@ let finalize_patterns checkpoint ~obs ~engine ~units_done ~first =
 
 let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
     ?checkpoint ?(max_attempts = default_max_attempts) ?(crash_hook = fun (_ : int) -> ())
-    ~n_sites:n ~total (kernel : Kernel.t) =
+    ?(on_progress = fun ~units_done:(_ : int) ~detected:(_ : int) -> ()) ~n_sites:n ~total
+    (kernel : Kernel.t) =
   let t0 = start_time obs in
   let engine = kernel.Kernel.name in
   let first = Array.make n None in
@@ -192,7 +193,8 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
     pos := !pos + len;
     Limits.add_evals gauge (!work - w0);
     if Limits.check gauge then stopping := true;
-    tick_patterns checkpoint ~obs ~engine ~units_done:!pos ~first
+    tick_patterns checkpoint ~obs ~engine ~units_done:!pos ~first;
+    on_progress ~units_done:!pos ~detected:(n - !undetected)
   done;
   let live = n - Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed in
   if !pos < total && not !stopping then
@@ -234,6 +236,7 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
 
 let run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?(obs = Obs.disabled)
     ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
+    ?(on_progress = fun ~units_done:(_ : int) ~detected:(_ : int) -> ())
     ?(extra_fields = []) compiled (jobs : Parallel_exec.job array) patterns =
   let t0 = start_time obs in
   let n = Array.length jobs in
@@ -264,19 +267,22 @@ let run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?(obs = Obs.d
     |> Array.of_seq
   in
   let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
-  let on_progress ~sites_done =
-    match checkpoint with
+  (* Both callbacks run under the pool's progress mutex, which makes the
+     detected count read consistent with the sites just marked done. *)
+  let pool_progress ~sites_done =
+    (match checkpoint with
     | None -> ()
     | Some ctl ->
         if
           Checkpoint.tick ctl ~mode:Checkpoint.Sites ~units_done:sites_done
             ~first_detection:first ~site_done:done_mask ()
-        then emit_checkpoint obs ~engine:"domains" ctl ~units_done:sites_done
+        then emit_checkpoint obs ~engine:"domains" ctl ~units_done:sites_done);
+    on_progress ~units_done:sites_done ~detected:(detected_count first)
   in
   let rfirst, report, stats =
     Parallel_exec.run_supervised ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
-      ~gauge ?max_attempts ?crash_hook ~first ~done_mask ~on_progress compiled pending
-      patterns
+      ~gauge ?max_attempts ?crash_hook ~first ~done_mask ~on_progress:pool_progress compiled
+      pending patterns
   in
   assert (rfirst == first);
   (match checkpoint with

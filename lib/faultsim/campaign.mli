@@ -32,6 +32,7 @@ val run_patterns :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   n_sites:int ->
   total:int ->
   Kernel.t ->
@@ -41,7 +42,12 @@ val run_patterns :
     unified [evals]/[evals_saved] accounting (one kernel evaluation per
     live site per pattern unit), checkpoint preload/tick/finalize in
     [Patterns] mode, the limits gauge (fed the kernel's gate-level work
-    at unit boundaries) and the ["faultsim.run"] obs emission. *)
+    at unit boundaries) and the ["faultsim.run"] obs emission.
+
+    [on_progress] (default no-op) is called after every pattern unit
+    with the patterns completed so far and the running detection count —
+    the streaming hook the serve loop uses.  It runs on the sweeping
+    domain; keep it cheap and never let it raise. *)
 
 val run_sites :
   ?drop:bool ->
@@ -56,6 +62,7 @@ val run_sites :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   ?extra_fields:(string * Dynmos_obs.Obs.value) list ->
   Compiled.t ->
   Parallel_exec.job array ->
@@ -67,4 +74,8 @@ val run_sites :
     delegated to {!Parallel_exec.run_supervised} (inherently
     pool-level).  [jobs] must carry dense [jid]s ([0..n-1]); jobs whose
     site a resumed checkpoint already completed are not re-submitted.
-    [extra_fields] is appended to the ["faultsim.run"] obs event. *)
+    [extra_fields] is appended to the ["faultsim.run"] obs event.
+
+    [on_progress] here reports {e sites} done (this engine sweeps
+    sites), with the detected count read under the pool's progress
+    mutex.  It may be called from any worker domain. *)

@@ -566,15 +566,15 @@ let concurrent_kernel ~algo u patterns =
 (* --- Public engines: thin wrappers over the campaign driver ---------------- *)
 
 let run_serial ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
-    ?max_attempts ?crash_hook u (patterns : bool array array) =
+    ?max_attempts ?crash_hook ?on_progress u (patterns : bool array array) =
   Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
-    ?crash_hook ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    ?crash_hook ?on_progress ~n_sites:(n_sites u) ~total:(Array.length patterns)
     (injection_kernel ~name:"serial" ~unit_bits:1 ~count_good_evals:true ~algo u patterns)
 
 let run_parallel ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
-    ?max_attempts ?crash_hook u (patterns : bool array array) =
+    ?max_attempts ?crash_hook ?on_progress u (patterns : bool array array) =
   Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
-    ?crash_hook ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    ?crash_hook ?on_progress ~n_sites:(n_sites u) ~total:(Array.length patterns)
     (injection_kernel ~name:"parallel" ~unit_bits:word_bits ~count_good_evals:false ~algo u
        patterns)
 
@@ -583,14 +583,14 @@ let run_parallel ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?che
    wrappers expose no supervision knobs (the driver's supervision simply
    goes unused). *)
 
-let run_deductive ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint u
-    (patterns : bool array array) =
-  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+let run_deductive ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ?on_progress u (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?on_progress
     ~n_sites:(n_sites u) ~total:(Array.length patterns) (deductive_kernel ~algo u patterns)
 
-let run_concurrent ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint u
-    (patterns : bool array array) =
-  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+let run_concurrent ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
+    ?on_progress u (patterns : bool array array) =
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?on_progress
     ~n_sites:(n_sites u) ~total:(Array.length patterns) (concurrent_kernel ~algo u patterns)
 
 (* --- Domain-parallel -------------------------------------------------------- *)
@@ -601,7 +601,7 @@ let run_concurrent ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?c
    bit-identical to [run_serial] for every domain count.  All campaign
    plumbing lives in [Campaign.run_sites]. *)
 let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
-    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u
+    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u
     (patterns : bool array array) =
   let jobs =
     Array.map
@@ -610,17 +610,18 @@ let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_doma
   in
   let summary, _report, stats =
     Campaign.run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
-      ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
+      ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress
       ~extra_fields:[ ("cone_gates", Obs.Int (total_cone_gates u)) ]
       u.compiled jobs patterns
   in
   (summary, stats)
 
 let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
-    ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u patterns =
+    ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u patterns =
   fst
     (run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
-       ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook u patterns)
+       ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u
+       patterns)
 
 (* --- Random-pattern driver ------------------------------------------------ *)
 

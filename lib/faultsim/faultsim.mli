@@ -153,7 +153,15 @@ val detects : universe -> site -> bool array -> bool
     supervision tests use.  The deductive and concurrent engines
     propagate all sites jointly through shared per-net lists, so a
     raising site cannot be isolated there; they support limits and
-    checkpoints only. *)
+    checkpoints only.
+
+    Every engine also takes [?on_progress] (default no-op), called after
+    each completed unit of work — patterns for the pattern-sweep
+    engines, sites for {!run_domain_parallel} — with the running
+    detection count.  This is the streaming hook [dynmos serve] uses for
+    partial-result responses; the callback must be cheap and must not
+    raise (for the domains engine it runs under the pool's progress
+    mutex, possibly from a worker domain). *)
 
 val run_serial :
   ?drop:bool ->
@@ -165,6 +173,7 @@ val run_serial :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -179,6 +188,7 @@ val run_parallel :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -191,6 +201,7 @@ val run_deductive :
   ?max_evals:int ->
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -203,6 +214,7 @@ val run_concurrent :
   ?max_evals:int ->
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -223,6 +235,7 @@ val run_domain_parallel :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary
@@ -255,6 +268,7 @@ val run_domain_parallel_stats :
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
   ?crash_hook:(int -> unit) ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
   bool array array ->
   summary * Parallel_exec.stats

@@ -755,3 +755,195 @@ let run ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs 
   fst
     (run_with_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs
        patterns)
+
+(* --- Persistent scheduler ---------------------------------------------------- *)
+
+(* A long-lived supervised pool for callers that submit work continuously
+   (the serve loop) instead of in one batch.  Worker domains are spawned
+   once and park on a condition variable between tasks — no sleep-polling,
+   so an idle pool costs zero loop iterations ([wakeups] counts passes
+   through the worker loop, which a regression test bounds).
+
+   Fairness: tasks are queued per client and clients are drained
+   round-robin — a client that floods the queue delays only its own later
+   requests, never another client's next one.  [cancel] drops a
+   disconnected client's queued tasks in O(queue); tasks already running
+   are the submitter's problem (the serve loop hands them a cooperative
+   interrupt flag instead).
+
+   Supervision: a task that raises is counted in [crashes] and the worker
+   keeps running — a poisoned job can never take an executor down, which
+   is the invariant the old single-executor serve loop violated. *)
+
+module Scheduler = struct
+  type task = unit -> unit
+
+  type t = {
+    m : Mutex.t;
+    nonempty : Condition.t;     (* signaled on submit and shutdown *)
+    idle : Condition.t;         (* signaled when depth and active reach 0 *)
+    queues : (int, task Queue.t) Hashtbl.t;  (* per-client FIFO *)
+    mutable rr : int list;      (* round-robin order of clients with queued work *)
+    capacity : int;
+    mutable depth : int;        (* queued, not yet claimed *)
+    mutable active : int;       (* claimed, currently executing *)
+    mutable running : bool;
+    mutable workers : unit Domain.t list;
+    n_workers : int;
+    wakeups : int Atomic.t;     (* worker-loop passes; ~tasks executed + shutdown *)
+    crashes : int Atomic.t;     (* tasks that raised (absorbed) *)
+    executed : int Atomic.t;
+  }
+
+  (* Next task in round-robin order: the head client of [rr] gives up one
+     task and moves to the tail (or leaves [rr] if its queue emptied). *)
+  let pop_locked t =
+    match t.rr with
+    | [] -> None
+    | c :: rest -> (
+        match Hashtbl.find_opt t.queues c with
+        | None -> None  (* unreachable: rr only lists clients with queues *)
+        | Some q ->
+            let task = Queue.take q in
+            t.depth <- t.depth - 1;
+            if Queue.is_empty q then begin
+              Hashtbl.remove t.queues c;
+              t.rr <- rest
+            end
+            else t.rr <- rest @ [ c ];
+            Some task)
+
+  let worker t () =
+    let continue = ref true in
+    while !continue do
+      Mutex.lock t.m;
+      while t.running && t.depth = 0 do
+        Condition.wait t.nonempty t.m
+      done;
+      Atomic.incr t.wakeups;
+      match pop_locked t with
+      | None ->
+          (* not running and nothing queued: drain complete, retire *)
+          continue := false;
+          Mutex.unlock t.m
+      | Some task ->
+          t.active <- t.active + 1;
+          Mutex.unlock t.m;
+          (try task () with _ -> Atomic.incr t.crashes);
+          Atomic.incr t.executed;
+          Mutex.lock t.m;
+          t.active <- t.active - 1;
+          if t.depth = 0 && t.active = 0 then Condition.broadcast t.idle;
+          Mutex.unlock t.m
+    done
+
+  let create ?num_domains ?(capacity = max_int) () =
+    let n =
+      match num_domains with
+      | None -> max 1 (default_domains ())
+      | Some n ->
+          if n < 1 then
+            invalid_arg
+              (Printf.sprintf "Scheduler.create: num_domains must be >= 1 (got %d)" n);
+          n
+    in
+    if capacity < 1 then
+      invalid_arg (Printf.sprintf "Scheduler.create: capacity must be >= 1 (got %d)" capacity);
+    let t =
+      {
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        queues = Hashtbl.create 8;
+        rr = [];
+        capacity;
+        depth = 0;
+        active = 0;
+        running = true;
+        workers = [];
+        n_workers = n;
+        wakeups = Atomic.make 0;
+        crashes = Atomic.make 0;
+        executed = Atomic.make 0;
+      }
+    in
+    let last_exn = ref None in
+    for _ = 1 to n do
+      match Domain.spawn (worker t) with
+      | d -> t.workers <- d :: t.workers
+      | exception exn -> last_exn := Some exn
+    done;
+    (match (t.workers, !last_exn) with
+    | [], Some exn -> raise exn  (* no worker at all: the pool would deadlock *)
+    | _ -> ());
+    t
+
+  let size t = t.n_workers
+  let wakeups t = Atomic.get t.wakeups
+  let crashes t = Atomic.get t.crashes
+  let executed t = Atomic.get t.executed
+
+  let depth t =
+    Mutex.lock t.m;
+    let d = t.depth in
+    Mutex.unlock t.m;
+    d
+
+  let submit t ~client task =
+    Mutex.lock t.m;
+    let r =
+      if not t.running then `Closed
+      else if t.depth >= t.capacity then `Full
+      else begin
+        let q =
+          match Hashtbl.find_opt t.queues client with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.add t.queues client q;
+              t.rr <- t.rr @ [ client ];
+              q
+        in
+        Queue.add task q;
+        t.depth <- t.depth + 1;
+        Condition.signal t.nonempty;
+        `Ok t.depth
+      end
+    in
+    Mutex.unlock t.m;
+    r
+
+  let cancel t ~client =
+    Mutex.lock t.m;
+    let n =
+      match Hashtbl.find_opt t.queues client with
+      | None -> 0
+      | Some q ->
+          let n = Queue.length q in
+          Hashtbl.remove t.queues client;
+          t.rr <- List.filter (fun c -> c <> client) t.rr;
+          t.depth <- t.depth - n;
+          if t.depth = 0 && t.active = 0 then Condition.broadcast t.idle;
+          n
+    in
+    Mutex.unlock t.m;
+    n
+
+  let wait_idle t =
+    Mutex.lock t.m;
+    while t.depth > 0 || t.active > 0 do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m
+
+  (* Graceful: queued tasks still execute (workers only retire once the
+     queue is empty), then every worker domain is joined.  Idempotent. *)
+  let shutdown t =
+    Mutex.lock t.m;
+    let ws = t.workers in
+    t.running <- false;
+    t.workers <- [];
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    List.iter Domain.join ws
+end

@@ -204,3 +204,67 @@ val run_supervised :
     count; a checkpoint snapshot taken inside it observes every done
     slot's final result (in-flight slots may read stale, which is safe
     because resume only trusts slots marked done). *)
+
+(** {1 Persistent scheduler} *)
+
+(** A long-lived supervised worker pool for callers that submit tasks
+    continuously (the serve loop) instead of in one batch.  Worker
+    domains are spawned once at {!Scheduler.create} and park on a
+    condition variable between tasks — an idle pool performs no loop
+    iterations ({!Scheduler.wakeups} counts worker-loop passes, which
+    the busy-wait regression test bounds).
+
+    Fairness: tasks queue per client and clients are drained
+    round-robin, so one client's backlog delays only its own later
+    tasks.  {!Scheduler.cancel} drops a disconnected client's queued
+    tasks; already-running tasks should be stopped cooperatively (the
+    serve loop passes engines an interrupt flag).
+
+    Supervision: a raising task is absorbed (counted in
+    {!Scheduler.crashes}); a worker domain never dies to a task. *)
+module Scheduler : sig
+  type task = unit -> unit
+
+  type t
+
+  val create : ?num_domains:int -> ?capacity:int -> unit -> t
+  (** [num_domains] (default [default_domains ()]) worker domains;
+      [capacity] (default unbounded) caps the total queued-task count
+      across clients — beyond it {!submit} answers [`Full].
+      [Invalid_argument] on non-positive values; re-raises the spawn
+      failure if no worker domain at all could be spawned (fewer than
+      requested degrades silently). *)
+
+  val submit : t -> client:int -> task -> [ `Ok of int | `Full | `Closed ]
+  (** Enqueue on [client]'s FIFO.  [`Ok depth] reports the queued count
+      after insertion; [`Full] = capacity reached (nothing enqueued);
+      [`Closed] = the scheduler was shut down. *)
+
+  val cancel : t -> client:int -> int
+  (** Drop every queued (not yet claimed) task of [client]; returns how
+      many were dropped.  Running tasks are unaffected. *)
+
+  val depth : t -> int
+  (** Tasks queued and not yet claimed by a worker. *)
+
+  val size : t -> int
+  (** Worker domains requested at creation. *)
+
+  val wakeups : t -> int
+  (** Worker-loop passes so far.  On a condvar-parked pool this tracks
+      the number of tasks executed (plus one final pass per worker at
+      shutdown) — the busy-wait regression metric. *)
+
+  val crashes : t -> int
+  (** Tasks that raised (absorbed, worker kept running). *)
+
+  val executed : t -> int
+  (** Tasks run to completion (including ones that raised). *)
+
+  val wait_idle : t -> unit
+  (** Block until no task is queued or running. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, let queued tasks finish, join every worker
+      domain.  Idempotent; concurrent {!submit}s answer [`Closed]. *)
+end

@@ -27,6 +27,7 @@ type run = {
   deadline_s : float;
   max_evals : int option;
   crash_sid : int option;
+  stream_every : int option;
 }
 
 type request = Run of run | Stats of Json.t option | Ping of Json.t option
@@ -105,7 +106,7 @@ let parse_run ~limits ~known_circuit obj id =
       ~allowed:
         [
           "op"; "id"; "circuit"; "patterns"; "seed"; "engine"; "jobs"; "drop"; "algo";
-          "gates"; "deadline_s"; "max_evals"; "crash_sid";
+          "gates"; "deadline_s"; "max_evals"; "crash_sid"; "stream_every";
         ]
       obj
   in
@@ -184,6 +185,12 @@ let parse_run ~limits ~known_circuit obj id =
     | Some n, None -> Ok (Some n)
     | None, cap -> Ok cap
   in
+  let* stream_every = opt_field obj "stream_every" to_int in
+  let* () =
+    match stream_every with
+    | Some n when n < 1 -> err "field \"stream_every\" must be >= 1 (got %d)" n
+    | _ -> Ok ()
+  in
   let* crash_sid = opt_field obj "crash_sid" to_int in
   let* () =
     match crash_sid with
@@ -209,6 +216,7 @@ let parse_run ~limits ~known_circuit obj id =
          deadline_s;
          max_evals;
          crash_sid;
+         stream_every;
        })
 
 let parse_request ~limits ~known_circuit line =

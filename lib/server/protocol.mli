@@ -9,7 +9,12 @@
     fields are rejected by name — a typo yields an error response, never
     silent misbehavior.  Responses: [{"line":N, "id":..., "status":S,
     ...}] with status one of ok / partial / error / overloaded /
-    draining / pong / stats. *)
+    draining / pong / stats.
+
+    A run request carrying ["stream_every":K] additionally receives
+    [{"status":"progress", ...}] lines while it executes — these are
+    {e not} the response; the one-response-per-line invariant counts
+    terminal statuses only (everything except "progress"). *)
 
 type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Domains ]
 
@@ -36,6 +41,9 @@ type run = {
   crash_sid : int option;
       (** fault-injection test hook: evaluation of this site id raises,
           exercising the supervised pool's crash isolation end to end *)
+  stream_every : int option;
+      (** emit a ["progress"] line roughly every this many completed
+          work units (patterns, or sites for the domains engine) *)
 }
 
 type request =

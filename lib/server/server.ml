@@ -3,38 +3,56 @@ open Dynmos_sim
 open Dynmos_faultsim
 open Dynmos_circuits
 module Obs = Dynmos_obs.Obs
+module Scheduler = Parallel_exec.Scheduler
 
-(* The serve loop.  Two domains per [serve] call: the caller's domain
-   reads and validates lines (admission), a spawned executor domain runs
-   admitted jobs.  All cross-domain state is either atomic counters or
-   guarded by a single queue mutex; responses from both sides funnel
-   through one writer mutex so lines never interleave.
+(* The concurrent serve loop.  Any number of clients at once: each
+   connection (or [serve] call) owns a reader thread that validates lines
+   and submits admitted jobs to one long-lived supervised domain pool
+   shared by the whole server ([Parallel_exec.Scheduler]); the pool
+   drains clients round-robin so one client's backlog never starves
+   another's next request.  Per-client responses funnel through a
+   per-client writer mutex so lines never interleave on a connection.
 
-   The executor's idle wait is a short sleep-poll rather than a condition
-   variable: the drain signal arrives from a Unix signal handler, which
-   must not take locks, and a 2 ms poll on an idle server is cheaper than
-   the deadlock analysis of signaling a condvar from a handler. *)
+   Idle costs nothing: workers park on the scheduler's condition
+   variable, readers block in [input], and the drain path wakes both
+   explicitly ([request_drain] runs from ordinary thread context — the
+   CLI converts signals with a dedicated sigwait thread — so it may take
+   locks and broadcast, which is what replaced the old 2 ms sleep-poll).
+
+   In front of the pool sits a content-addressed result cache: a
+   completed run is stored under the digests that already pin
+   checkpoints (circuit x universe x patterns) plus the engine/algo/drop
+   knobs, so a repeat request is answered without simulating a single
+   gate.  Content addressing means there is nothing to invalidate — a
+   key changes whenever any input it covers changes; the LRU bound only
+   reclaims space. *)
 
 type config = {
   queue_capacity : int;
+  executors : int;
   max_patterns : int;
   max_seconds : float;
   max_request_evals : int option;
   global_max_evals : int option;
   max_line_bytes : int;
   events_capacity : int;
+  cache_capacity : int;
 }
 
 let default_config =
   {
     queue_capacity = 64;
+    executors = 2;
     max_patterns = 1_000_000;
     max_seconds = 60.0;
     max_request_evals = None;
     global_max_evals = None;
     max_line_bytes = 1_048_576;
     events_capacity = 1024;
+    cache_capacity = 256;
   }
+
+exception Reject of string
 
 (* --- Counters ----------------------------------------------------------------- *)
 
@@ -48,6 +66,8 @@ type counters = {
   rejected_overload : int Atomic.t;
   rejected_draining : int Atomic.t;
   rejected_budget : int Atomic.t;
+  cancelled : int Atomic.t;         (* jobs dropped or skipped for a gone client *)
+  connections : int Atomic.t;       (* socket connections accepted *)
 }
 
 let make_counters () =
@@ -61,7 +81,120 @@ let make_counters () =
     rejected_overload = Atomic.make 0;
     rejected_draining = Atomic.make 0;
     rejected_budget = Atomic.make 0;
+    cancelled = Atomic.make 0;
+    connections = Atomic.make 0;
   }
+
+(* --- Content-addressed result cache ------------------------------------------- *)
+
+(* Keys are compositions of the checkpoint digests (circuit topology,
+   fault universe — which covers any [gates] restriction — and the exact
+   pattern set) with the engine/algo/drop knobs that shape the reported
+   accounting.  Only [Complete] outcomes are stored: a partial result
+   depends on the request's own limits, a crash-injected one on the test
+   hook.  Entries are immutable after insertion ([summary] is never
+   mutated post-run); the mutex covers table and LRU-stamp state. *)
+module Cache = struct
+  type entry = {
+    summary : Faultsim.summary;
+    dt_s : float;    (* wall clock of the run that produced the entry *)
+    evals : int;     (* gate evaluations that run performed *)
+    n_sites : int;
+    mutable stamp : int;  (* LRU clock at last touch *)
+  }
+
+  type t = {
+    m : Mutex.t;
+    tbl : (string, entry) Hashtbl.t;
+    cap : int;  (* 0 = caching disabled *)
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create cap =
+    {
+      m = Mutex.create ();
+      tbl = Hashtbl.create 32;
+      cap;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let find c key =
+    if c.cap = 0 then None
+    else begin
+      Mutex.lock c.m;
+      let r =
+        match Hashtbl.find_opt c.tbl key with
+        | Some e ->
+            c.clock <- c.clock + 1;
+            e.stamp <- c.clock;
+            c.hits <- c.hits + 1;
+            Some e
+        | None ->
+            c.misses <- c.misses + 1;
+            None
+      in
+      Mutex.unlock c.m;
+      r
+    end
+
+  let add c key entry =
+    if c.cap > 0 then begin
+      Mutex.lock c.m;
+      (* two identical in-flight requests can both miss and both store;
+         first insert wins, the duplicate is dropped *)
+      if not (Hashtbl.mem c.tbl key) then begin
+        if Hashtbl.length c.tbl >= c.cap then begin
+          let victim =
+            Hashtbl.fold
+              (fun k e acc ->
+                match acc with
+                | Some (_, s) when s <= e.stamp -> acc
+                | _ -> Some (k, e.stamp))
+              c.tbl None
+          in
+          match victim with
+          | Some (k, _) ->
+              Hashtbl.remove c.tbl k;
+              c.evictions <- c.evictions + 1
+          | None -> ()
+        end;
+        c.clock <- c.clock + 1;
+        entry.stamp <- c.clock;
+        Hashtbl.add c.tbl key entry
+      end;
+      Mutex.unlock c.m
+    end
+
+  let stats c =
+    Mutex.lock c.m;
+    let r = (c.hits, c.misses, Hashtbl.length c.tbl, c.evictions) in
+    Mutex.unlock c.m;
+    r
+end
+
+(* --- Clients -------------------------------------------------------------------- *)
+
+(* One record per connection / [serve] call.  [inflight] counts admitted
+   jobs not yet finished (their scheduler tasks still pending or
+   running); [wake] is broadcast whenever the client's wait condition
+   may have changed: a job finished, EOF was read, the server started
+   draining, or the client was found dead. *)
+type client = {
+  cid : int;
+  output : string -> unit;
+  out_m : Mutex.t;
+  wake_m : Mutex.t;
+  wake : Condition.t;
+  mutable inflight : int;
+  mutable eof : bool;
+  cancelled : bool Atomic.t;
+}
 
 type t = {
   config : config;
@@ -69,17 +202,28 @@ type t = {
   obs : Obs.t;
   fetch_events : unit -> Obs.event list;
   total_events : unit -> int;
-  cache : (string, Faultsim.universe) Hashtbl.t;
-  cache_m : Mutex.t;
+  known_circuit : string -> bool;
+  find_circuit : string -> (Netlist.t, string) result;
+  universes : (string, Faultsim.universe) Hashtbl.t;
+  universes_m : Mutex.t;
+  rcache : Cache.t;
+  sched : Scheduler.t;
   global_evals : int Atomic.t;  (* gate evaluations spent across all requests *)
+  draining : bool Atomic.t;
+  clients_m : Mutex.t;          (* guards [clients], [next_cid], [drain_hooks] *)
+  mutable clients : client list;
+  mutable next_cid : int;
+  mutable drain_hooks : (unit -> unit) list;
   t0 : float;
 }
 
-let create ?(config = default_config) ?trace () =
+let create ?(config = default_config) ?trace ?(known_circuit = Catalog.mem)
+    ?(find_circuit = Catalog.find) () =
   let bad what n =
     invalid_arg (Printf.sprintf "Server.create: %s must be positive (got %d)" what n)
   in
   if config.queue_capacity < 1 then bad "queue_capacity" config.queue_capacity;
+  if config.executors < 1 then bad "executors" config.executors;
   if config.max_patterns < 0 then bad "max_patterns" config.max_patterns;
   if not (config.max_seconds > 0.0) then
     invalid_arg
@@ -88,6 +232,10 @@ let create ?(config = default_config) ?trace () =
   (match config.global_max_evals with Some n when n < 1 -> bad "global_max_evals" n | _ -> ());
   if config.max_line_bytes < 2 then bad "max_line_bytes" config.max_line_bytes;
   if config.events_capacity < 1 then bad "events_capacity" config.events_capacity;
+  if config.cache_capacity < 0 then
+    invalid_arg
+      (Printf.sprintf "Server.create: cache_capacity must be >= 0 (got %d)"
+         config.cache_capacity);
   let ring, fetch_events, total_events =
     Obs.bounded_memory_sink ~capacity:config.events_capacity
   in
@@ -98,13 +246,95 @@ let create ?(config = default_config) ?trace () =
     obs = Obs.make sink;
     fetch_events;
     total_events;
-    cache = Hashtbl.create 8;
-    cache_m = Mutex.create ();
+    known_circuit;
+    find_circuit;
+    universes = Hashtbl.create 8;
+    universes_m = Mutex.create ();
+    rcache = Cache.create config.cache_capacity;
+    sched =
+      Scheduler.create ~num_domains:config.executors ~capacity:config.queue_capacity ();
     global_evals = Atomic.make 0;
+    draining = Atomic.make false;
+    clients_m = Mutex.create ();
+    clients = [];
+    next_cid = 0;
+    drain_hooks = [];
     t0 = Obs.now ();
   }
 
 let obs t = t.obs
+
+let shutdown t = Scheduler.shutdown t.sched
+
+let exec_wakeups t = Scheduler.wakeups t.sched
+
+let add_drain_hook t hook =
+  Mutex.lock t.clients_m;
+  t.drain_hooks <- hook :: t.drain_hooks;
+  Mutex.unlock t.clients_m
+
+(* First call wins; runs the registered hooks (close listening sockets,
+   shut down connection fds so blocked readers see EOF) and wakes every
+   client waiter.  Safe from any ordinary thread — never call it from a
+   signal handler (it takes locks); the CLI uses a sigwait thread. *)
+let request_drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    Mutex.lock t.clients_m;
+    let hooks = t.drain_hooks in
+    let clients = t.clients in
+    Mutex.unlock t.clients_m;
+    List.iter (fun h -> try h () with _ -> ()) hooks;
+    List.iter
+      (fun c ->
+        Mutex.lock c.wake_m;
+        Condition.broadcast c.wake;
+        Mutex.unlock c.wake_m)
+      clients
+  end
+
+let register_client t ~output =
+  Mutex.lock t.clients_m;
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  let client =
+    {
+      cid;
+      output;
+      out_m = Mutex.create ();
+      wake_m = Mutex.create ();
+      wake = Condition.create ();
+      inflight = 0;
+      eof = false;
+      cancelled = Atomic.make false;
+    }
+  in
+  t.clients <- client :: t.clients;
+  Mutex.unlock t.clients_m;
+  client
+
+let unregister_client t client =
+  Mutex.lock t.clients_m;
+  t.clients <- List.filter (fun c -> c.cid <> client.cid) t.clients;
+  Mutex.unlock t.clients_m
+
+(* A write failure means the client is gone: mark it cancelled, drop its
+   queued jobs (running ones observe the flag through their interrupt)
+   and wake its waiters.  Idempotent. *)
+let client_gone t client =
+  if not (Atomic.exchange client.cancelled true) then begin
+    let n = Scheduler.cancel t.sched ~client:client.cid in
+    if n > 0 then ignore (Atomic.fetch_and_add t.counters.cancelled n);
+    Mutex.lock client.wake_m;
+    client.inflight <- client.inflight - n;
+    Condition.broadcast client.wake;
+    Mutex.unlock client.wake_m
+  end
+
+let client_write t client line =
+  Mutex.lock client.out_m;
+  let ok = (try client.output line; true with _ -> false) in
+  Mutex.unlock client.out_m;
+  if not ok then client_gone t client
 
 let limits t =
   {
@@ -114,31 +344,34 @@ let limits t =
   }
 
 (* Universe construction is deterministic per circuit name, so one build
-   serves every request; the mutex covers concurrent first requests from
-   the admission and executor sides of different connections. *)
+   serves every request; the mutex covers concurrent first requests.
+   A failing lookup is a [Reject] — a structured error response — never
+   an exception that could take an executor down (the old [failwith]
+   here killed the executor domain mid-service). *)
 let universe_of t name =
-  Mutex.lock t.cache_m;
+  Mutex.lock t.universes_m;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.cache_m)
+    ~finally:(fun () -> Mutex.unlock t.universes_m)
     (fun () ->
-      match Hashtbl.find_opt t.cache name with
+      match Hashtbl.find_opt t.universes name with
       | Some u -> u
       | None ->
           let nl =
-            match Catalog.find name with
+            match t.find_circuit name with
             | Ok nl -> nl
-            | Error e -> failwith e  (* admission already validated; belt and braces *)
+            | Error e -> raise (Reject (Printf.sprintf "circuit lookup failed: %s" e))
           in
           let u = Faultsim.universe nl in
-          Hashtbl.add t.cache name u;
+          Hashtbl.add t.universes name u;
           u)
 
 (* --- Stats -------------------------------------------------------------------- *)
 
-let stats_line t ~queue_depth =
+let stats_line t =
   let c = t.counters in
   let buffered = List.length (t.fetch_events ()) in
   let opt_budget = function None -> Json.Null | Some n -> Json.Int n in
+  let cache_hits, cache_misses, cache_entries, cache_evictions = Cache.stats t.rcache in
   [
     ("uptime_s", Json.Float (Obs.now () -. t.t0));
     ("lines", Json.Int (Atomic.get c.lines));
@@ -150,53 +383,24 @@ let stats_line t ~queue_depth =
     ("rejected_overload", Json.Int (Atomic.get c.rejected_overload));
     ("rejected_draining", Json.Int (Atomic.get c.rejected_draining));
     ("rejected_budget", Json.Int (Atomic.get c.rejected_budget));
-    ("queue_depth", Json.Int queue_depth);
+    ("cancelled", Json.Int (Atomic.get c.cancelled));
+    ("connections", Json.Int (Atomic.get c.connections));
+    ("queue_depth", Json.Int (Scheduler.depth t.sched));
     ("queue_capacity", Json.Int t.config.queue_capacity);
+    ("executors", Json.Int t.config.executors);
+    ("exec_wakeups", Json.Int (Scheduler.wakeups t.sched));
+    ("exec_crashes", Json.Int (Scheduler.crashes t.sched));
     ("global_evals_used", Json.Int (Atomic.get t.global_evals));
     ("global_evals_budget", opt_budget t.config.global_max_evals);
+    ("cache_hits", Json.Int cache_hits);
+    ("cache_misses", Json.Int cache_misses);
+    ("cache_entries", Json.Int cache_entries);
+    ("cache_capacity", Json.Int t.config.cache_capacity);
+    ("cache_evictions", Json.Int cache_evictions);
     ("events_buffered", Json.Int buffered);
     ("events_total", Json.Int (t.total_events ()));
-    ("circuits_cached", Json.Int (Hashtbl.length t.cache));
+    ("circuits_cached", Json.Int (Hashtbl.length t.universes));
   ]
-
-(* --- Bounded pending queue ----------------------------------------------------- *)
-
-module Pending = struct
-  type 'a t = {
-    m : Mutex.t;
-    items : 'a Queue.t;
-    cap : int;
-    mutable accepting : bool;
-  }
-
-  let create cap = { m = Mutex.create (); items = Queue.create (); cap; accepting = true }
-
-  let with_lock q f =
-    Mutex.lock q.m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock q.m) f
-
-  let push q x =
-    with_lock q (fun () ->
-        if not q.accepting then `Closed
-        else if Queue.length q.items >= q.cap then `Full
-        else begin
-          Queue.add x q.items;
-          `Ok (Queue.length q.items)
-        end)
-
-  let pop q = with_lock q (fun () -> Queue.take_opt q.items)
-  let depth q = with_lock q (fun () -> Queue.length q.items)
-
-  (* The drain handshake: flipping [accepting] and observing emptiness
-     happen under one lock, so once this returns true no job can ever be
-     admitted again — a reader mid-push gets [`Closed] and answers
-     "draining". *)
-  let close_if_empty q =
-    with_lock q (fun () ->
-        let empty = Queue.is_empty q.items in
-        if empty then q.accepting <- false;
-        empty)
-end
 
 (* --- Job execution -------------------------------------------------------------- *)
 
@@ -222,24 +426,32 @@ let stop_cause_field (p : Outcome.partial) =
   | Some c -> Outcome.stop_cause_name c
   | None -> "site_failures"
 
-exception Reject of string
+let algo_name = function `Cone -> "cone" | `Full -> "full"
 
-let exec_job t job =
+(* The result-cache key: the checkpoint digests pin campaign identity
+   (topology, fault universe — including any [gates] restriction — and
+   the exact pattern set); engine/algo/drop are appended because they
+   shape the reported accounting ([gate_evals], [dt_s]) even though
+   detection results are bit-identical across them.  [jobs] (domain
+   count) is deliberately absent: it can never change any reported
+   field's meaning for a [Complete] run's coverage.  [None] = this
+   request must not be cached (crash injection, or caching disabled). *)
+let cache_key t r u pats =
+  if r.Protocol.crash_sid <> None || t.config.cache_capacity = 0 then None
+  else
+    Some
+      (String.concat "|"
+         [
+           Faultsim.circuit_digest u;
+           Faultsim.universe_digest u;
+           Faultsim.patterns_digest pats;
+           Protocol.engine_name r.Protocol.engine;
+           algo_name r.Protocol.algo;
+           string_of_bool r.Protocol.drop;
+         ])
+
+let exec_job t client job =
   let r = job.run in
-  (* Global budget: admission control against a server-wide spend.  The
-     check sits at execution time because the budget moves between
-     admission and execution of queued work. *)
-  let global_remaining =
-    match t.config.global_max_evals with
-    | None -> None
-    | Some budget ->
-        let remaining = budget - Atomic.get t.global_evals in
-        if remaining <= 0 then begin
-          Atomic.incr t.counters.rejected_budget;
-          raise (Reject "global gate-evaluation budget exhausted")
-        end;
-        Some remaining
-  in
   let u = universe_of t r.Protocol.circuit in
   let u =
     match r.Protocol.gates with
@@ -253,12 +465,6 @@ let exec_job t job =
         (Reject
            (Printf.sprintf "field \"crash_sid\": site id %d out of range (%d sites)" sid n_sites))
   | _ -> ());
-  let crash_hook =
-    Option.map
-      (fun sid jid ->
-        if jid = sid then failwith (Printf.sprintf "injected crash at site %d" sid))
-      r.Protocol.crash_sid
-  in
   let nl = Compiled.netlist u.Faultsim.compiled in
   let prng = Dynmos_util.Prng.create r.Protocol.seed in
   let pats =
@@ -266,48 +472,107 @@ let exec_job t job =
       ~n_inputs:(List.length (Netlist.inputs nl))
       ~count:r.Protocol.patterns
   in
-  let deadline = Obs.now () +. r.Protocol.deadline_s in
-  let max_evals =
-    match (r.Protocol.max_evals, global_remaining) with
-    | None, None -> None
-    | Some n, None -> Some n
-    | None, Some g -> Some g
-    | Some n, Some g -> Some (min n g)
-  in
-  (* Each job records into a private memory sink so its gate-eval spend
-     can be read back; the events are forwarded to the server recorder
-     afterwards, so traces carry the engine events too. *)
-  let mem, fetch = Obs.memory_sink () in
-  let job_obs = Obs.make mem in
-  let drop = r.Protocol.drop in
-  let algo = r.Protocol.algo in
-  let t0 = Obs.now () in
-  let summary =
-    match r.Protocol.engine with
-    | `Serial ->
-        Faultsim.run_serial ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
-    | `Parallel ->
-        Faultsim.run_parallel ~drop ~algo ~obs:job_obs ~deadline ?max_evals ?crash_hook u pats
-    | `Deductive ->
-        Faultsim.run_deductive ~drop ~algo ~obs:job_obs ~deadline ?max_evals u pats
-    | `Concurrent ->
-        Faultsim.run_concurrent ~drop ~algo ~obs:job_obs ~deadline ?max_evals u pats
-    | `Domains ->
-        Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
-          ~deadline ?max_evals ?crash_hook u pats
-  in
-  let dt = Obs.now () -. t0 in
-  let events = fetch () in
-  let evals = gate_evals_of_events events in
-  ignore (Atomic.fetch_and_add t.global_evals evals);
-  (* Forward the engine events into the server trace/ring. *)
-  if Obs.enabled t.obs then
-    List.iter (fun e -> Obs.emit t.obs ~ev:e.Obs.ev e.Obs.fields) events;
-  (summary, dt, evals, n_sites)
+  let key = cache_key t r u pats in
+  match Option.bind key (fun k -> Cache.find t.rcache k) with
+  | Some e ->
+      (* Served from the cache: zero gate evaluations, nothing charged
+         to the global budget, per-request limits vacuously satisfied. *)
+      (e.Cache.summary, e.Cache.dt_s, e.Cache.evals, e.Cache.n_sites, true)
+  | None ->
+      (* Global budget: admission control against a server-wide spend.
+         Checked at execution time (the budget moves between admission
+         and execution) and only for real work — cache hits are free. *)
+      let global_remaining =
+        match t.config.global_max_evals with
+        | None -> None
+        | Some budget ->
+            let remaining = budget - Atomic.get t.global_evals in
+            if remaining <= 0 then begin
+              Atomic.incr t.counters.rejected_budget;
+              raise (Reject "global gate-evaluation budget exhausted")
+            end;
+            Some remaining
+      in
+      let crash_hook =
+        Option.map
+          (fun sid jid ->
+            if jid = sid then failwith (Printf.sprintf "injected crash at site %d" sid))
+          r.Protocol.crash_sid
+      in
+      let deadline = Obs.now () +. r.Protocol.deadline_s in
+      let max_evals =
+        match (r.Protocol.max_evals, global_remaining) with
+        | None, None -> None
+        | Some n, None -> Some n
+        | None, Some g -> Some g
+        | Some n, Some g -> Some (min n g)
+      in
+      (* A disconnected client's running job stops at the next pattern
+         unit through the engines' cooperative interrupt. *)
+      let interrupt () = Atomic.get client.cancelled in
+      let on_progress =
+        match r.Protocol.stream_every with
+        | None -> None
+        | Some every ->
+            let total_units =
+              match r.Protocol.engine with `Domains -> n_sites | _ -> r.Protocol.patterns
+            in
+            let last = ref 0 in
+            Some
+              (fun ~units_done ~detected ->
+                if units_done - !last >= every && not (Atomic.get client.cancelled) then begin
+                  last := units_done;
+                  client_write t client
+                    (Protocol.response ~line:job.line_no ?id:r.Protocol.id ~status:"progress"
+                       [
+                         ("units_done", Json.Int units_done);
+                         ("units_total", Json.Int total_units);
+                         ("detected", Json.Int detected);
+                       ])
+                end)
+      in
+      (* Each job records into a private memory sink so its gate-eval
+         spend can be read back; the events are forwarded to the server
+         recorder afterwards, so traces carry the engine events too. *)
+      let mem, fetch = Obs.memory_sink () in
+      let job_obs = Obs.make mem in
+      let drop = r.Protocol.drop in
+      let algo = r.Protocol.algo in
+      let t0 = Obs.now () in
+      let summary =
+        match r.Protocol.engine with
+        | `Serial ->
+            Faultsim.run_serial ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
+              ?crash_hook ?on_progress u pats
+        | `Parallel ->
+            Faultsim.run_parallel ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
+              ?crash_hook ?on_progress u pats
+        | `Deductive ->
+            Faultsim.run_deductive ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
+              ?on_progress u pats
+        | `Concurrent ->
+            Faultsim.run_concurrent ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
+              ?on_progress u pats
+        | `Domains ->
+            Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
+              ~deadline ?max_evals ~interrupt ?crash_hook ?on_progress u pats
+      in
+      let dt = Obs.now () -. t0 in
+      let events = fetch () in
+      let evals = gate_evals_of_events events in
+      ignore (Atomic.fetch_and_add t.global_evals evals);
+      (* Forward the engine events into the server trace/ring. *)
+      if Obs.enabled t.obs then
+        List.iter (fun e -> Obs.emit t.obs ~ev:e.Obs.ev e.Obs.fields) events;
+      (match (key, summary.Faultsim.outcome) with
+      | Some k, Outcome.Complete ->
+          Cache.add t.rcache k { Cache.summary; dt_s = dt; evals; n_sites; stamp = 0 }
+      | _ -> ());
+      (summary, dt, evals, n_sites, false)
 
-let job_response t job =
+let job_response t client job =
   let r = job.run in
-  let base_fields summary dt evals n_sites =
+  let base_fields summary dt evals n_sites cached =
     [
       ("circuit", Json.String r.Protocol.circuit);
       ("engine", Json.String (Protocol.engine_name r.Protocol.engine));
@@ -317,15 +582,16 @@ let job_response t job =
       ("coverage", Json.Float (Faultsim.coverage summary));
       ("dt_s", Json.Float dt);
       ("gate_evals", Json.Int evals);
+      ("cached", Json.Bool cached);
     ]
   in
   let respond ~status fields =
     (status, Protocol.response ~line:job.line_no ?id:r.Protocol.id ~status fields)
   in
-  match exec_job t job with
-  | summary, dt, evals, n_sites -> (
+  match exec_job t client job with
+  | summary, dt, evals, n_sites, cached -> (
       match summary.Faultsim.outcome with
-      | Outcome.Complete -> respond ~status:"ok" (base_fields summary dt evals n_sites)
+      | Outcome.Complete -> respond ~status:"ok" (base_fields summary dt evals n_sites cached)
       | Outcome.Partial p ->
           let failed =
             List.map
@@ -334,7 +600,7 @@ let job_response t job =
               p.Outcome.failed_sites
           in
           respond ~status:"partial"
-            (base_fields summary dt evals n_sites
+            (base_fields summary dt evals n_sites cached
             @ [
                 ("cause", Json.String (stop_cause_field p));
                 ("patterns_done", Json.Int summary.Faultsim.patterns_done);
@@ -353,9 +619,35 @@ let job_response t job =
          loop keeps serving. *)
       respond ~status:"error" [ ("error", Json.String (Printexc.to_string exn)) ]
 
-(* --- The serve loop -------------------------------------------------------------- *)
+(* Executed on a scheduler worker.  [inflight] was incremented at
+   admission; whatever happens, it is decremented exactly once here (or
+   by [client_gone] for tasks cancelled before they ran). *)
+let run_job t client job =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock client.wake_m;
+      client.inflight <- client.inflight - 1;
+      Condition.broadcast client.wake;
+      Mutex.unlock client.wake_m)
+    (fun () ->
+      if Atomic.get client.cancelled then Atomic.incr t.counters.cancelled
+      else begin
+        let status, resp = job_response t client job in
+        (match status with
+        | "ok" -> Atomic.incr t.counters.completed_ok
+        | "partial" -> Atomic.incr t.counters.completed_partial
+        | _ -> Atomic.incr t.counters.failed);
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~ev:"serve.request"
+            [
+              ("line", Obs.Int job.line_no);
+              ("circuit", Obs.String job.run.Protocol.circuit);
+              ("status", Obs.String status);
+            ];
+        client_write t client resp
+      end)
 
-type stop = [ `Eof | `Drained ]
+(* --- Admission -------------------------------------------------------------------- *)
 
 (* Best-effort id salvage for schema-level rejections: when the line is
    well-formed JSON with an "id", echo it so the client can correlate
@@ -363,7 +655,7 @@ type stop = [ `Eof | `Drained ]
 let salvage_id line =
   match Json.parse line with Ok obj -> Json.member "id" obj | Error _ -> None
 
-let admit t q ~write ~line_no line =
+let admit t client ~line_no line =
   let c = t.counters in
   Atomic.incr c.lines;
   let reject reason msg id =
@@ -392,104 +684,109 @@ let admit t q ~write ~line_no line =
       | `Overloaded ->
           [
             ("error", Json.String msg);
-            ("queue_depth", Json.Int (Pending.depth q));
+            ("queue_depth", Json.Int (Scheduler.depth t.sched));
             ("queue_capacity", Json.Int t.config.queue_capacity);
           ]
       | _ -> [ ("error", Json.String msg) ]
     in
-    write (Protocol.response ~line:line_no ?id ~status fields)
+    client_write t client (Protocol.response ~line:line_no ?id ~status fields)
   in
   if String.length line > t.config.max_line_bytes then
     reject `Invalid
       (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes)
       None
   else
-    match Protocol.parse_request ~limits:(limits t) ~known_circuit:Catalog.mem line with
+    match Protocol.parse_request ~limits:(limits t) ~known_circuit:t.known_circuit line with
     | Error msg -> reject `Invalid msg (salvage_id line)
     | Ok (Protocol.Ping id) ->
-        write (Protocol.response ~line:line_no ?id ~status:"pong" [])
+        client_write t client (Protocol.response ~line:line_no ?id ~status:"pong" [])
     | Ok (Protocol.Stats id) ->
-        write
-          (Protocol.response ~line:line_no ?id ~status:"stats"
-             (stats_line t ~queue_depth:(Pending.depth q)))
-    | Ok (Protocol.Run run) -> (
-        match Pending.push q { line_no; run } with
-        | `Ok depth ->
-            Atomic.incr c.accepted;
-            if Obs.enabled t.obs then
-              Obs.emit t.obs ~ev:"serve.accept"
-                [
-                  ("line", Obs.Int line_no);
-                  ("circuit", Obs.String run.Protocol.circuit);
-                  ("engine", Obs.String (Protocol.engine_name run.Protocol.engine));
-                  ("queue_depth", Obs.Int depth);
-                ]
-        | `Full ->
-            reject `Overloaded
-              (Printf.sprintf "pending queue full (%d requests)" t.config.queue_capacity)
-              run.Protocol.id
-        | `Closed -> reject `Draining "server is draining; request not admitted" run.Protocol.id)
-
-let serve t ?(drain = fun () -> false) ~input ~output () =
-  let out_m = Mutex.create () in
-  let write line =
-    Mutex.lock out_m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock out_m) (fun () -> output line)
-  in
-  let q = Pending.create t.config.queue_capacity in
-  let eof = Atomic.make false in
-  let reader_done = Atomic.make false in
-  let reader () =
-    Fun.protect
-      ~finally:(fun () ->
-        Atomic.set eof true;
-        Atomic.set reader_done true)
-      (fun () ->
-        let line_no = ref 0 in
-        let continue = ref true in
-        while !continue && not (drain ()) do
-          match input () with
-          | None -> continue := false
-          | Some line ->
-              incr line_no;
-              admit t q ~write ~line_no:!line_no line
-        done)
-  in
-  let reader_dom = Domain.spawn reader in
-  let rec exec_loop () =
-    match Pending.pop q with
-    | Some job ->
-        let status, resp = job_response t job in
-        (match status with
-        | "ok" -> Atomic.incr t.counters.completed_ok
-        | "partial" -> Atomic.incr t.counters.completed_partial
-        | _ -> Atomic.incr t.counters.failed);
-        if Obs.enabled t.obs then
-          Obs.emit t.obs ~ev:"serve.request"
-            [
-              ("line", Obs.Int job.line_no);
-              ("circuit", Obs.String job.run.Protocol.circuit);
-              ("status", Obs.String status);
-            ];
-        write resp;
-        exec_loop ()
-    | None ->
-        if (Atomic.get eof || drain ()) && Pending.close_if_empty q then ()
+        client_write t client
+          (Protocol.response ~line:line_no ?id ~status:"stats" (stats_line t))
+    | Ok (Protocol.Run run) ->
+        if Atomic.get t.draining then
+          reject `Draining "server is draining; request not admitted" run.Protocol.id
         else begin
-          Unix.sleepf 0.002;
-          exec_loop ()
+          let job = { line_no; run } in
+          Mutex.lock client.wake_m;
+          client.inflight <- client.inflight + 1;
+          Mutex.unlock client.wake_m;
+          match
+            Scheduler.submit t.sched ~client:client.cid (fun () -> run_job t client job)
+          with
+          | `Ok depth ->
+              Atomic.incr c.accepted;
+              if Obs.enabled t.obs then
+                Obs.emit t.obs ~ev:"serve.accept"
+                  [
+                    ("line", Obs.Int line_no);
+                    ("circuit", Obs.String run.Protocol.circuit);
+                    ("engine", Obs.String (Protocol.engine_name run.Protocol.engine));
+                    ("queue_depth", Obs.Int depth);
+                  ]
+          | (`Full | `Closed) as r ->
+              Mutex.lock client.wake_m;
+              client.inflight <- client.inflight - 1;
+              Condition.broadcast client.wake;
+              Mutex.unlock client.wake_m;
+              (match r with
+              | `Full ->
+                  reject `Overloaded
+                    (Printf.sprintf "pending queue full (%d requests)"
+                       t.config.queue_capacity)
+                    run.Protocol.id
+              | `Closed ->
+                  reject `Draining "server is draining; request not admitted"
+                    run.Protocol.id)
         end
+
+(* --- The serve loop -------------------------------------------------------------- *)
+
+type stop = [ `Eof | `Drained ]
+
+(* One client session.  The reader runs on its own thread so a reader
+   parked in a blocking [input] can be left behind when the server
+   drains (the caller returns once every admitted job is answered; the
+   abandoned thread is reaped at process exit, nothing of ours is in
+   flight on it).  Safe to call concurrently from many threads against
+   one [t] — that is exactly what [serve_socket] does. *)
+let serve t ?(drain = fun () -> false) ~input ~output () =
+  let client = register_client t ~output in
+  let reader () =
+    (try
+       let line_no = ref 0 in
+       let continue = ref true in
+       while !continue do
+         if drain () then begin
+           request_drain t;
+           continue := false
+         end
+         else if Atomic.get t.draining || Atomic.get client.cancelled then continue := false
+         else
+           match input () with
+           | None -> continue := false
+           | Some line ->
+               incr line_no;
+               admit t client ~line_no:!line_no line
+       done
+     with _ -> ());
+    Mutex.lock client.wake_m;
+    client.eof <- true;
+    Condition.broadcast client.wake;
+    Mutex.unlock client.wake_m
   in
-  exec_loop ();
-  (* Give an actively-admitting reader a moment to finish its current
-     line; a reader parked in a blocking [input] is left behind — the
-     process exit reaps its domain (nothing of ours is in flight). *)
-  let patience = Obs.now () +. 0.5 in
-  while (not (Atomic.get reader_done)) && Obs.now () < patience do
-    Unix.sleepf 0.005
+  ignore (Thread.create reader ());
+  Mutex.lock client.wake_m;
+  while
+    not
+      ((client.eof || Atomic.get t.draining || Atomic.get client.cancelled)
+      && client.inflight = 0)
+  do
+    Condition.wait client.wake client.wake_m
   done;
-  if Atomic.get reader_done then Domain.join reader_dom;
-  let stop : stop = if drain () then `Drained else `Eof in
+  Mutex.unlock client.wake_m;
+  unregister_client t client;
+  let stop : stop = if Atomic.get t.draining then `Drained else `Eof in
   if Obs.enabled t.obs then
     Obs.emit t.obs ~ev:"serve.drain"
       [
@@ -512,6 +809,41 @@ let serve_channels t ?drain ic oc =
   in
   serve t ?drain ~input ~output ()
 
+(* One socket connection, run entirely on its own thread: read/admit to
+   EOF (or drain/disconnect), then hold the connection open until every
+   admitted job has been answered. *)
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let output line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let client = register_client t ~output in
+  (try
+     let line_no = ref 0 in
+     let continue = ref true in
+     while !continue do
+       if Atomic.get t.draining || Atomic.get client.cancelled then continue := false
+       else
+         match input_line ic with
+         | line ->
+             incr line_no;
+             admit t client ~line_no:!line_no line
+         | exception (End_of_file | Sys_error _) -> continue := false
+     done
+   with _ -> ());
+  Mutex.lock client.wake_m;
+  client.eof <- true;
+  while client.inflight > 0 && not (Atomic.get client.cancelled) do
+    Condition.wait client.wake client.wake_m
+  done;
+  Mutex.unlock client.wake_m;
+  unregister_client t client;
+  close_out_noerr oc;
+  close_in_noerr ic
+
 let serve_socket t ?(drain = fun () -> false) path =
   (if Sys.file_exists path then
      match (Unix.lstat path).Unix.st_kind with
@@ -520,26 +852,69 @@ let serve_socket t ?(drain = fun () -> false) path =
          invalid_arg
            (Printf.sprintf "Server.serve_socket: %s exists and is not a socket" path));
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stop_accept = Atomic.make false in
+  let conns_m = Mutex.create () in
+  let live = ref [] in
+  let threads = ref [] in
+  (* The drain hook wakes everything this loop can be blocked on: a
+     dummy connection unblocks [accept] (portable, unlike shutting down
+     a listening socket), and half-closing live connections gives their
+     readers EOF. *)
+  let hook () =
+    Atomic.set stop_accept true;
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX path) with _ -> ());
+       Unix.close fd
+     with _ -> ());
+    Mutex.lock conns_m;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      !live;
+    Mutex.unlock conns_m
+  in
+  add_drain_hook t hook;
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
+      Unix.listen sock 64;
       let continue = ref true in
-      while !continue && not (drain ()) do
-        match Unix.accept sock with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()  (* signal: recheck drain *)
-        | fd, _ ->
-            let ic = Unix.in_channel_of_descr fd in
-            let oc = Unix.out_channel_of_descr fd in
-            (* A client hanging up mid-response must not kill the
-               accept loop: absorb I/O failures, close, move on. *)
-            (match serve_channels t ~drain ic oc with
-            | (_ : stop) -> ()
-            | exception (Sys_error _ | Unix.Unix_error _) ->
-                Obs.emit t.obs ~ev:"serve.connection_error" []);
-            (try close_out_noerr oc with _ -> ());
-            (try close_in_noerr ic with _ -> ())
-      done)
+      while !continue do
+        if Atomic.get stop_accept || Atomic.get t.draining then continue := false
+        else if drain () then begin
+          request_drain t;
+          continue := false
+        end
+        else
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()  (* signal: recheck drain *)
+          | exception Unix.Unix_error _ when Atomic.get stop_accept -> continue := false
+          | fd, _ ->
+              if Atomic.get stop_accept || Atomic.get t.draining then begin
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                continue := false
+              end
+              else begin
+                Atomic.incr t.counters.connections;
+                Mutex.lock conns_m;
+                live := fd :: !live;
+                Mutex.unlock conns_m;
+                let th =
+                  Thread.create
+                    (fun () ->
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Mutex.lock conns_m;
+                          live := List.filter (fun f -> f <> fd) !live;
+                          Mutex.unlock conns_m)
+                        (fun () -> try handle_conn t fd with _ -> ()))
+                    ()
+                in
+                threads := th :: !threads
+              end
+      done;
+      (* every connection finishes answering its admitted work *)
+      List.iter Thread.join !threads)

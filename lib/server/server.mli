@@ -1,35 +1,51 @@
 open Dynmos_obs
 
-(** [dynmos serve] — a long-lived, crash-isolated batch front end over
-    the fault-simulation engines.
+(** [dynmos serve] — a long-lived, crash-isolated, concurrent batch
+    front end over the fault-simulation engines.
 
-    One JSONL request per input line, exactly one JSONL response per
-    request line (see {!Protocol}).  The loop is built not to die:
+    One JSONL request per input line, exactly one terminal JSONL
+    response per request line (see {!Protocol}).  The loop is built not
+    to die, and to serve many clients at once:
 
     - {e validation}: malformed JSON, schema violations, unknown
-      circuits and out-of-range ids yield [{"status":"error", ...}]
-      responses, never an exception escaping the loop;
+      circuits, out-of-range ids and failing circuit lookups yield
+      [{"status":"error", ...}] responses, never an exception escaping
+      the loop or killing an executor;
     - {e isolation}: jobs run on the supervised engines with a
       per-request wall-clock deadline and gate-eval budget (capped by
       the server {!config}), so one hung or crashing request is reported
       [partial]/[error] while the server keeps serving;
+    - {e concurrency}: every connection (or {!serve} call) gets its own
+      reader; admitted jobs multiplex onto one long-lived pool of
+      [executors] worker domains which drains clients round-robin —
+      FIFO per client, and one client's backlog cannot starve another's
+      next request.  Workers park on a condition variable when idle (no
+      sleep-polling anywhere in the serve path);
+    - {e result cache}: completed runs are stored in a content-addressed
+      LRU cache keyed by the checkpoint digests (circuit x universe x
+      patterns) plus engine/algo/drop; a repeat request is answered
+      bit-identically with zero new gate evaluations and no charge to
+      the global budget.  Content addressing makes invalidation moot —
+      any input change changes the key — so the LRU bound exists only to
+      reclaim space;
     - {e admission control}: run requests pass through a bounded pending
       queue; once full, new work is rejected immediately with
       [{"status":"overloaded"}] — backpressure instead of unbounded
       memory.  An optional global gate-eval budget rejects work once
       exhausted;
-    - {e graceful drain}: when the [drain] callback turns true (the
-      CLI's first SIGTERM/SIGINT), admission stops ([{"status":
-      "draining"}] for lines still read), queued and in-flight jobs
-      finish under their per-request limits, the obs trace is flushed,
-      and {!serve} returns [`Drained].
-
-    Execution runs on a dedicated domain while the caller's domain reads
-    input, so a slow job never stops admission (and rejections can
-    overtake earlier jobs' responses — correlate by ["line"]). *)
+    - {e cancellation}: a client that disconnects mid-service has its
+      queued jobs dropped and its running jobs interrupted at the next
+      work unit; other clients never notice;
+    - {e graceful drain}: {!request_drain} (the CLI's first
+      SIGTERM/SIGINT, forwarded from a sigwait thread) stops admission
+      ([{"status":"draining"}] for lines still read), lets queued and
+      in-flight jobs finish under their per-request limits, wakes every
+      blocked reader/acceptor, and {!serve} returns [`Drained]. *)
 
 type config = {
-  queue_capacity : int;        (** pending run requests before [overloaded] (default 64) *)
+  queue_capacity : int;        (** pending run requests (all clients) before
+                                   [overloaded] (default 64) *)
+  executors : int;             (** worker domains in the shared pool (default 2) *)
   max_patterns : int;          (** per-request pattern-count cap (default 1_000_000) *)
   max_seconds : float;         (** per-request wall-clock cap and default deadline
                                    (default 60.) — also bounds drain time *)
@@ -39,29 +55,62 @@ type config = {
   max_line_bytes : int;        (** request lines longer than this are rejected (default 1 MiB) *)
   events_capacity : int;       (** ring size of the bounded in-memory obs sink
                                    backing the [stats] op (default 1024) *)
+  cache_capacity : int;        (** result-cache entries before LRU eviction
+                                   (default 256; 0 disables caching) *)
 }
 
 val default_config : config
 
 type t
 (** Server state shared across connections: config, counters, the
-    compiled-universe cache and the obs recorder (a
-    {!Obs.bounded_memory_sink} of [events_capacity] events, teed with
-    the optional trace sink). *)
+    executor pool, the result cache, the compiled-universe cache and the
+    obs recorder (a {!Obs.bounded_memory_sink} of [events_capacity]
+    events, teed with the optional trace sink). *)
 
-val create : ?config:config -> ?trace:Obs.sink -> unit -> t
-(** Raises [Invalid_argument] on a nonsensical config (non-positive
-    capacities, limits or line bound). *)
+val create :
+  ?config:config ->
+  ?trace:Obs.sink ->
+  ?known_circuit:(string -> bool) ->
+  ?find_circuit:(string -> (Dynmos_netlist.Netlist.t, string) result) ->
+  unit ->
+  t
+(** Spawns the executor pool ([config.executors] domains) — pair with
+    {!shutdown}.  [known_circuit] (default {!Dynmos_circuits.Catalog.mem})
+    vets names at admission; [find_circuit] (default
+    {!Dynmos_circuits.Catalog.find}) resolves them at execution — an
+    [Error] there becomes a structured error response, not a dead
+    executor.  The split is injectable so tests can drive the
+    lookup-failure path.  Raises [Invalid_argument] on a nonsensical
+    config (non-positive capacities, limits or line bound). *)
+
+val shutdown : t -> unit
+(** Stop and join the executor pool once all queued work has been
+    claimed.  Idempotent.  Call after the last {!serve} returns; domains
+    are a bounded resource (OCaml caps them around 128). *)
+
+val request_drain : t -> unit
+(** Begin a graceful drain: stop admitting runs, wake blocked readers
+    and acceptors (registered drain hooks close listening sockets and
+    half-close live connections), let in-flight work finish.  First call
+    wins; safe from any ordinary thread, {e not} from a signal handler
+    (it takes locks) — convert signals with [Thread.wait_signal] first,
+    as the CLI does. *)
 
 val obs : t -> Obs.t
 (** The server's recorder — serve-loop lifecycle events
     ([serve.accept], [serve.reject], [serve.request], [serve.drain])
     and every engine's [faultsim.run] events flow through it. *)
 
-val stats_line : t -> queue_depth:int -> (string * Json.t) list
-(** The fields of a [stats] response: uptime, per-status counters, queue
-    and budget state, obs-ring occupancy.  Exposed for the CLI and
-    tests. *)
+val stats_line : t -> (string * Json.t) list
+(** The fields of a [stats] response: uptime, per-status counters,
+    queue/executor/cache/budget state, obs-ring occupancy.  Exposed for
+    the CLI and tests. *)
+
+val exec_wakeups : t -> int
+(** Times an executor woke from its idle wait — parked workers cost
+    zero wakeups, so this stays O(jobs), not O(idle time / poll
+    interval).  Exposed so tests can pin down that the old sleep-poll
+    loops are gone. *)
 
 type stop = [ `Eof | `Drained ]
 
@@ -72,13 +121,17 @@ val serve :
   output:(string -> unit) ->
   unit ->
   stop
-(** Serve until [input] returns [None] ([`Eof]) or [drain] turns true
-    ([`Drained]); both paths finish all admitted work before returning.
-    [input] yields one line (no newline) per call; [output] receives one
-    complete response line (no newline) per call and may be called from
-    two domains (calls are serialized by the server).  Never raises on
-    request content; it does propagate [output] failures (a dead client
-    pipe) after which the caller owns cleanup. *)
+(** One client session: serve until [input] returns [None] ([`Eof]) or
+    the server drains ([`Drained], via [drain] polled between lines or
+    {!request_drain}); both paths answer all admitted work before
+    returning.  Safe to call concurrently against one [t] — each call is
+    its own client with FIFO response ordering.  [input] yields one line
+    (no newline) per call and runs on a dedicated reader thread;
+    [output] receives one complete response line (no newline) per call,
+    possibly from any executor domain, serialized per client by the
+    server.  Never raises on request content; an [output] failure marks
+    the client gone — queued jobs are cancelled, running ones
+    interrupted — and the call returns after in-flight work unwinds. *)
 
 val serve_channels : t -> ?drain:(unit -> bool) -> in_channel -> out_channel -> stop
 (** {!serve} over channels: flushed line-buffered responses; EOF and
@@ -87,6 +140,10 @@ val serve_channels : t -> ?drain:(unit -> bool) -> in_channel -> out_channel -> 
 val serve_socket : t -> ?drain:(unit -> bool) -> string -> unit
 (** Listen on a Unix-domain socket at the given path (an existing
     {e socket} file is replaced; any other file kind is refused) and
-    serve connections sequentially until [drain] turns true.  A
-    connection dying mid-response is absorbed: the loop accepts the next
-    client.  The socket file is unlinked on return. *)
+    serve connections {e concurrently} — one reader thread per
+    connection, all multiplexed onto the shared executor pool — until
+    {!request_drain} (or [drain], polled between accepts).  A connection
+    dying mid-response only cancels that client's work.  On drain the
+    accept loop is woken, live connections are half-closed so their
+    readers see EOF, every admitted job is answered, connection threads
+    are joined, and the socket file is unlinked. *)

@@ -14,9 +14,9 @@ let check_s = Alcotest.(check string)
 
 (* --- Helpers ------------------------------------------------------------------ *)
 
-(* Run a server over an in-memory line list; returns (stop, responses). *)
-let run_server ?config ?drain lines =
-  let t = Server.create ?config () in
+(* One client session against an existing server, over an in-memory line
+   list; returns (stop, responses, lines_read). *)
+let run_on t ?drain lines =
   let remaining = ref lines in
   let read = ref 0 in
   let input () =
@@ -38,6 +38,13 @@ let run_server ?config ?drain lines =
   let stop = Server.serve t ?drain ~input ~output () in
   (stop, List.rev !out, !read)
 
+(* Create a server, run one session, and always join its executor
+   domains — domains are a bounded resource and the QCheck fuzz creates
+   dozens of servers. *)
+let run_server ?config ?drain lines =
+  let t = Server.create ?config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) (fun () -> run_on t ?drain lines)
+
 let parse_ok s =
   match Json.parse s with
   | Ok v -> v
@@ -57,11 +64,15 @@ let response_for n resps =
   | Some r -> r
   | None -> Alcotest.failf "no response for line %d" n
 
+(* One executor keeps the classic single-client tests deterministic
+   (jobs execute in admission order, so overload/budget assertions are
+   exact); the concurrency tests override it. *)
 let small_config =
   {
     Server.default_config with
     Server.max_patterns = 4096;
     max_seconds = 30.0;
+    executors = 1;
   }
 
 (* --- JSON parser ---------------------------------------------------------------- *)
@@ -340,6 +351,249 @@ let test_bounded_events () =
   | Json.Int n -> check "totals keep counting" true (n > 8)
   | _ -> Alcotest.fail "missing events_total"
 
+(* A circuit that passes admission but fails catalog lookup must yield a
+   structured error response — the old code [failwith]ed inside the
+   executor, killing it and hanging every later request.  The lookup
+   predicate split on [create] exists exactly to drive this path. *)
+let test_lookup_failure_isolated () =
+  let t = Server.create ~config:small_config ~known_circuit:(fun _ -> true) () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+  let _, resps, _ =
+    run_on t
+      [
+        {|{"circuit":"ghost-circuit","patterns":16,"id":"g"}|};
+        {|{"circuit":"carry8","patterns":16,"id":"ok"}|};
+      ]
+  in
+  check_i "both lines answered" 2 (List.length resps);
+  let ghost = response_for 1 resps in
+  check_s "lookup failure is an error response" "error" (status ghost);
+  (match field "error" ghost with
+  | Json.String msg ->
+      check "error names the lookup" true
+        (String.length msg >= 14 && String.sub msg 0 14 = "circuit lookup")
+  | _ -> Alcotest.fail "missing error");
+  check_s "executor survives to serve the next request" "ok"
+    (status (response_for 2 resps))
+
+(* Idle executors park on a condition variable: a 0.35 s gap between two
+   jobs must cost O(jobs) wakeups, not O(gap / poll-interval) — the old
+   2 ms sleep-poll would log ~175 iterations here. *)
+let test_idle_no_busy_wait () =
+  let t = Server.create ~config:small_config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+  let job = {|{"circuit":"carry8","patterns":16}|} in
+  let step = ref 0 in
+  let input () =
+    incr step;
+    match !step with
+    | 1 -> Some job
+    | 2 ->
+        Unix.sleepf 0.35;
+        Some job
+    | _ -> None
+  in
+  let m = Mutex.create () in
+  let out = ref [] in
+  let output s =
+    Mutex.lock m;
+    out := s :: !out;
+    Mutex.unlock m
+  in
+  let stop = Server.serve t ~input ~output () in
+  check "eof" true (stop = `Eof);
+  check_i "two responses" 2 (List.length !out);
+  let w = Server.exec_wakeups t in
+  check (Printf.sprintf "executors idle without spinning (%d wakeups)" w) true (w <= 10)
+
+(* The scheduler itself: per-client FIFO with round-robin across
+   clients, cancellation drops queued work, a raising task is counted
+   and survived. *)
+let test_scheduler () =
+  let module S = Parallel_exec.Scheduler in
+  let s = S.create ~num_domains:1 () in
+  Fun.protect ~finally:(fun () -> S.shutdown s) @@ fun () ->
+  let submit client task =
+    match S.submit s ~client task with
+    | `Ok _ -> ()
+    | `Full | `Closed -> Alcotest.fail "submit refused"
+  in
+  let order_m = Mutex.create () in
+  let order = ref [] in
+  let record name =
+    Mutex.lock order_m;
+    order := name :: !order;
+    Mutex.unlock order_m
+  in
+  (* hold the single worker inside a task so submissions below queue up *)
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let gate_open = ref false in
+  let started = ref false in
+  submit 0 (fun () ->
+      Mutex.lock gate_m;
+      started := true;
+      Condition.broadcast gate_c;
+      while not !gate_open do
+        Condition.wait gate_c gate_m
+      done;
+      Mutex.unlock gate_m);
+  Mutex.lock gate_m;
+  while not !started do
+    Condition.wait gate_c gate_m
+  done;
+  Mutex.unlock gate_m;
+  List.iter
+    (fun (c, name) -> submit c (fun () -> record name))
+    [ (1, "A1"); (1, "A2"); (1, "A3"); (2, "B1") ];
+  submit 5 (fun () -> record "C1");
+  check_i "cancel drops the queued task" 1 (S.cancel s ~client:5);
+  check_i "cancel of an unknown client drops nothing" 0 (S.cancel s ~client:99);
+  Mutex.lock gate_m;
+  gate_open := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  S.wait_idle s;
+  check "round-robin across clients, FIFO within one" true
+    (List.rev !order = [ "A1"; "B1"; "A2"; "A3" ]);
+  check_i "no crashes yet" 0 (S.crashes s);
+  submit 0 (fun () -> failwith "boom");
+  S.wait_idle s;
+  check_i "crash counted" 1 (S.crashes s);
+  submit 0 (fun () -> record "after");
+  S.wait_idle s;
+  check "pool survives a crashing task" true (List.mem "after" !order)
+
+(* N clients served concurrently against one server: each gets exactly
+   its own responses, numbered by its own line counter, with the same
+   coverage a standalone run produces. *)
+let test_concurrent_clients () =
+  let config = { small_config with Server.executors = 2 } in
+  let t = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+  let job i k =
+    (* distinct seeds per line defeat the result cache so every job is
+       real executor work; same seed across clients checks determinism *)
+    Printf.sprintf {|{"circuit":"carry8","patterns":64,"seed":%d,"id":"c%d-%d"}|} (100 + k)
+      i k
+  in
+  let n_clients = 3 in
+  let results = Array.make n_clients (`Eof, [], 0) in
+  let threads =
+    List.init n_clients (fun i ->
+        Thread.create (fun () -> results.(i) <- run_on t [ job i 0; job i 1; job i 2 ]) ())
+  in
+  List.iter Thread.join threads;
+  let nl = match Catalog.find "carry8" with Ok nl -> nl | Error e -> Alcotest.fail e in
+  let u = Faultsim.universe nl in
+  let cov_of_seed seed =
+    let prng = Dynmos_util.Prng.create seed in
+    let pats =
+      Faultsim.random_patterns prng
+        ~n_inputs:(List.length (Dynmos_netlist.Netlist.inputs nl))
+        ~count:64
+    in
+    Faultsim.coverage (Faultsim.run_serial u pats)
+  in
+  Array.iter
+    (fun (stop, resps, read) ->
+      check "client saw eof" true (stop = `Eof);
+      check_i "client read all its lines" 3 read;
+      check_i "one response per line" 3 (List.length resps);
+      check "numbered by the client's own counter" true
+        (List.sort compare (List.map line_of resps) = [ 1; 2; 3 ]);
+      List.iter
+        (fun r ->
+          check_s "ok" "ok" (status r);
+          let seed_cov =
+            match line_of r with 1 -> cov_of_seed 100 | 2 -> cov_of_seed 101 | _ -> cov_of_seed 102
+          in
+          let cov =
+            match field "coverage" r with
+            | Json.Float f -> f
+            | Json.Int n -> float_of_int n
+            | _ -> nan
+          in
+          Alcotest.(check (float 0.0)) "coverage identical to standalone" seed_cov cov)
+        resps)
+    results
+
+(* The content-addressed result cache: a repeat of a completed run is
+   answered bit-identically — the response line differs only in the
+   [cached] flag — with zero new gate evaluations charged anywhere. *)
+let test_result_cache () =
+  let t = Server.create ~config:small_config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+  let job = {|{"circuit":"rand20","patterns":128,"seed":7,"engine":"parallel","id":"j"}|} in
+  let stats () =
+    let _, resps, _ = run_on t [ {|{"op":"stats"}|} ] in
+    response_for 1 resps
+  in
+  let int_field name r =
+    match field name r with Json.Int n -> n | _ -> Alcotest.failf "field %s not an int" name
+  in
+  let _, r1, _ = run_on t [ job ] in
+  let s1 = stats () in
+  let _, r2, _ = run_on t [ job ] in
+  let s2 = stats () in
+  let a = response_for 1 r1 in
+  let b = response_for 1 r2 in
+  check_s "first run ok" "ok" (status a);
+  check_s "repeat ok" "ok" (status b);
+  check "first run not cached" true (field "cached" a = Json.Bool false);
+  check "repeat served from cache" true (field "cached" b = Json.Bool true);
+  let strip r =
+    match parse_ok r with
+    | Json.Obj fields -> List.filter (fun (k, _) -> k <> "cached") fields
+    | _ -> Alcotest.fail "response is not an object"
+  in
+  check "responses identical except the cached flag" true (strip a = strip b);
+  check_i "no hits before the repeat" 0 (int_field "cache_hits" s1);
+  check_i "the repeat hit the cache" 1 (int_field "cache_hits" s2);
+  check_i "a cache hit performs zero new gate evaluations"
+    (int_field "global_evals_used" s1)
+    (int_field "global_evals_used" s2)
+
+(* stream_every: progress lines flow while the job runs; they are not
+   the response — exactly one terminal line still answers the request,
+   with the standalone-identical result. *)
+let test_streaming_progress () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [ {|{"circuit":"carry8","patterns":64,"drop":false,"stream_every":16,"id":"s"}|} ]
+  in
+  let progress = List.filter (fun r -> status r = "progress") resps in
+  let terminal = List.filter (fun r -> status r <> "progress") resps in
+  check "progress lines streamed" true (List.length progress >= 1);
+  check_i "exactly one terminal response" 1 (List.length terminal);
+  let t = List.hd terminal in
+  check_s "terminal ok" "ok" (status t);
+  List.iter
+    (fun p ->
+      check_i "progress carries the request's line number" 1 (line_of p);
+      check "progress echoes the id" true (field "id" p = Json.String "s");
+      match (field "units_done" p, field "units_total" p) with
+      | Json.Int d, Json.Int tot -> check "progress within range" true (d >= 1 && d <= tot)
+      | _ -> Alcotest.fail "progress lacks unit counts")
+    progress;
+  let nl = match Catalog.find "carry8" with Ok nl -> nl | Error e -> Alcotest.fail e in
+  let u = Faultsim.universe nl in
+  let prng = Dynmos_util.Prng.create 42 in
+  let pats =
+    Faultsim.random_patterns prng
+      ~n_inputs:(List.length (Dynmos_netlist.Netlist.inputs nl))
+      ~count:64
+  in
+  let cov =
+    match field "coverage" t with
+    | Json.Float f -> f
+    | Json.Int n -> float_of_int n
+    | _ -> nan
+  in
+  Alcotest.(check (float 0.0)) "streamed run matches standalone"
+    (Faultsim.coverage (Faultsim.run_serial ~drop:false u pats))
+    cov
+
 (* --- QCheck fuzz: arbitrary bytes never crash the loop --------------------------- *)
 
 (* Byte-line generator biased toward the nasty cases: truncated JSON,
@@ -402,6 +656,52 @@ let qcheck_fuzz_serve =
         QCheck2.Test.fail_report "line numbers are not exactly 1..n";
       true)
 
+(* The same contract under interleaving: three clients fuzz one server
+   concurrently, and each still gets exactly one terminal response per
+   line, numbered by its own counter. *)
+let qcheck_fuzz_concurrent =
+  QCheck2.Test.make
+    ~name:"concurrent clients: one terminal response per line per client" ~count:25
+    QCheck2.Gen.(list_repeat 3 (list_size (int_range 0 8) fuzz_line))
+    (fun client_lines ->
+      let config =
+        {
+          Server.default_config with
+          Server.max_patterns = 64;
+          max_seconds = 5.0;
+          executors = 2;
+        }
+      in
+      let t = Server.create ~config () in
+      Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+      let n = List.length client_lines in
+      let results = Array.make n ([], 0) in
+      let threads =
+        List.mapi
+          (fun i lines ->
+            Thread.create
+              (fun () ->
+                let _, resps, read = run_on t lines in
+                results.(i) <- (resps, read))
+              ())
+          client_lines
+      in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i lines ->
+          let resps, read = results.(i) in
+          let terminal = List.filter (fun r -> status r <> "progress") resps in
+          if read <> List.length lines then
+            QCheck2.Test.fail_reportf "client %d: reader dropped lines" i;
+          if List.length terminal <> List.length lines then
+            QCheck2.Test.fail_reportf "client %d: %d lines but %d terminal responses" i
+              (List.length lines) (List.length terminal);
+          let sorted = List.sort compare (List.map line_of terminal) in
+          if sorted <> List.init (List.length lines) (fun k -> k + 1) then
+            QCheck2.Test.fail_reportf "client %d: line numbers are not exactly 1..n" i)
+        client_lines;
+      true)
+
 (* --- Suite ------------------------------------------------------------------------ *)
 
 let () =
@@ -430,7 +730,19 @@ let () =
           Alcotest.test_case "stats and ping" `Quick test_stats_and_ping;
           Alcotest.test_case "gate restriction" `Quick test_gates_restriction;
           Alcotest.test_case "bounded event ring" `Quick test_bounded_events;
+          Alcotest.test_case "lookup failure isolated" `Quick test_lookup_failure_isolated;
+          Alcotest.test_case "no idle busy-wait" `Quick test_idle_no_busy_wait;
+          Alcotest.test_case "streaming progress" `Quick test_streaming_progress;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "scheduler fairness, cancel, crash" `Quick test_scheduler;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "result cache" `Quick test_result_cache;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest qcheck_fuzz_serve ] );
+        [
+          QCheck_alcotest.to_alcotest qcheck_fuzz_serve;
+          QCheck_alcotest.to_alcotest qcheck_fuzz_concurrent;
+        ] );
     ]
