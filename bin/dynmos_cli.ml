@@ -158,13 +158,15 @@ let faultsim_cmd =
                   ("parallel", `Parallel);
                   ("deductive", `Deductive);
                   ("concurrent", `Concurrent);
+                  ("ppsfp", `Ppsfp);
                   ("domains", `Domains);
                 ])
              `Domains
          & info [ "engine" ] ~docv:"ENGINE"
              ~doc:
-               "Engine: serial, parallel (bit-parallel), deductive, concurrent, or domains \
-                (multicore domain-parallel).")
+               "Engine: serial, parallel (bit-parallel), deductive, concurrent, ppsfp \
+                (parallel-pattern/parallel-fault word matrix), or domains (multicore \
+                domain-parallel).")
   in
   let jobs =
     Arg.(value & opt (bounded_int ~what:"--jobs" ~min:0 ()) 0
@@ -173,6 +175,13 @@ let faultsim_cmd =
                "Worker domains for the 'domains' engine (0 = \
                 Domain.recommended_domain_count ()); clamped to the site count and the \
                 estimated work.")
+  in
+  let group =
+    Arg.(value & opt (bounded_int ~what:"--group" ~min:1 ()) Dynmos_faultsim.Ppsfp.default_group
+         & info [ "group" ] ~docv:"G"
+             ~doc:
+               "Fault-group size for the 'ppsfp' engine: G fault machines simulated \
+                together per pattern word on one word matrix.")
   in
   let no_drop =
     Arg.(value & flag & info [ "no-drop" ] ~doc:"Simulate every fault on every pattern.")
@@ -226,8 +235,8 @@ let faultsim_cmd =
              ~doc:"Stop cleanly after a budget of $(docv) faulty gate evaluations and \
                    report the partial result (exit code 2).")
   in
-  let run name patterns seed engine jobs algo no_drop stats trace ckpt ckpt_interval resume
-      deadline_in max_evals =
+  let run name patterns seed engine jobs group algo no_drop stats trace ckpt ckpt_interval
+      resume deadline_in max_evals =
     guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
@@ -294,6 +303,10 @@ let faultsim_cmd =
               ( Faultsim.run_concurrent ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
                   ?checkpoint u pats,
                 None )
+          | `Ppsfp ->
+              ( Faultsim.run_ppsfp ~drop ~algo ~group ~obs ?deadline ?max_evals ~interrupt
+                  ?checkpoint u pats,
+                None )
           | `Domains ->
               let s, st =
                 Faultsim.run_domain_parallel_stats ~drop ~algo ?num_domains ~obs ?deadline
@@ -311,6 +324,7 @@ let faultsim_cmd =
           | `Parallel, _ -> "parallel"
           | `Deductive, _ -> "deductive"
           | `Concurrent, _ -> "concurrent"
+          | `Ppsfp, _ -> Fmt.str "ppsfp(group %d)" group
           | `Domains, None -> "domains"
         in
         Format.printf "%s: %d sites, %d patterns -> %.2f%% coverage (%d detected)@."
@@ -383,8 +397,8 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc)
     Term.(
       ret
-        (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ algo $ no_drop $ stats
-       $ trace $ ckpt $ ckpt_interval $ resume $ deadline $ max_evals))
+        (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ group $ algo $ no_drop
+       $ stats $ trace $ ckpt $ ckpt_interval $ resume $ deadline $ max_evals))
 
 (* --- protest ---------------------------------------------------------------- *)
 

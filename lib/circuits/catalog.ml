@@ -27,6 +27,14 @@ let builtin : (string * (unit -> Netlist.t)) list =
     ("rand60", fun () ->
         Generators.random_monotone ~seed:7 ~n_inputs:12 ~n_gates:60
           ~technology:Technology.Domino_cmos ());
+    (* Layered thousand/ten-thousand-gate networks: the scale where
+       memory layout dominates — the PPSFP benchmark workloads. *)
+    ("rand1k", fun () ->
+        Generators.random_layered ~seed:11 ~n_inputs:32 ~width:100 ~depth:10 ~window:8
+          ~technology:Technology.Domino_cmos ());
+    ("rand10k", fun () ->
+        Generators.random_layered ~seed:13 ~n_inputs:64 ~width:500 ~depth:20 ~window:4
+          ~technology:Technology.Domino_cmos ());
   ]
 
 let names = List.map fst builtin

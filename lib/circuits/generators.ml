@@ -222,6 +222,67 @@ let random_monotone ?(seed = 42) ~n_inputs ~n_gates ~technology () =
     !nets;
   Netlist.Builder.finish b
 
+(* Layered random monotone networks with windowed connectivity: [depth]
+   layers of [width] AND/OR gates, each gate reading 2-3 nets from the
+   previous layer within +/-[window] of its own (scaled) position.  The
+   window bounds how fast fanout cones widen (~2*window gates per
+   layer), so thousand-to-ten-thousand-gate circuits keep compile-time
+   cone tables linear-ish instead of quadratic — the scale the PPSFP
+   memory-layout benchmarks need.  [random_monotone]'s uniform
+   connectivity gives near-whole-circuit cones past a few hundred
+   gates. *)
+let random_layered ?(seed = 42) ~n_inputs ~width ~depth ?(window = 8) ~technology () =
+  if Technology.inverts_transmission technology then
+    invalid_arg "random_layered: transmission-preserving technologies only";
+  if n_inputs < 2 then invalid_arg "random_layered: n_inputs >= 2";
+  if width < 2 then invalid_arg "random_layered: width >= 2";
+  if depth < 1 then invalid_arg "random_layered: depth >= 1";
+  if window < 1 then invalid_arg "random_layered: window >= 1";
+  let prng = Prng.create seed in
+  let b = Netlist.Builder.create (Fmt.str "randl_s%d_w%dx%d" seed width depth) in
+  let pis = List.init n_inputs pi_name in
+  List.iter (fun p -> ignore (Netlist.Builder.input b p)) pis;
+  let used = Hashtbl.create 64 in
+  let gate_nets = ref [] in
+  let prev = ref (Array.of_list pis) in
+  let gid = ref 0 in
+  for _d = 1 to depth do
+    let pool = !prev in
+    let pw = Array.length pool in
+    let layer =
+      Array.init width (fun j ->
+          let center = j * pw / width in
+          let lo = max 0 (center - window) and hi = min (pw - 1) (center + window) in
+          let span = hi - lo + 1 in
+          let k = min span (2 + Prng.int prng 2) in
+          let rec pick acc remaining =
+            if remaining = 0 then acc
+            else
+              let cand = pool.(lo + Prng.int prng span) in
+              if List.mem cand acc then pick acc remaining
+              else pick (cand :: acc) (remaining - 1)
+          in
+          let ins = pick [] k in
+          let k = List.length ins in
+          let cell =
+            if Prng.bool prng then Stdcells.and_gate k technology
+            else Stdcells.or_gate k technology
+          in
+          incr gid;
+          let out = Netlist.Builder.add b cell ~inputs:ins ~output:(Fmt.str "l%d" !gid) in
+          List.iter (fun n -> Hashtbl.replace used n ()) ins;
+          gate_nets := out :: !gate_nets;
+          out)
+    in
+    prev := layer
+  done;
+  (* Every gate net nobody consumes becomes a primary output (at least
+     the whole final layer). *)
+  List.iter
+    (fun n -> if not (Hashtbl.mem used n) then Netlist.Builder.output b n)
+    (List.rev !gate_nets);
+  Netlist.Builder.finish b
+
 (* --- Single paper gates as 1-gate networks ------------------------------ *)
 
 let single_cell cell =

@@ -33,6 +33,23 @@ val random_monotone :
   ?seed:int -> n_inputs:int -> n_gates:int -> technology:Technology.t -> unit -> Netlist.t
 (** Seeded random AND/OR network; unconsumed nets become primary outputs. *)
 
+val random_layered :
+  ?seed:int ->
+  n_inputs:int ->
+  width:int ->
+  depth:int ->
+  ?window:int ->
+  technology:Technology.t ->
+  unit ->
+  Netlist.t
+(** Seeded layered random AND/OR network: [depth] layers of [width]
+    gates, each reading 2-3 nets from the previous layer within
+    +/-[window] (default 8) of its scaled position; unconsumed gate
+    nets become primary outputs.  The window bounds fanout-cone growth
+    to ~2*[window] gates per layer, keeping compile-time cone tables
+    tractable at the thousand-to-ten-thousand-gate scale
+    ({!random_monotone}'s uniform connectivity does not). *)
+
 val single_cell : Cell.t -> Netlist.t
 (** Wrap one cell as a one-gate network. *)
 

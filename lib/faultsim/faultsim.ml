@@ -593,6 +593,22 @@ let run_concurrent ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?c
   Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?on_progress
     ~n_sites:(n_sites u) ~total:(Array.length patterns) (concurrent_kernel ~algo u patterns)
 
+(* PPSFP simulates a whole fault group jointly against each pattern
+   word, so — like the propagation engines — a raising site cannot be
+   isolated and the wrapper exposes no supervision knobs.  The kernel
+   itself is generic over (gate, faulty function) pairs; this wrapper
+   instantiates it on the universe's sites. *)
+let run_ppsfp ?drop ?(algo = `Cone) ?group ?trace_site ?obs ?deadline ?max_evals ?interrupt
+    ?checkpoint ?on_progress u (patterns : bool array array) =
+  let fsites =
+    Array.map
+      (fun s -> { Ppsfp.sid = s.sid; gate = s.gate.Netlist.id; fn = s.fn })
+      u.sites
+  in
+  Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?on_progress
+    ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    (Ppsfp.kernel ?group ?trace_site ~algo u.compiled fsites patterns)
+
 (* --- Domain-parallel -------------------------------------------------------- *)
 
 (* Multicore wrapper: fault sites are partitioned across OCaml 5 domains

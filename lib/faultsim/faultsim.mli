@@ -90,7 +90,7 @@ val detects : universe -> site -> bool array -> bool
 (** Every engine is a thin wrapper over the unified campaign driver
     ({!Campaign}): limits, checkpointing, obs accounting, fault dropping,
     supervision and the all-detected early exit are implemented exactly
-    once there, so the five entry points cannot drift apart.
+    once there, so the six entry points cannot drift apart.
 
     Every engine takes an optional observability recorder [obs] (default
     disabled, one branch of overhead): when enabled it receives one
@@ -221,6 +221,34 @@ val run_concurrent :
 (** Concurrent engine: per net, the list of diverged faulty machines with
     their explicit faulty values (the third classical simulator the paper
     names alongside parallel and deductive). *)
+
+val run_ppsfp :
+  ?drop:bool ->
+  ?algo:[ `Full | `Cone ] ->
+  ?group:int ->
+  ?trace_site:(sid:int -> start:int -> unit) ->
+  ?obs:Dynmos_obs.Obs.t ->
+  ?deadline:float ->
+  ?max_evals:int ->
+  ?interrupt:(unit -> bool) ->
+  ?checkpoint:Checkpoint.ctl ->
+  ?on_progress:(units_done:int -> detected:int -> unit) ->
+  universe ->
+  bool array array ->
+  summary
+(** PPSFP engine: a group of [group] (default 16) fault machines
+    simulated together against each 62-pattern word on a flat Bigarray
+    (net x lane) word matrix — one cube decode per gate amortized over
+    the whole group, unit-stride lane loops (see {!Ppsfp}).  [`Cone]
+    probes each machine's own gate against the good machine and, when
+    any machine is activated, sweeps the group's union fanout cone
+    once; [`Full] sweeps every gate.  [first_detection] is
+    bit-identical to {!run_parallel} for every [group], [algo] and
+    [drop].  Fault dropping compacts groups between pattern units, so
+    retired sites are never re-simulated ([trace_site] is the test hook
+    observing which sites each unit touches).  Groups propagate
+    jointly, so like the propagation engines this wrapper exposes no
+    supervision knobs. *)
 
 val run_domain_parallel :
   ?drop:bool ->

@@ -5,13 +5,14 @@
    checks like gate-id ranges are the one exception, resolved at
    execution time when the compiled circuit is in hand). *)
 
-type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Domains ]
+type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Ppsfp | `Domains ]
 
 let engine_name = function
   | `Serial -> "serial"
   | `Parallel -> "parallel"
   | `Deductive -> "deductive"
   | `Concurrent -> "concurrent"
+  | `Ppsfp -> "ppsfp"
   | `Domains -> "domains"
 
 type run = {
@@ -21,6 +22,7 @@ type run = {
   seed : int;
   engine : engine;
   jobs : int option;
+  group : int option;
   drop : bool;
   algo : [ `Full | `Cone ];
   gates : int list option;
@@ -105,8 +107,8 @@ let parse_run ~limits ~known_circuit obj id =
     check_fields ~op:"run"
       ~allowed:
         [
-          "op"; "id"; "circuit"; "patterns"; "seed"; "engine"; "jobs"; "drop"; "algo";
-          "gates"; "deadline_s"; "max_evals"; "crash_sid"; "stream_every";
+          "op"; "id"; "circuit"; "patterns"; "seed"; "engine"; "jobs"; "group"; "drop";
+          "algo"; "gates"; "deadline_s"; "max_evals"; "crash_sid"; "stream_every";
         ]
       obj
   in
@@ -139,6 +141,7 @@ let parse_run ~limits ~known_circuit obj id =
             ("parallel", `Parallel);
             ("deductive", `Deductive);
             ("concurrent", `Concurrent);
+            ("ppsfp", `Ppsfp);
             ("domains", `Domains);
           ]
           v
@@ -148,6 +151,13 @@ let parse_run ~limits ~known_circuit obj id =
     match jobs with
     | Some j when j < 1 || j > 1024 -> err "field \"jobs\" must be in 1..1024 (got %d)" j
     | Some _ when engine <> `Domains -> err "field \"jobs\" only applies to the \"domains\" engine"
+    | _ -> Ok ()
+  in
+  let* group = opt_field obj "group" to_int in
+  let* () =
+    match group with
+    | Some g when g < 1 || g > 1024 -> err "field \"group\" must be in 1..1024 (got %d)" g
+    | Some _ when engine <> `Ppsfp -> err "field \"group\" only applies to the \"ppsfp\" engine"
     | _ -> Ok ()
   in
   let* drop = opt_field obj "drop" to_bool in
@@ -195,7 +205,7 @@ let parse_run ~limits ~known_circuit obj id =
   let* () =
     match crash_sid with
     | Some s when s < 0 -> err "field \"crash_sid\" must be >= 0 (got %d)" s
-    | Some _ when engine = `Deductive || engine = `Concurrent ->
+    | Some _ when engine = `Deductive || engine = `Concurrent || engine = `Ppsfp ->
         err
           "field \"crash_sid\" requires a supervised injection engine (serial, parallel, \
            domains)"
@@ -210,6 +220,7 @@ let parse_run ~limits ~known_circuit obj id =
          seed;
          engine;
          jobs;
+         group;
          drop;
          algo;
          gates;

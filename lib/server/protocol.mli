@@ -16,7 +16,7 @@
     {e not} the response; the one-response-per-line invariant counts
     terminal statuses only (everything except "progress"). *)
 
-type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Domains ]
+type engine = [ `Serial | `Parallel | `Deductive | `Concurrent | `Ppsfp | `Domains ]
 
 val engine_name : engine -> string
 
@@ -27,6 +27,7 @@ type run = {
   seed : int;
   engine : engine;
   jobs : int option;   (** worker domains, [`Domains] engine only *)
+  group : int option;  (** fault-group size, [`Ppsfp] engine only *)
   drop : bool;
   algo : [ `Full | `Cone ];
   gates : int list option;

@@ -553,6 +553,9 @@ let exec_job t client job =
         | `Concurrent ->
             Faultsim.run_concurrent ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
               ?on_progress u pats
+        | `Ppsfp ->
+            Faultsim.run_ppsfp ~drop ~algo ?group:r.Protocol.group ~obs:job_obs ~deadline
+              ?max_evals ~interrupt ?on_progress u pats
         | `Domains ->
             Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
               ~deadline ?max_evals ~interrupt ?crash_hook ?on_progress u pats

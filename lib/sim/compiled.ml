@@ -286,6 +286,161 @@ let eval_cone_into ?tally t ~override:(gid, fn') ~(scratch : scratch) ~(buf : in
   (match tally with Some r -> r := !r + !evaluated | None -> ());
   !diff
 
+(* --- Word-matrix evaluation (PPSFP) --------------------------------------- *)
+
+(* A flat (net x lane) matrix of pattern words: row [net] holds [width]
+   machine words, one per fault machine ("lane"), at [net * width + lane].
+   Net-major order makes the lane loop unit-stride, so evaluating one
+   gate for a whole fault group decodes the cube cover once and streams
+   over contiguous memory.  Backed by [Bigarray.int] rather than the
+   boxed-on-read [Int64]: OCaml's native 63-bit int fits the engines'
+   62-pattern packing and [Array1.unsafe_get] on the int kind is a bare
+   load, no allocation on any path. *)
+type word_matrix = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_word_matrix t ~width =
+  if width < 1 then invalid_arg "Compiled.make_word_matrix: width must be >= 1";
+  let m = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 (t.n_nets * width)) in
+  Bigarray.Array1.fill m 0;
+  m
+
+let matrix_fill_row (m : word_matrix) ~width ~net w =
+  let base = net * width in
+  for l = 0 to width - 1 do
+    Bigarray.Array1.unsafe_set m (base + l) w
+  done
+
+(* Grouped single-gate evaluation: for every lane, bit j of row [out]
+   becomes [fn] applied to bit j of each input row.  The cube cover is
+   decoded once for all [width] lanes — cube outer, literal middle, lane
+   inner — with the output row itself as the per-cube mask buffer (legal
+   because a combinational gate never reads its own output) and [tmp]
+   (caller scratch, length >= width) as the OR-accumulator, so the call
+   allocates nothing. *)
+let eval_fn_rows fn (ins : int array) (m : word_matrix) ~width ~out ~(tmp : int array) =
+  let base_out = out * width in
+  (* AND one literal's input row into the output row, in place. *)
+  let and_literal care value i =
+    if care land (1 lsl i) <> 0 then begin
+      let base_in = Array.unsafe_get ins i * width in
+      if value land (1 lsl i) <> 0 then
+        for l = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set m (base_out + l)
+            (Bigarray.Array1.unsafe_get m (base_out + l)
+            land Bigarray.Array1.unsafe_get m (base_in + l))
+        done
+      else
+        for l = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set m (base_out + l)
+            (Bigarray.Array1.unsafe_get m (base_out + l)
+            land lnot (Bigarray.Array1.unsafe_get m (base_in + l)))
+        done
+    end
+  in
+  let cubes = fn.cubes in
+  let n_cubes = Array.length cubes in
+  (* Two specializations cover the common cell covers (a minimized
+     monotone AND is one cube; a minimized OR is single-literal cubes)
+     without the accumulator round-trips of the general shape. *)
+  if n_cubes = 0 then
+    for l = 0 to width - 1 do
+      Bigarray.Array1.unsafe_set m (base_out + l) 0
+    done
+  else if n_cubes = 1 then begin
+    (* One cube: AND the literals straight into the output row. *)
+    let care, value = Array.unsafe_get cubes 0 in
+    for l = 0 to width - 1 do
+      Bigarray.Array1.unsafe_set m (base_out + l) (-1)
+    done;
+    let rec lits i =
+      if 1 lsl i <= care then begin
+        and_literal care value i;
+        lits (i + 1)
+      end
+    in
+    lits 0
+  end
+  else begin
+    let single_literal = ref true in
+    for c = 0 to n_cubes - 1 do
+      let care, _ = Array.unsafe_get cubes c in
+      if care = 0 || care land (care - 1) <> 0 then single_literal := false
+    done;
+    if !single_literal then begin
+      (* Every cube is one literal: OR them straight into the output row. *)
+      for l = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set m (base_out + l) 0
+      done;
+      for c = 0 to n_cubes - 1 do
+        let care, value = Array.unsafe_get cubes c in
+        let rec idx i = if care lsr i = 1 then i else idx (i + 1) in
+        let base_in = Array.unsafe_get ins (idx 0) * width in
+        if value land care <> 0 then
+          for l = 0 to width - 1 do
+            Bigarray.Array1.unsafe_set m (base_out + l)
+              (Bigarray.Array1.unsafe_get m (base_out + l)
+              lor Bigarray.Array1.unsafe_get m (base_in + l))
+          done
+        else
+          for l = 0 to width - 1 do
+            Bigarray.Array1.unsafe_set m (base_out + l)
+              (Bigarray.Array1.unsafe_get m (base_out + l)
+              lor lnot (Bigarray.Array1.unsafe_get m (base_in + l)))
+          done
+      done
+    end
+    else begin
+      (* General cover: the output row is the per-cube mask buffer and
+         [tmp] the OR-accumulator. *)
+      Array.fill tmp 0 width 0;
+      for c = 0 to n_cubes - 1 do
+        let care, value = Array.unsafe_get cubes c in
+        for l = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set m (base_out + l) (-1)
+        done;
+        let rec lits i =
+          if 1 lsl i <= care then begin
+            and_literal care value i;
+            lits (i + 1)
+          end
+        in
+        lits 0;
+        for l = 0 to width - 1 do
+          Array.unsafe_set tmp l
+            (Array.unsafe_get tmp l lor Bigarray.Array1.unsafe_get m (base_out + l))
+        done
+      done;
+      for l = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set m (base_out + l) (Array.unsafe_get tmp l)
+      done
+    end
+  end
+
+(* Scalar evaluation of one lane out of the matrix — the per-machine
+   override fixup of the PPSFP sweep (a faulty gate function applies to
+   exactly one lane, so it is evaluated alone against that lane's input
+   words). *)
+let eval_fn_in_matrix fn (ins : int array) (m : word_matrix) ~width ~lane =
+  let out = ref 0 in
+  Array.iter
+    (fun (care, value) ->
+      let mask = ref (-1) in
+      let rec lits i =
+        if 1 lsl i <= care then begin
+          if care land (1 lsl i) <> 0 then begin
+            let w = Bigarray.Array1.unsafe_get m ((Array.unsafe_get ins i * width) + lane) in
+            mask := !mask land (if value land (1 lsl i) <> 0 then w else lnot w)
+          end;
+          lits (i + 1)
+        end
+      in
+      lits 0;
+      out := !out lor !mask)
+    fn.cubes;
+  !out
+
+let gate_is_po t gid = t.gate_po.(gid)
+
 let eval_words ?override t (pi_words : int array) =
   let scratch = make_scratch t in
   eval_words_into ?override t ~scratch pi_words;

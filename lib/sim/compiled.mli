@@ -106,6 +106,42 @@ val eval_cone_into :
     single gate evaluation.  [tally], when given, accumulates the gate
     evaluations performed (1 or the cone size). *)
 
+(** {1 Word-matrix evaluation (PPSFP)}
+
+    A flat (net x lane) matrix of pattern words for parallel-pattern /
+    parallel-fault simulation: row [net] holds [width] machine words at
+    [net * width + lane], one per fault machine.  Net-major order makes
+    the lane loop unit-stride, so one cube-cover decode is amortized
+    over the whole fault group.  Backed by [Bigarray.int] (native 63-bit
+    ints, unboxed loads) — the engines pack 62 patterns per word, so the
+    narrower element loses nothing and every [unsafe_get] stays
+    allocation-free. *)
+
+type word_matrix = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val make_word_matrix : t -> width:int -> word_matrix
+(** A zeroed [n_nets x width] matrix.  Raises [Invalid_argument] when
+    [width < 1]. *)
+
+val matrix_fill_row : word_matrix -> width:int -> net:int -> int -> unit
+(** Broadcast one word to every lane of row [net] (good-machine frontier
+    values entering a fault group's cone). *)
+
+val eval_fn_rows :
+  gate_fn -> int array -> word_matrix -> width:int -> out:int -> tmp:int array -> unit
+(** Grouped single-gate evaluation: for every lane, row [out] becomes
+    the function applied to the input rows ([ins], net indices).  Cube
+    outer, literal middle, lane inner; [tmp] (length >= [width]) is the
+    caller-owned accumulator making the call allocation-free. *)
+
+val eval_fn_in_matrix : gate_fn -> int array -> word_matrix -> width:int -> lane:int -> int
+(** Scalar one-lane evaluation out of the matrix — the per-machine
+    faulty-function fixup of a PPSFP sweep. *)
+
+val gate_is_po : t -> int -> bool
+(** Is gate [gid]'s output net a primary output?  (The PO-diff test of
+    the cone-restricted kernels.) *)
+
 val outputs_of_nets : t -> int array -> int array
 (** Select the primary-output words from an [eval_words] result. *)
 

@@ -43,6 +43,9 @@ let engines : (string * run) list =
     ( "concurrent",
       fun ?deadline ?max_evals ?interrupt u pats ->
         Faultsim.run_concurrent ?deadline ?max_evals ?interrupt u pats );
+    ( "ppsfp",
+      fun ?deadline ?max_evals ?interrupt u pats ->
+        Faultsim.run_ppsfp ~group:5 ?deadline ?max_evals ?interrupt u pats );
     ( "domains",
       fun ?deadline ?max_evals ?interrupt u pats ->
         Faultsim.run_domain_parallel ~num_domains:2 ~min_work_per_domain:0 ?deadline
@@ -118,7 +121,7 @@ let test_checkpoint_resume_propagation_kernel () =
 let qcheck_limited_is_prefix =
   QCheck2.Test.make ~name:"any kernel x limits is a prefix of the unlimited run"
     ~count:60
-    QCheck2.Gen.(triple (int_range 0 3) (int_range 0 2) (int_range 1 60))
+    QCheck2.Gen.(triple (int_range 0 4) (int_range 0 2) (int_range 1 60))
     (fun (engine_ix, limit_kind, scale) ->
       let u, pats = fixture () in
       let name, (run : run) = List.nth engines engine_ix in

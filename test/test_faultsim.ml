@@ -47,9 +47,9 @@ let test_detects () =
   check "11000 detects a-open" true (Faultsim.detects u site [| true; true; false; false; false |]);
   check "00011 does not" false (Faultsim.detects u site [| false; false; false; true; true |])
 
-(* All engines — serial, bit-parallel, deductive, concurrent and the two
-   domain-parallel kernels, each injection engine under both the full and
-   the cone-restricted algorithm — must produce identical
+(* All engines — serial, bit-parallel, deductive, concurrent, PPSFP and
+   the two domain-parallel kernels, each injection engine under both the
+   full and the cone-restricted algorithm — must produce identical
    first_detection.  The reference is the classical whole-circuit serial
    kernel. *)
 let engines_agree u patterns =
@@ -62,6 +62,8 @@ let engines_agree u patterns =
   && agree (Faultsim.run_deductive ~drop:false ~algo:`Cone u patterns)
   && agree (Faultsim.run_concurrent ~drop:false ~algo:`Full u patterns)
   && agree (Faultsim.run_concurrent ~drop:false ~algo:`Cone u patterns)
+  && agree (Faultsim.run_ppsfp ~drop:false ~algo:`Full ~group:4 u patterns)
+  && agree (Faultsim.run_ppsfp ~drop:false ~algo:`Cone ~group:4 u patterns)
   && List.for_all
        (fun (inner, algo) ->
          agree
@@ -453,6 +455,160 @@ let test_restrict_universe () =
     (raises_invalid (fun () -> Faultsim.restrict_universe u ~gates:[ 1; 1 ]));
   check "empty restriction is legal" true
     (Faultsim.n_sites (Faultsim.restrict_universe u ~gates:[]) = 0)
+
+(* --- PPSFP ------------------------------------------------------------------- *)
+
+(* Group size is a pure performance knob: every G — including 1, a
+   non-divisor of the site count, and one exceeding the whole universe —
+   reproduces the bit-parallel engine's first_detection under both
+   algorithms and both drop settings. *)
+let test_ppsfp_group_sizes () =
+  let nl =
+    Generators.random_monotone ~seed:21 ~n_inputs:8 ~n_gates:30
+      ~technology:Technology.Domino_cmos ()
+  in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 83 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:100 in
+  let reference = Faultsim.run_parallel ~drop:false u pats in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun (drop, algo, aname) ->
+          let s = Faultsim.run_ppsfp ~drop ~algo ~group u pats in
+          check
+            (Fmt.str "group=%d algo=%s drop=%b" group aname drop)
+            true
+            (s.Faultsim.first_detection = reference.Faultsim.first_detection))
+        [
+          (false, `Cone, "cone");
+          (false, `Full, "full");
+          (true, `Cone, "cone");
+          (true, `Full, "full");
+        ])
+    [ 1; 3; 16; 64; 1000 ];
+  check "group 0 raises" true
+    (raises_invalid (fun () -> Faultsim.run_ppsfp ~group:0 u pats))
+
+(* Fault dropping compacts the group partition between pattern units:
+   once a site is detected it is never simulated again.  [trace_site]
+   fires once per live site per 62-pattern unit, so the recorded unit
+   starts pin the compaction exactly: a detected site's last trace is
+   the unit containing its first detection, an undetected site is
+   traced in every unit, and no (site, unit) pair repeats. *)
+let test_ppsfp_compaction_never_resimulates () =
+  let nl =
+    Generators.random_monotone ~seed:3 ~n_inputs:8 ~n_gates:30
+      ~technology:Technology.Domino_cmos ()
+  in
+  let u = Faultsim.universe nl in
+  let prng = Prng.create 89 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:200 in
+  let traces : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let trace_site ~sid ~start =
+    Hashtbl.replace traces sid
+      (start :: Option.value ~default:[] (Hashtbl.find_opt traces sid))
+  in
+  let s = Faultsim.run_ppsfp ~drop:true ~group:7 ~trace_site u pats in
+  let n_units = (Array.length pats + 61) / 62 in
+  Hashtbl.iter
+    (fun sid starts ->
+      check
+        (Fmt.str "site %d traced at most once per unit" sid)
+        true
+        (List.length (List.sort_uniq compare starts) = List.length starts))
+    traces;
+  Array.iteri
+    (fun sid first ->
+      let starts = Option.value ~default:[] (Hashtbl.find_opt traces sid) in
+      match first with
+      | Some p ->
+          let detecting_unit = p - (p mod 62) in
+          check (Fmt.str "site %d simulated in its detecting unit" sid) true
+            (List.mem detecting_unit starts);
+          check (Fmt.str "site %d retired after detection" sid) true
+            (List.for_all (fun st -> st <= detecting_unit) starts)
+      | None ->
+          check (Fmt.str "undetected site %d simulated in every unit" sid) true
+            (List.length starts = n_units))
+    s.Faultsim.first_detection;
+  check "compaction changes no detections" true
+    (s.Faultsim.first_detection
+    = (Faultsim.run_ppsfp ~drop:false ~group:7 u pats).Faultsim.first_detection)
+
+(* Restricted universes (arbitrary site subsets, still ascending sid /
+   non-decreasing gate order) go through the same kernel. *)
+let test_ppsfp_restricted_universe () =
+  let nl =
+    Generators.random_monotone ~seed:21 ~n_inputs:8 ~n_gates:30
+      ~technology:Technology.Domino_cmos ()
+  in
+  let u = Faultsim.universe nl in
+  let ru = Faultsim.restrict_universe u ~gates:[ 0; 5; 7; 13; 22 ] in
+  let prng = Prng.create 91 in
+  let pats = Faultsim.random_patterns prng ~n_inputs:8 ~count:90 in
+  let reference = Faultsim.run_parallel ~drop:false ru pats in
+  List.iter
+    (fun (algo, aname) ->
+      check (Fmt.str "restricted universe, %s" aname) true
+        ((Faultsim.run_ppsfp ~drop:false ~algo ~group:4 ru pats).Faultsim.first_detection
+        = reference.Faultsim.first_detection))
+    [ (`Cone, "cone"); (`Full, "full") ]
+
+(* The word-matrix primitives against the scalar evaluator: sweeping a
+   whole circuit with [eval_fn_rows] (fast paths included) must leave
+   every lane equal to an independent [eval_words_into] run on that
+   lane's input words, and the scalar [eval_fn_in_matrix] path must
+   agree with the grouped rows. *)
+let test_word_matrix_matches_scalar () =
+  let nl =
+    Generators.random_monotone ~seed:17 ~n_inputs:6 ~n_gates:20
+      ~technology:Technology.Domino_cmos ()
+  in
+  let c = Compiled.compile nl in
+  let width = 5 in
+  let m = Compiled.make_word_matrix c ~width in
+  let prng = Prng.create 93 in
+  let n_in = Compiled.n_inputs c in
+  let lane_inputs =
+    Array.init width (fun _ -> Array.init n_in (fun _ -> Prng.bits62 prng))
+  in
+  for net = 0 to n_in - 1 do
+    for lane = 0 to width - 1 do
+      Bigarray.Array1.set m ((net * width) + lane) lane_inputs.(lane).(net)
+    done
+  done;
+  let tmp = Array.make width 0 in
+  let gates = Compiled.gates c in
+  Array.iter
+    (fun g ->
+      Compiled.eval_fn_rows g.Compiled.fn g.Compiled.ins m ~width ~out:g.Compiled.out
+        ~tmp)
+    gates;
+  let scratch = Compiled.make_scratch c in
+  for lane = 0 to width - 1 do
+    Compiled.eval_words_into c ~scratch lane_inputs.(lane);
+    for net = 0 to Compiled.n_nets c - 1 do
+      check_i
+        (Fmt.str "lane %d net %d" lane net)
+        scratch.(net)
+        (Bigarray.Array1.get m ((net * width) + lane))
+    done
+  done;
+  Array.iter
+    (fun g ->
+      for lane = 0 to width - 1 do
+        check_i "eval_fn_in_matrix agrees with eval_fn_rows"
+          (Bigarray.Array1.get m ((g.Compiled.out * width) + lane))
+          (Compiled.eval_fn_in_matrix g.Compiled.fn g.Compiled.ins m ~width ~lane)
+      done)
+    gates;
+  Compiled.matrix_fill_row m ~width ~net:0 12345;
+  for lane = 0 to width - 1 do
+    check_i "matrix_fill_row broadcasts" 12345 (Bigarray.Array1.get m lane)
+  done;
+  check "width 0 raises" true
+    (raises_invalid (fun () -> Compiled.make_word_matrix c ~width:0))
 
 (* --- Observability ---------------------------------------------------------- *)
 
@@ -1139,6 +1295,28 @@ let qcheck_cone_structure =
       done;
       !ok && !widest = Compiled.max_cone_size c)
 
+(* QCheck: PPSFP differential — first detections equal the bit-parallel
+   engine's on random circuits x random group sizes, for both algorithms
+   and both drop settings. *)
+let qcheck_ppsfp_differential =
+  QCheck2.Test.make ~name:"ppsfp = bit-parallel on random circuits x group sizes"
+    ~count:25
+    QCheck2.Gen.(triple (int_range 1 1000) (int_range 4 8) (int_range 1 12))
+    (fun (seed, n_inputs, group) ->
+      let nl =
+        Generators.random_monotone ~seed ~n_inputs ~n_gates:14
+          ~technology:Technology.Domino_cmos ()
+      in
+      let u = Faultsim.universe nl in
+      let prng = Prng.create (seed + group) in
+      let pats = Faultsim.random_patterns prng ~n_inputs ~count:70 in
+      let reference = Faultsim.run_parallel ~drop:false u pats in
+      List.for_all
+        (fun (drop, algo) ->
+          (Faultsim.run_ppsfp ~drop ~algo ~group u pats).Faultsim.first_detection
+          = reference.Faultsim.first_detection)
+        [ (false, `Cone); (false, `Full); (true, `Cone); (true, `Full) ])
+
 (* QCheck: engine agreement on random monotone circuits and patterns. *)
 let qcheck_engines =
   QCheck2.Test.make ~name:"engines agree on random circuits" ~count:20
@@ -1188,6 +1366,15 @@ let () =
           Alcotest.test_case "equal across domain counts" `Quick test_domain_counts_equal;
           Alcotest.test_case "drop/no-drop identical" `Quick test_domain_drop_semantics;
           Alcotest.test_case "degenerate shapes" `Quick test_domain_empty_universe;
+        ] );
+      ( "ppsfp",
+        [
+          Alcotest.test_case "group sizes all agree" `Quick test_ppsfp_group_sizes;
+          Alcotest.test_case "compaction never re-simulates" `Quick
+            test_ppsfp_compaction_never_resimulates;
+          Alcotest.test_case "restricted universes" `Quick test_ppsfp_restricted_universe;
+          Alcotest.test_case "word matrix = scalar evaluator" `Quick
+            test_word_matrix_matches_scalar;
         ] );
       ( "results",
         [
@@ -1242,6 +1429,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest qcheck_engines;
+          QCheck_alcotest.to_alcotest qcheck_ppsfp_differential;
           QCheck_alcotest.to_alcotest qcheck_cone_structure;
           QCheck_alcotest.to_alcotest qcheck_checkpoint_roundtrip;
         ] );

@@ -42,6 +42,10 @@ let engines :
     ("deductive", "cone", fun ~drop u p -> Faultsim.run_deductive ~drop ~algo:`Cone u p);
     ("concurrent", "full", fun ~drop u p -> Faultsim.run_concurrent ~drop ~algo:`Full u p);
     ("concurrent", "cone", fun ~drop u p -> Faultsim.run_concurrent ~drop ~algo:`Cone u p);
+    (* Group size 5 deliberately misaligns with the site count so the
+       ragged final group and drop-compaction repacking are both pinned. *)
+    ("ppsfp", "full", fun ~drop u p -> Faultsim.run_ppsfp ~drop ~algo:`Full ~group:5 u p);
+    ("ppsfp", "cone", fun ~drop u p -> Faultsim.run_ppsfp ~drop ~algo:`Cone ~group:5 u p);
     ( "domains-serial",
       "full",
       fun ~drop u p ->

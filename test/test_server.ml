@@ -175,6 +175,43 @@ let test_request_rejections () =
   rejected {|[1,2,3]|};
   rejected {|"just a string"|}
 
+(* The ppsfp engine's [group] knob: accepted (and optional) for ppsfp,
+   rejected out of range, for every other engine, and alongside
+   crash_sid (joint group propagation cannot isolate one site). *)
+let test_request_ppsfp () =
+  (match parse {|{"circuit":"carry8","engine":"ppsfp","group":64}|} with
+  | Ok (Protocol.Run r) ->
+      check "engine ppsfp" true (r.Protocol.engine = `Ppsfp);
+      check "group carried" true (r.Protocol.group = Some 64)
+  | _ -> Alcotest.fail "expected a Run request");
+  (match parse {|{"circuit":"carry8","engine":"ppsfp"}|} with
+  | Ok (Protocol.Run r) -> check "group optional" true (r.Protocol.group = None)
+  | _ -> Alcotest.fail "expected a Run request");
+  let rejected s = check s true (Result.is_error (parse s)) in
+  rejected {|{"circuit":"carry8","group":8}|};  (* group without ppsfp *)
+  rejected {|{"circuit":"carry8","engine":"parallel","group":8}|};
+  rejected {|{"circuit":"carry8","engine":"ppsfp","group":0}|};
+  rejected {|{"circuit":"carry8","engine":"ppsfp","group":1025}|};
+  rejected {|{"circuit":"carry8","engine":"ppsfp","crash_sid":0}|}
+
+(* End-to-end: a ppsfp job through the server produces the bit-parallel
+   engine's coverage. *)
+let test_server_ppsfp_engine () =
+  let _, resps, _ =
+    run_server ~config:small_config
+      [
+        {|{"circuit":"rand20","patterns":128,"seed":7,"engine":"ppsfp","group":8,"id":"p"}|};
+        {|{"circuit":"rand20","patterns":128,"seed":7,"engine":"parallel","id":"q"}|};
+      ]
+  in
+  check_i "two responses" 2 (List.length resps);
+  let p = response_for 1 resps and q = response_for 2 resps in
+  check_s "ppsfp ok" "ok" (status p);
+  check "coverage identical to bit-parallel" true
+    (field "coverage" p = field "coverage" q);
+  check "detected identical to bit-parallel" true
+    (field "detected" p = field "detected" q)
+
 (* --- End-to-end: the robustness contract ----------------------------------------- *)
 
 (* A valid job's coverage equals a standalone engine run bit-for-bit. *)
@@ -718,10 +755,12 @@ let () =
           Alcotest.test_case "defaults" `Quick test_request_defaults;
           Alcotest.test_case "caps applied" `Quick test_request_caps;
           Alcotest.test_case "rejections" `Quick test_request_rejections;
+          Alcotest.test_case "ppsfp group knob" `Quick test_request_ppsfp;
         ] );
       ( "serve",
         [
           Alcotest.test_case "matches standalone run" `Quick test_server_matches_standalone;
+          Alcotest.test_case "ppsfp engine end-to-end" `Quick test_server_ppsfp_engine;
           Alcotest.test_case "crash and deadline isolated" `Quick
             test_crash_and_deadline_isolated;
           Alcotest.test_case "overload backpressure" `Quick test_overload;
