@@ -23,6 +23,7 @@ open Dynmos_protest
 open Dynmos_atpg
 open Dynmos_circuits
 module Obs = Dynmos_obs.Obs
+module Chaos = Dynmos_chaos.Chaos
 
 (* --- Argument hardening ---------------------------------------------------- *)
 
@@ -57,6 +58,29 @@ let positive_float ~what =
     | Some f -> Error (`Msg (Fmt.str "%s must be positive (got %g)" what f))
   in
   Arg.conv (parse, Format.pp_print_float)
+
+(* --chaos SPEC: a deterministic fault-injection schedule.  Shared by
+   faultsim (checkpoint and supervised-retry points) and serve (socket,
+   scheduler and cache points); the same spec and seed always replays
+   the same schedule. *)
+let chaos_arg =
+  let chaos_conv =
+    Arg.conv
+      ( (fun s ->
+          match Chaos.of_spec s with
+          | Ok c -> Ok c
+          | Error e -> Error (`Msg (Fmt.str "--chaos: %s" e))),
+        fun ppf c -> Format.pp_print_string ppf (Chaos.to_spec c) )
+  in
+  Arg.(value & opt chaos_conv Chaos.disabled
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection: comma-separated point=action pairs plus \
+                 an optional seed, e.g. \
+                 'ckpt.write=fail_once,sched.task=fail_prob:0.2,seed=7'.  Actions: \
+                 fail_once, fail_prob:P, delay:MS, torn_write.  Points: sched.spawn, \
+                 sched.task, exec.job, ckpt.write, ckpt.rename, ckpt.fsync, serve.write, \
+                 serve.read, cache.insert.  The same spec replays the same failure \
+                 schedule.")
 
 (* Second line of defense for anything the converters cannot know (file
    errors, library-level validation): report instead of backtracing. *)
@@ -236,7 +260,7 @@ let faultsim_cmd =
                    report the partial result (exit code 2).")
   in
   let run name patterns seed engine jobs group algo no_drop stats trace ckpt ckpt_interval
-      resume deadline_in max_evals =
+      resume deadline_in max_evals chaos =
     guard @@ fun () ->
     match circuit_of_name name with
     | Error e -> `Error (false, e)
@@ -256,8 +280,8 @@ let faultsim_cmd =
         let checkpoint =
           Option.map
             (fun path ->
-              Faultsim.checkpoint_ctl ~path ~interval:ckpt_interval ~resume ~prng_state u
-                pats)
+              Faultsim.checkpoint_ctl ~path ~interval:ckpt_interval ~resume ~prng_state
+                ~chaos u pats)
             ckpt
         in
         let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_in in
@@ -289,11 +313,11 @@ let faultsim_cmd =
           match engine with
           | `Serial ->
               ( Faultsim.run_serial ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
-                  ?checkpoint u pats,
+                  ?checkpoint ~chaos u pats,
                 None )
           | `Parallel ->
               ( Faultsim.run_parallel ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
-                  ?checkpoint u pats,
+                  ?checkpoint ~chaos u pats,
                 None )
           | `Deductive ->
               ( Faultsim.run_deductive ~drop ~algo ~obs ?deadline ?max_evals ~interrupt
@@ -373,7 +397,18 @@ let faultsim_cmd =
                 Format.printf "@."
               end)
             (!fetch_events ());
-          Option.iter (Parallel_exec.pp_stats Format.std_formatter) domain_stats
+          Option.iter (Parallel_exec.pp_stats Format.std_formatter) domain_stats;
+          if Chaos.enabled chaos then begin
+            Format.printf "chaos: spec=%s injected=%d" (Chaos.to_spec chaos)
+              (Chaos.injected chaos);
+            List.iter (fun (p, n) -> Format.printf " %s=%d" p n) (Chaos.counts chaos);
+            (match checkpoint with
+            | Some ctl ->
+                Format.printf " failed_writes=%d stale_cleaned=%d"
+                  (Checkpoint.failed_writes ctl) (Checkpoint.stale_cleaned ctl)
+            | None -> ());
+            Format.printf "@."
+          end
         end;
         Option.iter close_out !trace_oc;
         (match trace with
@@ -398,7 +433,7 @@ let faultsim_cmd =
     Term.(
       ret
         (const run $ circuit_arg $ patterns $ seed $ engine $ jobs $ group $ algo $ no_drop
-       $ stats $ trace $ ckpt $ ckpt_interval $ resume $ deadline $ max_evals))
+       $ stats $ trace $ ckpt $ ckpt_interval $ resume $ deadline $ max_evals $ chaos_arg))
 
 (* --- protest ---------------------------------------------------------------- *)
 
@@ -589,8 +624,15 @@ let serve_cmd =
              ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
                    stdin/stdout; connections are served concurrently until drain.")
   in
+  let idle_timeout =
+    Arg.(value & opt (some (positive_float ~what:"--idle-timeout")) None
+         & info [ "idle-timeout" ] ~docv:"SEC"
+             ~doc:"Reap socket connections that stay silent for $(docv) seconds with no \
+                   work in flight, freeing their reader thread (socket mode only; \
+                   default: never).")
+  in
   let run queue executors cache max_patterns max_seconds max_request_evals global_max_evals
-      max_line_bytes events trace socket =
+      max_line_bytes events trace socket idle_timeout chaos =
     guard @@ fun () ->
     let config =
       {
@@ -603,8 +645,15 @@ let serve_cmd =
         max_line_bytes;
         events_capacity = events;
         cache_capacity = cache;
+        idle_timeout_s = idle_timeout;
+        chaos;
       }
     in
+    (* A client closing its connection mid-response must never kill the
+       server: with SIGPIPE ignored the failed write surfaces as EPIPE,
+       which the serve loop turns into a cancelled session. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
     let trace_oc =
       Option.map
         (fun file -> open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 file)
@@ -659,7 +708,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ queue $ executors $ cache $ max_patterns $ max_seconds
-       $ max_request_evals $ global_max_evals $ max_line_bytes $ events $ trace $ socket))
+       $ max_request_evals $ global_max_evals $ max_line_bytes $ events $ trace $ socket
+       $ idle_timeout $ chaos_arg))
 
 (* --- circuits ------------------------------------------------------------------ *)
 

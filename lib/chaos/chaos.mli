@@ -1,0 +1,100 @@
+(** Deterministic chaos injection for the infrastructure's own fault
+    handling.
+
+    The paper's premise is that realistic defects must be injected and
+    simulated, not assumed away.  This module applies the same discipline
+    to the simulator's infrastructure: every recovery path in the stack
+    (supervised retry, executor respawn, checkpoint atomic write, client
+    IO cancellation, cache insertion) carries a named {e injection point},
+    and a registry decides — deterministically, from one seed — whether an
+    invocation of that point fails, stalls, or proceeds.
+
+    Determinism contract: each armed point draws from its own PRNG stream,
+    seeded from [(campaign seed, point)] alone.  The Nth tap of a point
+    therefore has the same verdict regardless of how taps of {e other}
+    points interleave with it, so a failure schedule observed once is
+    replayable from the spec string (see {!of_spec}) — the same guarantee
+    the engines give for fault universes.
+
+    Cost contract: a disabled registry costs one mutable-flag branch per
+    tap; an armed registry costs one array-slot load for points with no
+    action configured.  Same bar as [Dynmos_obs.Obs]. *)
+
+type point =
+  | Sched_spawn  (** Executor-domain spawn in [Parallel_exec.Scheduler]. *)
+  | Sched_task  (** Task execution on a scheduler executor domain. *)
+  | Exec_job  (** Supervised per-site evaluation in a campaign kernel. *)
+  | Ckpt_write  (** Checkpoint body write (torn = truncated tmp file). *)
+  | Ckpt_rename  (** Atomic publish rename of a checkpoint. *)
+  | Ckpt_fsync  (** Durability fsync before rename (fail = skip). *)
+  | Serve_write  (** Server response write to a client. *)
+  | Serve_read  (** Server request read from a client (delay = stall). *)
+  | Cache_insert  (** Result-cache insertion after a completed job. *)
+
+val points : point list
+(** Every injection point, in a fixed order. *)
+
+val point_name : point -> string
+(** Stable spec-grammar name, e.g. [Ckpt_write] is ["ckpt.write"]. *)
+
+val point_of_name : string -> point option
+
+type action =
+  | Fail_once  (** Fail the first tap of this point, pass afterwards. *)
+  | Fail_prob of float  (** Fail each tap independently with probability p. *)
+  | Delay_ms of int  (** Sleep the given milliseconds, then pass. *)
+  | Torn_write  (** Like a failure, but write points first emit a torn
+                    (truncated, checksum-invalid) artifact. *)
+
+type verdict = Pass | Fail | Torn
+(** [Delay_ms] sleeps inside {!decide} and then reports [Pass]; the delay
+    still counts as an injection. *)
+
+type t
+(** A chaos registry.  Immutable configuration, mutable counters; safe to
+    share across domains (the armed slow path is mutex-protected). *)
+
+val disabled : t
+(** The inert registry: every tap passes via the one-branch fast path. *)
+
+val enabled : t -> bool
+
+val create : ?seed:int -> (point * action) list -> t
+(** [create ~seed plan] arms the given points.  Default seed 0.  Each
+    point's PRNG stream is derived from [seed] and the point identity
+    only.  Later bindings for the same point override earlier ones. *)
+
+val of_spec : string -> (t, string) result
+(** Parse a spec string:
+    [point=action{,point=action}{,seed=N}] where action is one of
+    [fail_once | fail_prob:P | delay:MS | torn_write].
+    Example: ["sched.task=fail_once,ckpt.write=torn_write,seed=42"].
+    The empty string yields {!disabled}. *)
+
+val to_spec : t -> string
+(** Canonical spec round-trip; [to_spec disabled = ""]. *)
+
+val seed : t -> int
+
+val decide : t -> point -> verdict
+(** Draw this point's next verdict (and sleep, for delay actions). *)
+
+exception Injected of point
+(** The exception raised by {!tap} for injected failures — recovery paths
+    treat it like any other exception, which is the point. *)
+
+val tap : t -> point -> unit
+(** [tap t p] is {!decide} with [Fail] and [Torn] turned into
+    [raise (Injected p)].  For call sites with no torn-artifact notion. *)
+
+val injected : t -> int
+(** Total injections so far (failed, torn and delayed taps). *)
+
+val counts : t -> (string * int) list
+(** Per-point injection counts, armed points only, fixed order. *)
+
+val journal : t -> (string * string) list
+(** The injection schedule actually exercised: [(point, verdict)] pairs in
+    tap order, where verdict is ["fail"], ["torn"] or ["delay"].  Bounded
+    (oldest entries dropped beyond an internal cap); used by replay tests
+    to assert two runs saw the identical schedule. *)

@@ -1,4 +1,5 @@
 module Obs = Dynmos_obs.Obs
+module Chaos = Dynmos_chaos.Chaos
 
 (* The unified campaign driver.
 
@@ -121,7 +122,8 @@ let finalize_patterns checkpoint ~obs ~engine ~units_done ~first =
 (* --- Pattern-sweep driver --------------------------------------------------- *)
 
 let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?interrupt
-    ?checkpoint ?(max_attempts = default_max_attempts) ?(crash_hook = fun (_ : int) -> ())
+    ?checkpoint ?(max_attempts = default_max_attempts) ?(backoff = Parallel_exec.Backoff.default)
+    ?(chaos = Chaos.disabled) ?(crash_hook = fun (_ : int) -> ())
     ?(on_progress = fun ~units_done:(_ : int) ~detected:(_ : int) -> ()) ~n_sites:n ~total
     (kernel : Kernel.t) =
   let t0 = start_time obs in
@@ -134,6 +136,9 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
   let undetected = ref n in
   let evals = ref 0 and saved = ref 0 in
   let work = ref 0 in
+  let retries = ref 0 in
+  let backoff_sleeps = ref 0 in
+  let backoff_prng = Dynmos_util.Prng.create 0x0b0f (* jitter only; never affects results *) in
   let gauge = make_gauge ?deadline ?max_evals ?interrupt () in
   let pos = ref (preload_patterns ~engine checkpoint first) in
   Array.iteri
@@ -150,14 +155,18 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
       if drop then dropped.(sid) <- true
     end
   in
-  (* Bounded immediate retry at this very unit, so a transient crash
-     cannot skip a pattern and move the site's first detection; a
-     mid-cone exception leaves shared scratch dirty, which [restore]
-     repairs before anyone reads it again. *)
+  (* Bounded retry at this very unit, so a transient crash cannot skip a
+     pattern and move the site's first detection; a mid-cone exception
+     leaves shared scratch dirty, which [restore] repairs before anyone
+     reads it again.  Retries back off exponentially with jitter (pass
+     [Backoff.none] for the old immediate behavior); the [exec.job]
+     chaos tap sits beside [crash_hook], inside the supervised region,
+     so injected faults exercise exactly this path. *)
   let supervise ~sid ~restore f =
     let rec attempt () =
       match
         crash_hook sid;
+        Chaos.tap chaos Chaos.Exec_job;
         f ()
       with
       | v -> Some v
@@ -169,7 +178,13 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
             failures := (sid, Printexc.to_string exn) :: !failures;
             None
           end
-          else attempt ()
+          else begin
+            incr retries;
+            if
+              Parallel_exec.Backoff.sleep backoff backoff_prng ~attempt:attempts.(sid) > 0.0
+            then incr backoff_sleeps;
+            attempt ()
+          end
     in
     attempt ()
   in
@@ -214,6 +229,9 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
     ~t0
     (("evals", Obs.Int !evals)
     :: ("evals_saved", Obs.Int !saved)
+    :: ("retries", Obs.Int !retries)
+    :: ("backoff_sleeps", Obs.Int !backoff_sleeps)
+    :: ("chaos_injected", Obs.Int (Chaos.injected chaos))
     :: kernel.Kernel.obs_fields
          { Kernel.evals = !evals; evals_saved = !saved; work = !work });
   { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done = !pos;
@@ -235,7 +253,7 @@ let run_patterns ?(drop = true) ?(obs = Obs.disabled) ?deadline ?max_evals ?inte
    cover. *)
 
 let run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?(obs = Obs.disabled)
-    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook
+    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?backoff ?crash_hook
     ?(on_progress = fun ~units_done:(_ : int) ~detected:(_ : int) -> ())
     ?(extra_fields = []) compiled (jobs : Parallel_exec.job array) patterns =
   let t0 = start_time obs in
@@ -281,8 +299,8 @@ let run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?(obs = Obs.d
   in
   let rfirst, report, stats =
     Parallel_exec.run_supervised ?drop ?inner ?algo ?num_domains ?min_work_per_domain ~obs
-      ~gauge ?max_attempts ?crash_hook ~first ~done_mask ~on_progress:pool_progress compiled
-      pending patterns
+      ~gauge ?max_attempts ?backoff ?crash_hook ~first ~done_mask ~on_progress:pool_progress
+      compiled pending patterns
   in
   assert (rfirst == first);
   (match checkpoint with
@@ -313,6 +331,7 @@ let run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?(obs = Obs.d
         ("retries", Obs.Int report.Parallel_exec.retries);
         ("spawn_failures", Obs.Int report.Parallel_exec.spawn_failures);
         ("worker_crashes", Obs.Int report.Parallel_exec.worker_crashes);
+        ("backoff_sleeps", Obs.Int report.Parallel_exec.backoff_sleeps);
       ]);
   ( { n_sites = n; n_patterns = total; first_detection = first; outcome; patterns_done;
       sites_done },

@@ -31,6 +31,8 @@ val run_patterns :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
+  ?chaos:Dynmos_chaos.Chaos.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   n_sites:int ->
@@ -43,6 +45,11 @@ val run_patterns :
     live site per pattern unit), checkpoint preload/tick/finalize in
     [Patterns] mode, the limits gauge (fed the kernel's gate-level work
     at unit boundaries) and the ["faultsim.run"] obs emission.
+
+    Supervised retries back off exponentially with jitter ([backoff],
+    default [Parallel_exec.Backoff.default]); [chaos] (default disabled)
+    arms the [exec.job] injection point inside the supervised region, so
+    injected faults exercise the retry path itself.
 
     [on_progress] (default no-op) is called after every pattern unit
     with the patterns completed so far and the running detection count —
@@ -61,6 +68,7 @@ val run_sites :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   ?extra_fields:(string * Dynmos_obs.Obs.value) list ->

@@ -24,6 +24,8 @@
    compiler upgrades, is inspectable with [cat], and parsing failures
    produce named errors instead of segfaults. *)
 
+module Chaos = Dynmos_chaos.Chaos
+
 exception Error of string
 
 let version = 1
@@ -71,21 +73,49 @@ let payload st =
   | None -> ());
   Buffer.contents buf
 
-let save path st =
+let save ?(chaos = Chaos.disabled) path st =
   let body = payload st in
   let body = body ^ Printf.sprintf "checksum %s\n" (Digest.to_hex (Digest.string body)) in
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  (match Chaos.decide chaos Chaos.Ckpt_write with
+  | Chaos.Pass -> ()
+  | Chaos.Fail -> fail "checkpoint: injected write failure for %s" tmp
+  | Chaos.Torn ->
+      (* Simulate a crash mid-write: a truncated tmp file stays behind
+         (its checksum can never validate), exactly what [cleanup_stale]
+         and the [.bak] fallback exist to absorb. *)
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+      output_string oc (String.sub body 0 (String.length body / 2));
+      close_out_noerr oc;
+      fail "checkpoint: injected torn write to %s" tmp);
   let oc =
     try open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
     with Sys_error msg -> fail "checkpoint: cannot write %s: %s" tmp msg
   in
   (try
      output_string oc body;
+     flush oc;
+     (* fsync before rename: without it a power loss can publish a name
+        pointing at data the disk never received — the classic torn-rename
+        window.  An injected fsync fault silently skips the sync (the
+        write still "works"), modeling exactly that window. *)
+     (match Chaos.decide chaos Chaos.Ckpt_fsync with
+     | Chaos.Pass -> (
+         try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ())
+     | Chaos.Fail | Chaos.Torn -> ());
      close_out oc
    with Sys_error msg ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      fail "checkpoint: short write to %s: %s" tmp msg);
+  (* Rotate the last good checkpoint to [.bak] before publishing, so a
+     later corruption of the primary still leaves a resumable state. *)
+  (if Sys.file_exists path then try Sys.rename path (path ^ ".bak") with Sys_error _ -> ());
+  (match Chaos.decide chaos Chaos.Ckpt_rename with
+  | Chaos.Pass -> ()
+  | Chaos.Fail | Chaos.Torn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      fail "checkpoint: injected rename failure publishing %s" path);
   try Sys.rename tmp path
   with Sys_error msg ->
     (try Sys.remove tmp with Sys_error _ -> ());
@@ -192,6 +222,39 @@ let load path =
     prng_state = List.assoc_opt "prng" kv;
   }
 
+let load_or_backup path =
+  (* Reject-then-fallback: a corrupt (or mid-rotation missing) primary
+     does not kill the resume when the previous snapshot is still valid.
+     The primary's own error is preserved when both fail — it names the
+     file the user asked about. *)
+  match load path with
+  | st -> (st, false)
+  | exception Error primary_err -> (
+      match load (path ^ ".bak") with
+      | st -> (st, true)
+      | exception Error _ -> raise (Error primary_err))
+
+let cleanup_stale path =
+  (* Remove [<path>.tmp.<pid>] leftovers from writers that crashed between
+     opening the tmp file and publishing it.  Called when a campaign
+     starts or resumes; by construction no live writer for [path] exists
+     then, so every matching sibling is garbage. *)
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".tmp." in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if String.length entry > plen && String.sub entry 0 plen = prefix then (
+            try
+              Sys.remove (Filename.concat dir entry);
+              n + 1
+            with Sys_error _ -> n)
+          else n)
+        0 entries
+
 (* --- Controllers ------------------------------------------------------------- *)
 
 (* The mutable handle threaded into the engines.  [tick] throttles writes
@@ -209,14 +272,18 @@ type ctl = {
   n_patterns : int;
   prng_state : string option;
   resume : state option;
+  chaos : Chaos.t;
   lock : Mutex.t;
   mutable last_units : int;
   mutable writes : int;
+  mutable failed_writes : int;
+  stale_cleaned : int;
 }
 
-let create ~path ~interval ?prng_state ?resume ~circuit_digest ~universe_digest ~pattern_digest
-    ~n_sites ~n_patterns () =
+let create ~path ~interval ?prng_state ?resume ?(chaos = Chaos.disabled) ~circuit_digest
+    ~universe_digest ~pattern_digest ~n_sites ~n_patterns () =
   if interval < 1 then fail "checkpoint: interval must be >= 1 (got %d)" interval;
+  let stale_cleaned = cleanup_stale path in
   (match (resume : state option) with
   | Some st ->
       if st.n_sites <> n_sites then
@@ -245,15 +312,20 @@ let create ~path ~interval ?prng_state ?resume ~circuit_digest ~universe_digest 
     n_patterns;
     prng_state;
     resume;
+    chaos;
     lock = Mutex.create ();
     last_units = (match resume with Some st -> st.units_done | None -> 0);
     writes = 0;
+    failed_writes = 0;
+    stale_cleaned;
   }
 
 let resume_state ctl = ctl.resume
 let interval ctl = ctl.interval
 let path ctl = ctl.path
 let writes ctl = ctl.writes
+let failed_writes ctl = ctl.failed_writes
+let stale_cleaned ctl = ctl.stale_cleaned
 
 let require_mode ctl mode ~engine =
   match ctl.resume with
@@ -279,7 +351,7 @@ let write ctl ~mode ~units_done ~first_detection ~site_done =
       prng_state = ctl.prng_state;
     }
   in
-  save ctl.path st;
+  save ~chaos:ctl.chaos ctl.path st;
   ctl.last_units <- units_done;
   ctl.writes <- ctl.writes + 1
 
@@ -289,8 +361,14 @@ let tick ctl ~mode ~units_done ~first_detection ?site_done () =
     ~finally:(fun () -> Mutex.unlock ctl.lock)
     (fun () ->
       if units_done - ctl.last_units >= ctl.interval then begin
-        write ctl ~mode ~units_done ~first_detection ~site_done;
-        true
+        (* A failed interval write must not abort the campaign: the
+           simulation result is unaffected, [last_units] stays put so the
+           next tick retries, and the failure is counted for stats. *)
+        match write ctl ~mode ~units_done ~first_detection ~site_done with
+        | () -> true
+        | exception Error _ ->
+            ctl.failed_writes <- ctl.failed_writes + 1;
+            false
       end
       else false)
 
@@ -298,4 +376,15 @@ let finalize ctl ~mode ~units_done ~first_detection ?site_done () =
   Mutex.lock ctl.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock ctl.lock)
-    (fun () -> write ctl ~mode ~units_done ~first_detection ~site_done)
+    (fun () ->
+      match write ctl ~mode ~units_done ~first_detection ~site_done with
+      | () -> ()
+      | exception Error _ ->
+          (* One retry clears transient faults (an injected fail_once, a
+             full tmpfs racing a cleanup); a persistent failure is
+             absorbed and counted — the campaign's in-memory result is
+             intact and the previous [.bak] remains resumable. *)
+          ctl.failed_writes <- ctl.failed_writes + 1;
+          (match write ctl ~mode ~units_done ~first_detection ~site_done with
+          | () -> ()
+          | exception Error _ -> ctl.failed_writes <- ctl.failed_writes + 1))

@@ -41,14 +41,28 @@ type state = {
           validates them via [pattern_digest] *)
 }
 
-val save : string -> state -> unit
-(** [save path st] atomically publishes [st] at [path] (temp file +
-    rename, checksum trailer).  Raises {!Error} on I/O failure. *)
+val save : ?chaos:Dynmos_chaos.Chaos.t -> string -> state -> unit
+(** [save path st] atomically publishes [st] at [path]: temp file, flush,
+    [fsync], rotation of the previous file to [path ^ ".bak"], rename,
+    checksum trailer.  Raises {!Error} on I/O failure.  [chaos] taps the
+    [ckpt.write] / [ckpt.fsync] / [ckpt.rename] injection points. *)
 
 val load : string -> state
 (** Parse and validate a checkpoint file.  Raises {!Error} on missing
     file, bad checksum (truncation), unknown version, or malformed
     fields. *)
+
+val load_or_backup : string -> state * bool
+(** [load_or_backup path] is [load path], falling back to
+    [path ^ ".bak"] when the primary is corrupt or missing (the rotation
+    in {!save} leaves a brief no-primary window if the writer dies
+    between its two renames).  Returns [(state, used_backup)].  When both
+    fail, re-raises the {e primary}'s {!Error}. *)
+
+val cleanup_stale : string -> int
+(** Delete [path ^ ".tmp.<pid>"] leftovers from crashed writers and
+    return how many were removed.  Call only when no writer for [path]
+    can be live (campaign start/resume — {!create} does this itself). *)
 
 (** {1 Controllers}
 
@@ -65,6 +79,7 @@ val create :
   interval:int ->
   ?prng_state:string ->
   ?resume:state ->
+  ?chaos:Dynmos_chaos.Chaos.t ->
   circuit_digest:string ->
   universe_digest:string ->
   pattern_digest:string ->
@@ -75,7 +90,9 @@ val create :
 (** Build a controller for this campaign.  When [resume] is given, its
     digests and dimensions must match the fresh campaign's — {!Error}
     otherwise (resuming against a different circuit, universe or pattern
-    set would silently corrupt coverage numbers). *)
+    set would silently corrupt coverage numbers).  Creation also runs
+    {!cleanup_stale} for [path].  [chaos] is threaded into every write
+    this controller performs. *)
 
 val resume_state : ctl -> state option
 (** The validated state passed as [?resume], for engines to preload. *)
@@ -94,7 +111,9 @@ val tick :
   bool
 (** Interval-gated write: persists a snapshot iff at least [interval]
     units completed since the last write.  Returns whether a file was
-    written.  Thread-safe. *)
+    written.  A failed write is absorbed (counted in {!failed_writes},
+    retried at the next interval) — checkpointing trouble never aborts
+    the simulation itself.  Thread-safe. *)
 
 val finalize :
   ctl ->
@@ -106,7 +125,8 @@ val finalize :
   unit
 (** Unconditional write — called at clean completion, deadline stop and
     interrupt, so the published file always reflects the returned
-    summary. *)
+    summary.  Retries once on failure, then absorbs it (counted in
+    {!failed_writes}); the previous [.bak] stays resumable. *)
 
 val interval : ctl -> int
 val path : ctl -> string
@@ -114,3 +134,9 @@ val path : ctl -> string
 val writes : ctl -> int
 (** Number of files written through this controller (tests and the
     checkpoint-overhead bench read this). *)
+
+val failed_writes : ctl -> int
+(** Write attempts absorbed by {!tick}/{!finalize} instead of raised. *)
+
+val stale_cleaned : ctl -> int
+(** Stale tmp files removed when this controller was created. *)

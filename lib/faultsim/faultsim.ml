@@ -566,15 +566,17 @@ let concurrent_kernel ~algo u patterns =
 (* --- Public engines: thin wrappers over the campaign driver ---------------- *)
 
 let run_serial ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
-    ?max_attempts ?crash_hook ?on_progress u (patterns : bool array array) =
+    ?max_attempts ?backoff ?chaos ?crash_hook ?on_progress u (patterns : bool array array) =
   Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
-    ?crash_hook ?on_progress ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    ?backoff ?chaos ?crash_hook ?on_progress ~n_sites:(n_sites u)
+    ~total:(Array.length patterns)
     (injection_kernel ~name:"serial" ~unit_bits:1 ~count_good_evals:true ~algo u patterns)
 
 let run_parallel ?drop ?(algo = `Cone) ?obs ?deadline ?max_evals ?interrupt ?checkpoint
-    ?max_attempts ?crash_hook ?on_progress u (patterns : bool array array) =
+    ?max_attempts ?backoff ?chaos ?crash_hook ?on_progress u (patterns : bool array array) =
   Campaign.run_patterns ?drop ?obs ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts
-    ?crash_hook ?on_progress ~n_sites:(n_sites u) ~total:(Array.length patterns)
+    ?backoff ?chaos ?crash_hook ?on_progress ~n_sites:(n_sites u)
+    ~total:(Array.length patterns)
     (injection_kernel ~name:"parallel" ~unit_bits:word_bits ~count_good_evals:false ~algo u
        patterns)
 
@@ -617,8 +619,8 @@ let run_ppsfp ?drop ?(algo = `Cone) ?group ?trace_site ?obs ?deadline ?max_evals
    bit-identical to [run_serial] for every domain count.  All campaign
    plumbing lives in [Campaign.run_sites]. *)
 let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
-    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u
-    (patterns : bool array array) =
+    ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?backoff ?crash_hook
+    ?on_progress u (patterns : bool array array) =
   let jobs =
     Array.map
       (fun s -> { Parallel_exec.jid = s.sid; gate_id = s.gate.Netlist.id; fn = s.fn })
@@ -626,18 +628,19 @@ let run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_doma
   in
   let summary, _report, stats =
     Campaign.run_sites ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
-      ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress
+      ?max_evals ?interrupt ?checkpoint ?max_attempts ?backoff ?crash_hook ?on_progress
       ~extra_fields:[ ("cone_gates", Obs.Int (total_cone_gates u)) ]
       u.compiled jobs patterns
   in
   (summary, stats)
 
 let run_domain_parallel ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs ?deadline
-    ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u patterns =
+    ?max_evals ?interrupt ?checkpoint ?max_attempts ?backoff ?crash_hook ?on_progress u
+    patterns =
   fst
     (run_domain_parallel_stats ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs
-       ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?crash_hook ?on_progress u
-       patterns)
+       ?deadline ?max_evals ?interrupt ?checkpoint ?max_attempts ?backoff ?crash_hook
+       ?on_progress u patterns)
 
 (* --- Random-pattern driver ------------------------------------------------ *)
 
@@ -736,12 +739,17 @@ let patterns_digest (patterns : bool array array) =
     patterns;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let checkpoint_ctl ~path ~interval ?(resume = false) ?prng_state u patterns =
+let checkpoint_ctl ~path ~interval ?(resume = false) ?prng_state ?chaos u patterns =
   (* a missing file under [resume] is a fresh start, not an error: a
      campaign killed before its first tick leaves no checkpoint, and its
-     retry must still come up *)
-  let resume_state = if resume && Sys.file_exists path then Some (Checkpoint.load path) else None in
-  Checkpoint.create ~path ~interval ?prng_state ?resume:resume_state
+     retry must still come up.  A corrupt primary falls back to the .bak
+     rotated by the previous run's writes. *)
+  let resume_state =
+    if resume && (Sys.file_exists path || Sys.file_exists (path ^ ".bak")) then
+      Some (fst (Checkpoint.load_or_backup path))
+    else None
+  in
+  Checkpoint.create ~path ~interval ?prng_state ?resume:resume_state ?chaos
     ~circuit_digest:(circuit_digest u) ~universe_digest:(universe_digest u)
     ~pattern_digest:(patterns_digest patterns) ~n_sites:(n_sites u)
     ~n_patterns:(Array.length patterns) ()

@@ -172,6 +172,8 @@ val run_serial :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
+  ?chaos:Dynmos_chaos.Chaos.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
@@ -187,6 +189,8 @@ val run_parallel :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
+  ?chaos:Dynmos_chaos.Chaos.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
@@ -262,6 +266,7 @@ val run_domain_parallel :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
@@ -295,6 +300,7 @@ val run_domain_parallel_stats :
   ?interrupt:(unit -> bool) ->
   ?checkpoint:Checkpoint.ctl ->
   ?max_attempts:int ->
+  ?backoff:Parallel_exec.Backoff.t ->
   ?crash_hook:(int -> unit) ->
   ?on_progress:(units_done:int -> detected:int -> unit) ->
   universe ->
@@ -339,15 +345,20 @@ val checkpoint_ctl :
   interval:int ->
   ?resume:bool ->
   ?prng_state:string ->
+  ?chaos:Dynmos_chaos.Chaos.t ->
   universe ->
   bool array array ->
   Checkpoint.ctl
 (** Build the checkpoint controller to pass as [?checkpoint] to any
     engine: computes the campaign digests and, when [resume] is true and
-    [path] exists, loads and validates the saved state (a {e missing}
-    file under [resume] is a fresh start, not an error — a campaign
-    killed before its first tick left nothing behind).  [interval] is in
-    completed pattern-units (patterns for the pattern-sweep engines,
-    sites for the domains engine).  [prng_state] (a {!Prng.save} token)
-    is stored for diagnostics; resume regenerates patterns from the seed
-    and validates them via the pattern digest. *)
+    [path] (or its [.bak] sibling) exists, loads and validates the saved
+    state — falling back to the [.bak] when the primary is corrupt or
+    missing, see {!Checkpoint.load_or_backup} (a {e missing} pair under
+    [resume] is a fresh start, not an error — a campaign killed before
+    its first tick left nothing behind).  Stale temp files from crashed
+    writers are cleaned up on creation.  [interval] is in completed
+    pattern-units (patterns for the pattern-sweep engines, sites for the
+    domains engine).  [prng_state] (a {!Prng.save} token) is stored for
+    diagnostics; resume regenerates patterns from the seed and validates
+    them via the pattern digest.  [chaos] is threaded into every write
+    (the [ckpt.write] / [ckpt.fsync] / [ckpt.rename] points). *)

@@ -1,5 +1,7 @@
 open Dynmos_sim
 module Obs = Dynmos_obs.Obs
+module Chaos = Dynmos_chaos.Chaos
+module Prng = Dynmos_util.Prng
 
 (* Domain-parallel fault-simulation core.
 
@@ -107,7 +109,37 @@ type report = {
   retries : int;
   spawn_failures : int;
   worker_crashes : int;
+  backoff_sleeps : int;
 }
+
+(* Exponential backoff with jitter for supervised retries.  An immediate
+   retry of a site that crashed on a transient cause (injected chaos, a
+   momentarily-full disk, an oversubscribed host) tends to hit the same
+   cause again; spacing attempts out exponentially — with jitter so
+   simultaneous retriers decorrelate — is the standard cure.  Sleep
+   durations never influence results, only wall clock, so the jitter PRNG
+   needs no seeding discipline. *)
+module Backoff = struct
+  type t = { base_s : float; cap_s : float }
+
+  let default = { base_s = 0.001; cap_s = 0.05 }
+  let none = { base_s = 0.0; cap_s = 0.0 }
+  let make ~base_s ~cap_s = { base_s; cap_s }
+
+  (* Delay before retry [attempt] (1-based): base * 2^(attempt-1), capped,
+     then jittered into [d/2, d). *)
+  let delay t prng ~attempt =
+    if t.base_s <= 0.0 then 0.0
+    else
+      let d = t.base_s *. float_of_int (1 lsl min 16 (max 0 (attempt - 1))) in
+      let d = Float.min d t.cap_s in
+      d *. (0.5 +. (0.5 *. Prng.float prng))
+
+  let sleep t prng ~attempt =
+    let d = delay t prng ~attempt in
+    if d > 0.0 then Unix.sleepf d;
+    d
+end
 
 let stats_evals s = Array.fold_left (fun acc d -> acc + d.evals) 0 s.per_domain
 let stats_evals_saved s = Array.fold_left (fun acc d -> acc + d.evals_saved) 0 s.per_domain
@@ -345,9 +377,9 @@ let default_max_attempts = 3
 let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_domains
     ?(min_work_per_domain = default_min_work_per_domain) ?(obs = Obs.disabled)
     ?(gauge = Limits.gauge Limits.none) ?(max_attempts = default_max_attempts)
-    ?(crash_hook = fun (_ : int) -> ()) ?first:first_init ?done_mask:done_init
-    ?(on_progress = fun ~sites_done:(_ : int) -> ()) compiled (jobs : job array)
-    (patterns : bool array array) =
+    ?(backoff = Backoff.default) ?(crash_hook = fun (_ : int) -> ()) ?first:first_init
+    ?done_mask:done_init ?(on_progress = fun ~sites_done:(_ : int) -> ()) compiled
+    (jobs : job array) (patterns : bool array array) =
   let t_total0 = Obs.now () in
   if max_attempts < 1 then invalid_arg "Parallel_exec.run_supervised: max_attempts must be >= 1";
   let requested =
@@ -385,6 +417,8 @@ let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
   let retries = ref 0 in
   let worker_crashes = ref 0 in
   let spawn_failures = ref 0 in
+  let backoff_sleeps = ref 0 in
+  let backoff_prng = Prng.create 0x0b0f (* jitter only; never affects results *) in
   (* progress state, guarded by [progress_lock]; [done_count] includes
      any preloaded (resumed) sites *)
   let progress_lock = Mutex.create () in
@@ -441,6 +475,7 @@ let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
         retries = !retries;
         spawn_failures = !spawn_failures;
         worker_crashes = !worker_crashes;
+        backoff_sleeps = !backoff_sleeps;
       }
     in
     if Obs.enabled obs then begin
@@ -485,6 +520,7 @@ let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
           ("failed_jobs", Obs.Int (List.length report.failed_sites));
           ("spawn_failures", Obs.Int report.spawn_failures);
           ("worker_crashes", Obs.Int report.worker_crashes);
+          ("backoff_sleeps", Obs.Int report.backoff_sleeps);
           ( "stopped",
             Obs.String
               (match report.stopped with
@@ -713,6 +749,10 @@ let run_supervised ?(drop = true) ?(inner = Bit_parallel) ?(algo = `Cone) ?num_d
         | Some j ->
             incr retries;
             let jid = jobs.(j).jid in
+            (* back off before the retry: the attempt count this job has
+               already burned sets the exponent *)
+            if Backoff.sleep backoff backoff_prng ~attempt:attempts.(jid) > 0.0 then
+              incr backoff_sleeps;
             crashed.(jid) <- false;
             first.(jid) <- None;
             let fin =
@@ -773,18 +813,39 @@ let run ?drop ?inner ?algo ?num_domains ?min_work_per_domain ?obs compiled jobs 
 
    Supervision: a task that raises is counted in [crashes] and the worker
    keeps running — a poisoned job can never take an executor down, which
-   is the invariant the old single-executor serve loop violated. *)
+   is the invariant the old single-executor serve loop violated.
+
+   Watchdog: an executor whose *loop* dies (an injected [sched.task]
+   fault, an asynchronous exception outside the task handler) restarts on
+   the same domain, counted in [respawns]; a claimed-but-unexecuted task
+   is first handed back through the rescue queue so it is never lost.
+   Executors that failed to spawn at creation ([sched.spawn] chaos or
+   real resource exhaustion) are re-attempted on the next [submit], so a
+   pool that degraded never stays degraded while work keeps arriving. *)
 
 module Scheduler = struct
   type task = unit -> unit
+
+  exception Executor_killed
+  (* Raised (internally) by an injected [sched.task] fault to simulate an
+     executor domain dying between claiming a task and finishing it. *)
+
+  (* A task can be chaos-killed at most this many times before it runs
+     regardless: bounds the interference of a [fail_prob 1.0] schedule so
+     the pool always makes progress (the soak test's no-hang guarantee). *)
+  let max_rescues = 10
 
   type t = {
     m : Mutex.t;
     nonempty : Condition.t;     (* signaled on submit and shutdown *)
     idle : Condition.t;         (* signaled when depth and active reach 0 *)
     queues : (int, task Queue.t) Hashtbl.t;  (* per-client FIFO *)
+    rescued : (int * task * int) Queue.t;
+        (* (client, task, kill count) handed back by killed executors;
+           drained before the round-robin queues to preserve liveness *)
     mutable rr : int list;      (* round-robin order of clients with queued work *)
     capacity : int;
+    chaos : Chaos.t;
     mutable depth : int;        (* queued, not yet claimed *)
     mutable active : int;       (* claimed, currently executing *)
     mutable running : bool;
@@ -793,25 +854,35 @@ module Scheduler = struct
     wakeups : int Atomic.t;     (* worker-loop passes; ~tasks executed + shutdown *)
     crashes : int Atomic.t;     (* tasks that raised (absorbed) *)
     executed : int Atomic.t;
+    respawns : int Atomic.t;    (* executor loops restarted by the watchdog *)
+    spawn_failures : int Atomic.t;  (* Domain.spawn attempts that failed *)
   }
 
-  (* Next task in round-robin order: the head client of [rr] gives up one
-     task and moves to the tail (or leaves [rr] if its queue emptied). *)
+  (* Next task: rescued tasks first (they were already claimed once and
+     owe their client a response), then the head client of [rr] gives up
+     one task and moves to the tail (or leaves [rr] if its queue
+     emptied). *)
   let pop_locked t =
-    match t.rr with
-    | [] -> None
-    | c :: rest -> (
-        match Hashtbl.find_opt t.queues c with
-        | None -> None  (* unreachable: rr only lists clients with queues *)
-        | Some q ->
-            let task = Queue.take q in
-            t.depth <- t.depth - 1;
-            if Queue.is_empty q then begin
-              Hashtbl.remove t.queues c;
-              t.rr <- rest
-            end
-            else t.rr <- rest @ [ c ];
-            Some task)
+    if not (Queue.is_empty t.rescued) then begin
+      let entry = Queue.take t.rescued in
+      t.depth <- t.depth - 1;
+      Some entry
+    end
+    else
+      match t.rr with
+      | [] -> None
+      | c :: rest -> (
+          match Hashtbl.find_opt t.queues c with
+          | None -> None  (* unreachable: rr only lists clients with queues *)
+          | Some q ->
+              let task = Queue.take q in
+              t.depth <- t.depth - 1;
+              if Queue.is_empty q then begin
+                Hashtbl.remove t.queues c;
+                t.rr <- rest
+              end
+              else t.rr <- rest @ [ c ];
+              Some (c, task, 0))
 
   let worker t () =
     let continue = ref true in
@@ -826,9 +897,26 @@ module Scheduler = struct
           (* not running and nothing queued: drain complete, retire *)
           continue := false;
           Mutex.unlock t.m
-      | Some task ->
+      | Some (client, task, kills) ->
           t.active <- t.active + 1;
           Mutex.unlock t.m;
+          let killed =
+            kills < max_rescues
+            &&
+            match Chaos.decide t.chaos Chaos.Sched_task with
+            | Chaos.Pass -> false
+            | Chaos.Fail | Chaos.Torn -> true
+          in
+          if killed then begin
+            (* hand the claimed task back before this executor "dies" *)
+            Mutex.lock t.m;
+            t.active <- t.active - 1;
+            Queue.add (client, task, kills + 1) t.rescued;
+            t.depth <- t.depth + 1;
+            Condition.signal t.nonempty;
+            Mutex.unlock t.m;
+            raise Executor_killed
+          end;
           (try task () with _ -> Atomic.incr t.crashes);
           Atomic.incr t.executed;
           Mutex.lock t.m;
@@ -837,7 +925,57 @@ module Scheduler = struct
           Mutex.unlock t.m
     done
 
-  let create ?num_domains ?(capacity = max_int) () =
+  (* Watchdog: the domain entry point restarts the worker loop whenever
+     it escapes.  The loop only raises from outside the task handler and
+     outside the mutex'd sections, so restarting is safe; the alternative
+     — letting the domain die — silently narrows the pool. *)
+  let rec worker_entry t () =
+    match worker t () with
+    | () -> ()
+    | exception _ ->
+        Atomic.incr t.respawns;
+        worker_entry t ()
+
+  (* One spawn attempt, under [t.m].  Chaos [sched.spawn] models the
+     spawn itself failing (resource exhaustion). *)
+  let spawn_locked t =
+    let blocked =
+      match Chaos.decide t.chaos Chaos.Sched_spawn with
+      | Chaos.Fail | Chaos.Torn -> true
+      | Chaos.Pass -> false
+    in
+    if blocked then begin
+      Atomic.incr t.spawn_failures;
+      false
+    end
+    else
+      match Domain.spawn (worker_entry t) with
+      | d ->
+          t.workers <- d :: t.workers;
+          true
+      | exception _ ->
+          Atomic.incr t.spawn_failures;
+          false
+
+  (* Top up executors that never spawned.  If chaos keeps vetoing and the
+     pool is empty while work is queued, force one spawn past the chaos
+     tap: the scheduler guarantees at least one live executor whenever
+     work exists (again the soak's no-hang bound). *)
+  let ensure_workers_locked t =
+    if t.running then begin
+      let missing = t.n_workers - List.length t.workers in
+      for _ = 1 to missing do
+        if spawn_locked t then Atomic.incr t.respawns
+      done;
+      if t.workers = [] && t.depth > 0 then
+        match Domain.spawn (worker_entry t) with
+        | d ->
+            t.workers <- d :: t.workers;
+            Atomic.incr t.respawns
+        | exception _ -> Atomic.incr t.spawn_failures
+    end
+
+  let create ?num_domains ?(capacity = max_int) ?(chaos = Chaos.disabled) () =
     let n =
       match num_domains with
       | None -> max 1 (default_domains ())
@@ -855,8 +993,10 @@ module Scheduler = struct
         nonempty = Condition.create ();
         idle = Condition.create ();
         queues = Hashtbl.create 8;
+        rescued = Queue.create ();
         rr = [];
         capacity;
+        chaos;
         depth = 0;
         active = 0;
         running = true;
@@ -865,23 +1005,33 @@ module Scheduler = struct
         wakeups = Atomic.make 0;
         crashes = Atomic.make 0;
         executed = Atomic.make 0;
+        respawns = Atomic.make 0;
+        spawn_failures = Atomic.make 0;
       }
     in
-    let last_exn = ref None in
+    Mutex.lock t.m;
     for _ = 1 to n do
-      match Domain.spawn (worker t) with
-      | d -> t.workers <- d :: t.workers
-      | exception exn -> last_exn := Some exn
+      ignore (spawn_locked t)
     done;
-    (match (t.workers, !last_exn) with
-    | [], Some exn -> raise exn  (* no worker at all: the pool would deadlock *)
-    | _ -> ());
+    Mutex.unlock t.m;
+    (* Zero workers is survivable under chaos (submit re-attempts), but
+       without chaos it means real resource exhaustion: fail loudly. *)
+    if t.workers = [] && not (Chaos.enabled chaos) then
+      failwith "Scheduler.create: could not spawn any executor domain";
     t
 
   let size t = t.n_workers
   let wakeups t = Atomic.get t.wakeups
   let crashes t = Atomic.get t.crashes
   let executed t = Atomic.get t.executed
+  let respawns t = Atomic.get t.respawns
+  let spawn_failures t = Atomic.get t.spawn_failures
+
+  let live_workers t =
+    Mutex.lock t.m;
+    let n = List.length t.workers in
+    Mutex.unlock t.m;
+    n
 
   let depth t =
     Mutex.lock t.m;
@@ -906,6 +1056,7 @@ module Scheduler = struct
         in
         Queue.add task q;
         t.depth <- t.depth + 1;
+        if List.length t.workers < t.n_workers then ensure_workers_locked t;
         Condition.signal t.nonempty;
         `Ok t.depth
       end
@@ -923,9 +1074,20 @@ module Scheduler = struct
           Hashtbl.remove t.queues client;
           t.rr <- List.filter (fun c -> c <> client) t.rr;
           t.depth <- t.depth - n;
-          if t.depth = 0 && t.active = 0 then Condition.broadcast t.idle;
           n
     in
+    (* the client's rescued tasks are cancelled too: a kill-recover cycle
+       must not resurrect work for a connection that is gone *)
+    let keep = Queue.create () in
+    let dropped = ref 0 in
+    Queue.iter
+      (fun ((c, _, _) as e) -> if c = client then incr dropped else Queue.add e keep)
+      t.rescued;
+    Queue.clear t.rescued;
+    Queue.transfer keep t.rescued;
+    t.depth <- t.depth - !dropped;
+    let n = n + !dropped in
+    if t.depth = 0 && t.active = 0 then Condition.broadcast t.idle;
     Mutex.unlock t.m;
     n
 

@@ -88,9 +88,36 @@ type report = {
   spawn_failures : int;    (** [Domain.spawn] calls that failed *)
   worker_crashes : int;    (** worker loops that died outside the
                                per-job handlers (recovered by requeue) *)
+  backoff_sleeps : int;    (** retries preceded by a backoff sleep *)
 }
 (** What the supervisor observed: how much of the sweep completed and
     every degradation it absorbed. *)
+
+(** Exponential backoff with jitter between supervised retry attempts.
+    Transient failure causes (injected chaos, a full disk, an
+    oversubscribed host) tend to persist for a moment; spacing the
+    attempts out — jittered, so concurrent retriers decorrelate — turns
+    retry-until-failed into retry-until-recovered.  Sleeps never affect
+    results, only wall clock. *)
+module Backoff : sig
+  type t
+
+  val default : t
+  (** 1 ms base doubling per attempt, capped at 50 ms. *)
+
+  val none : t
+  (** No sleeping — the pre-backoff immediate-retry behavior (tests). *)
+
+  val make : base_s:float -> cap_s:float -> t
+  (** [base_s <= 0] disables sleeping, like {!none}. *)
+
+  val delay : t -> Dynmos_util.Prng.t -> attempt:int -> float
+  (** The jittered delay before retry [attempt] (1-based):
+      [base * 2^(attempt-1)] capped at [cap_s], scaled into [d/2, d). *)
+
+  val sleep : t -> Dynmos_util.Prng.t -> attempt:int -> float
+  (** {!delay}, slept; returns the duration. *)
+end
 
 val stats_evals : stats -> int
 (** Total evaluations over all domains; with the [Serial] kernel and
@@ -170,6 +197,7 @@ val run_supervised :
   ?obs:Dynmos_obs.Obs.t ->
   ?gauge:Limits.gauge ->
   ?max_attempts:int ->
+  ?backoff:Backoff.t ->
   ?crash_hook:(int -> unit) ->
   ?first:int option array ->
   ?done_mask:bool array ->
@@ -187,7 +215,10 @@ val run_supervised :
     keeps raising lands in [report.failed_sites] with its slot [None].
     Either way its partial progress is discarded and re-runs rescan
     every pattern, so surviving results are bit-identical to a clean
-    run.  [crash_hook] is called with the job's [jid] before every
+    run.  Each retry is preceded by a [backoff] sleep (default
+    {!Backoff.default}; pass {!Backoff.none} for the old immediate
+    behavior) whose exponent is the job's burned attempt count.
+    [crash_hook] is called with the job's [jid] before every
     evaluation — it exists for fault-injection tests and defaults to a
     no-op.
 
@@ -221,19 +252,31 @@ val run_supervised :
     serve loop passes engines an interrupt flag).
 
     Supervision: a raising task is absorbed (counted in
-    {!Scheduler.crashes}); a worker domain never dies to a task. *)
+    {!Scheduler.crashes}); a worker domain never dies to a task.
+
+    Watchdog: an executor loop that escapes (an injected [sched.task]
+    fault, an asynchronous exception) restarts on the same domain —
+    counted in {!Scheduler.respawns} — after handing its claimed task
+    back through an internal rescue queue, so the task is re-executed
+    rather than lost.  Executors that failed to spawn are re-attempted
+    on the next {!Scheduler.submit}.  A task can be chaos-killed at most
+    a bounded number of times before it runs regardless, so even a
+    100%-kill schedule cannot starve the pool. *)
 module Scheduler : sig
   type task = unit -> unit
 
   type t
 
-  val create : ?num_domains:int -> ?capacity:int -> unit -> t
+  val create :
+    ?num_domains:int -> ?capacity:int -> ?chaos:Dynmos_chaos.Chaos.t -> unit -> t
   (** [num_domains] (default [default_domains ()]) worker domains;
       [capacity] (default unbounded) caps the total queued-task count
       across clients — beyond it {!submit} answers [`Full].
-      [Invalid_argument] on non-positive values; re-raises the spawn
-      failure if no worker domain at all could be spawned (fewer than
-      requested degrades silently). *)
+      [Invalid_argument] on non-positive values; fails loudly if no
+      worker domain at all could be spawned without chaos (fewer than
+      requested degrades silently and is topped back up on submit).
+      [chaos] arms the [sched.spawn] and [sched.task] injection
+      points. *)
 
   val submit : t -> client:int -> task -> [ `Ok of int | `Full | `Closed ]
   (** Enqueue on [client]'s FIFO.  [`Ok depth] reports the queued count
@@ -260,6 +303,16 @@ module Scheduler : sig
 
   val executed : t -> int
   (** Tasks run to completion (including ones that raised). *)
+
+  val respawns : t -> int
+  (** Executor recoveries performed by the watchdog: loop restarts after
+      an executor death plus spawn top-ups on submit. *)
+
+  val spawn_failures : t -> int
+  (** [Domain.spawn] attempts that failed (real or injected). *)
+
+  val live_workers : t -> int
+  (** Worker domains currently spawned (≤ {!size}). *)
 
   val wait_idle : t -> unit
   (** Block until no task is queued or running. *)

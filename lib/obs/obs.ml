@@ -57,6 +57,8 @@ let json_line e =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+let int_field e k = match List.assoc_opt k e.fields with Some (Int n) -> Some n | _ -> None
+
 (* --- Sinks ----------------------------------------------------------------- *)
 
 type sink = Null | Emit of (event -> unit)

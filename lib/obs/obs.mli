@@ -25,6 +25,12 @@ val json_line : event -> string
     newline).  Non-finite floats are encoded as strings ("nan", "inf",
     "-inf") to keep the line valid JSON. *)
 
+val int_field : event -> string -> int option
+(** [int_field e k] is the [Int] value of field [k], if present — the
+    accessor consumers (server stats, CLI [--stats], the bench) use to
+    read counters like ["gate_evals"] or ["chaos_injected"] off
+    ["faultsim.run"] events without re-implementing the assoc lookup. *)
+
 (** {1 Sinks} *)
 
 type sink

@@ -4,6 +4,7 @@ open Dynmos_faultsim
 open Dynmos_circuits
 module Obs = Dynmos_obs.Obs
 module Scheduler = Parallel_exec.Scheduler
+module Chaos = Dynmos_chaos.Chaos
 
 (* The concurrent serve loop.  Any number of clients at once: each
    connection (or [serve] call) owns a reader thread that validates lines
@@ -37,6 +38,8 @@ type config = {
   max_line_bytes : int;
   events_capacity : int;
   cache_capacity : int;
+  idle_timeout_s : float option;
+  chaos : Chaos.t;
 }
 
 let default_config =
@@ -50,6 +53,8 @@ let default_config =
     max_line_bytes = 1_048_576;
     events_capacity = 1024;
     cache_capacity = 256;
+    idle_timeout_s = None;
+    chaos = Chaos.disabled;
   }
 
 exception Reject of string
@@ -68,6 +73,7 @@ type counters = {
   rejected_budget : int Atomic.t;
   cancelled : int Atomic.t;         (* jobs dropped or skipped for a gone client *)
   connections : int Atomic.t;       (* socket connections accepted *)
+  idle_reaps : int Atomic.t;        (* silent connections reaped by the idle timeout *)
 }
 
 let make_counters () =
@@ -83,6 +89,7 @@ let make_counters () =
     rejected_budget = Atomic.make 0;
     cancelled = Atomic.make 0;
     connections = Atomic.make 0;
+    idle_reaps = Atomic.make 0;
   }
 
 (* --- Content-addressed result cache ------------------------------------------- *)
@@ -236,6 +243,11 @@ let create ?(config = default_config) ?trace ?(known_circuit = Catalog.mem)
     invalid_arg
       (Printf.sprintf "Server.create: cache_capacity must be >= 0 (got %d)"
          config.cache_capacity);
+  (match config.idle_timeout_s with
+  | Some s when not (s > 0.0) ->
+      invalid_arg
+        (Printf.sprintf "Server.create: idle_timeout_s must be positive (got %g)" s)
+  | _ -> ());
   let ring, fetch_events, total_events =
     Obs.bounded_memory_sink ~capacity:config.events_capacity
   in
@@ -252,7 +264,8 @@ let create ?(config = default_config) ?trace ?(known_circuit = Catalog.mem)
     universes_m = Mutex.create ();
     rcache = Cache.create config.cache_capacity;
     sched =
-      Scheduler.create ~num_domains:config.executors ~capacity:config.queue_capacity ();
+      Scheduler.create ~num_domains:config.executors ~capacity:config.queue_capacity
+        ~chaos:config.chaos ();
     global_evals = Atomic.make 0;
     draining = Atomic.make false;
     clients_m = Mutex.create ();
@@ -332,7 +345,14 @@ let client_gone t client =
 
 let client_write t client line =
   Mutex.lock client.out_m;
-  let ok = (try client.output line; true with _ -> false) in
+  let ok =
+    (* [serve.write] injects here exactly what a vanished peer produces —
+       an exception out of [output] — so the injected failure and the
+       real one share the whole [client_gone] recovery path. *)
+    match Chaos.decide t.config.chaos Chaos.Serve_write with
+    | Chaos.Fail | Chaos.Torn -> false
+    | Chaos.Pass -> (try client.output line; true with _ -> false)
+  in
   Mutex.unlock client.out_m;
   if not ok then client_gone t client
 
@@ -390,6 +410,11 @@ let stats_line t =
     ("executors", Json.Int t.config.executors);
     ("exec_wakeups", Json.Int (Scheduler.wakeups t.sched));
     ("exec_crashes", Json.Int (Scheduler.crashes t.sched));
+    ("exec_respawns", Json.Int (Scheduler.respawns t.sched));
+    ("exec_spawn_failures", Json.Int (Scheduler.spawn_failures t.sched));
+    ("executors_live", Json.Int (Scheduler.live_workers t.sched));
+    ("idle_reaps", Json.Int (Atomic.get c.idle_reaps));
+    ("chaos_injected", Json.Int (Chaos.injected t.config.chaos));
     ("global_evals_used", Json.Int (Atomic.get t.global_evals));
     ("global_evals_budget", opt_budget t.config.global_max_evals);
     ("cache_hits", Json.Int cache_hits);
@@ -415,9 +440,7 @@ let gate_evals_of_events events =
     (fun acc e ->
       if e.Obs.ev <> "faultsim.run" then acc
       else
-        let get k =
-          match List.assoc_opt k e.Obs.fields with Some (Obs.Int n) -> Some n | _ -> None
-        in
+        let get = Obs.int_field e in
         acc + (match get "gate_evals" with Some n -> n | None -> Option.value ~default:0 (get "evals")))
     0 events
 
@@ -569,7 +592,13 @@ let exec_job t client job =
         List.iter (fun e -> Obs.emit t.obs ~ev:e.Obs.ev e.Obs.fields) events;
       (match (key, summary.Faultsim.outcome) with
       | Some k, Outcome.Complete ->
-          Cache.add t.rcache k { Cache.summary; dt_s = dt; evals; n_sites; stamp = 0 }
+          (* A lost insert only costs a future cache miss — the response
+             already carries the summary — which is why [cache.insert]
+             failures are safe to swallow here. *)
+          (match Chaos.decide t.config.chaos Chaos.Cache_insert with
+          | Chaos.Fail | Chaos.Torn -> ()
+          | Chaos.Pass ->
+              Cache.add t.rcache k { Cache.summary; dt_s = dt; evals; n_sites; stamp = 0 })
       | _ -> ());
       (summary, dt, evals, n_sites, false)
 
@@ -812,11 +841,70 @@ let serve_channels t ?drain ic oc =
   in
   serve t ?drain ~input ~output ()
 
+(* A reader parked in [input_line] can only be freed by closing the fd
+   under it, so the socket path reads the raw fd through [select]: a
+   connection that has gone silent past [idle_timeout_s] surfaces as
+   [`Idle] and can be reaped, freeing its thread (and, transitively, any
+   queue slots its future requests would have held).  Line semantics
+   mirror [input_line] — split on '\n', a trailing unterminated line is
+   delivered before EOF.  [serve.read] injects here: [Fail]/[Torn] close
+   the connection as if the peer vanished; [Delay] stalls the reader,
+   which is what the idle timeout defends against. *)
+let make_fd_reader ?idle_timeout_s ~chaos fd =
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let lines = Queue.create () in
+  let at_eof = ref false in
+  let flush_tail () =
+    if Buffer.length acc > 0 then begin
+      let l = Buffer.contents acc in
+      Buffer.clear acc;
+      `Line l
+    end
+    else `Eof
+  in
+  let rec next () =
+    if not (Queue.is_empty lines) then `Line (Queue.pop lines)
+    else if !at_eof then `Eof
+    else if Chaos.decide chaos Chaos.Serve_read <> Chaos.Pass then begin
+      at_eof := true;
+      flush_tail ()
+    end
+    else begin
+      let timeout = match idle_timeout_s with None -> -1.0 | Some s -> s in
+      match Unix.select [ fd ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+      | exception Unix.Unix_error _ ->
+          at_eof := true;
+          flush_tail ()
+      | [], _, _ -> `Idle
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+          | exception Unix.Unix_error _ ->
+              at_eof := true;
+              flush_tail ()
+          | 0 ->
+              at_eof := true;
+              flush_tail ()
+          | n ->
+              for i = 0 to n - 1 do
+                let c = Bytes.get chunk i in
+                if c = '\n' then begin
+                  Queue.add (Buffer.contents acc) lines;
+                  Buffer.clear acc
+                end
+                else Buffer.add_char acc c
+              done;
+              next ())
+    end
+  in
+  next
+
 (* One socket connection, run entirely on its own thread: read/admit to
-   EOF (or drain/disconnect), then hold the connection open until every
-   admitted job has been answered. *)
+   EOF (or drain/disconnect/idle-reap), then hold the connection open
+   until every admitted job has been answered. *)
 let handle_conn t fd =
-  let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let output line =
     output_string oc line;
@@ -824,17 +912,37 @@ let handle_conn t fd =
     flush oc
   in
   let client = register_client t ~output in
+  let read =
+    make_fd_reader ?idle_timeout_s:t.config.idle_timeout_s ~chaos:t.config.chaos fd
+  in
   (try
      let line_no = ref 0 in
      let continue = ref true in
      while !continue do
        if Atomic.get t.draining || Atomic.get client.cancelled then continue := false
        else
-         match input_line ic with
-         | line ->
+         match read () with
+         | `Line line ->
              incr line_no;
              admit t client ~line_no:!line_no line
-         | exception (End_of_file | Sys_error _) -> continue := false
+         | `Eof -> continue := false
+         | `Idle ->
+             (* A silent connection with nothing in flight is dead
+                weight — reap it so its thread frees up.  With work
+                still in flight, keep waiting: the client is presumably
+                blocked on our responses, not gone. *)
+             let busy =
+               Mutex.lock client.wake_m;
+               let b = client.inflight > 0 in
+               Mutex.unlock client.wake_m;
+               b
+             in
+             if not busy then begin
+               Atomic.incr t.counters.idle_reaps;
+               if Obs.enabled t.obs then
+                 Obs.emit t.obs ~ev:"serve.idle_reap" [ ("cid", Obs.Int client.cid) ];
+               continue := false
+             end
      done
    with _ -> ());
   Mutex.lock client.wake_m;
@@ -844,10 +952,15 @@ let handle_conn t fd =
   done;
   Mutex.unlock client.wake_m;
   unregister_client t client;
-  close_out_noerr oc;
-  close_in_noerr ic
+  close_out_noerr oc
 
 let serve_socket t ?(drain = fun () -> false) path =
+  (* A client that disconnects mid-write must cost a cancelled session,
+     not the process: without this the first write to the half-closed
+     socket raises SIGPIPE and kills the server.  Ignored, the write
+     fails with EPIPE, which [client_write] already turns into
+     [client_gone]. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (if Sys.file_exists path then
      match (Unix.lstat path).Unix.st_kind with
      | Unix.S_SOCK -> Unix.unlink path

@@ -57,6 +57,13 @@ type config = {
                                    backing the [stats] op (default 1024) *)
   cache_capacity : int;        (** result-cache entries before LRU eviction
                                    (default 256; 0 disables caching) *)
+  idle_timeout_s : float option;  (** socket connections silent this long with no
+                                      work in flight are reaped — dead peers free
+                                      their reader thread (default [None] = never) *)
+  chaos : Dynmos_chaos.Chaos.t;   (** deterministic fault injection: arms the
+                                      [serve.write]/[serve.read]/[cache.insert]
+                                      points here and [sched.spawn]/[sched.task]
+                                      in the executor pool (default disabled) *)
 }
 
 val default_config : config
@@ -103,8 +110,10 @@ val obs : t -> Obs.t
 
 val stats_line : t -> (string * Json.t) list
 (** The fields of a [stats] response: uptime, per-status counters,
-    queue/executor/cache/budget state, obs-ring occupancy.  Exposed for
-    the CLI and tests. *)
+    queue/executor/cache/budget state, obs-ring occupancy, and the
+    recovery counters ([exec_respawns], [exec_spawn_failures],
+    [executors_live], [idle_reaps], [chaos_injected]).  Exposed for the
+    CLI and tests. *)
 
 val exec_wakeups : t -> int
 (** Times an executor woke from its idle wait — parked workers cost

@@ -739,6 +739,116 @@ let qcheck_fuzz_concurrent =
         client_lines;
       true)
 
+(* --- Robustness: sockets, idle reap, chaos ------------------------------------- *)
+
+(* Run [serve_socket] on its own thread against a fresh temp path and
+   hand the caller a connector; always drains and joins. *)
+let with_socket_server config f =
+  let path = Filename.temp_file "dynmos_sock" ".s" in
+  Sys.remove path;
+  let t = Server.create ~config () in
+  let srv = Thread.create (fun () -> try Server.serve_socket t path with _ -> ()) () in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain t;
+      Thread.join srv;
+      Server.shutdown t;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f t connect)
+
+let send fd line =
+  let line = line ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line) : int)
+
+let recv_line fd =
+  let buf = Bytes.create 4096 in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  match Unix.read fd buf 0 4096 with
+  | exception Unix.Unix_error _ -> None
+  | 0 -> None
+  | n -> Some (String.trim (Bytes.sub_string buf 0 n))
+
+(* A client that disconnects before its response is written must cost a
+   cancelled session, never the process: the response write hits the
+   half-closed socket and, with SIGPIPE ignored, fails as EPIPE into
+   the client-gone path.  Without the fix this whole test binary dies
+   of SIGPIPE. *)
+let test_sigpipe_half_closed_socket () =
+  with_socket_server small_config @@ fun _t connect ->
+  let fd1 = connect () in
+  send fd1 {|{"circuit":"rand20","patterns":512,"drop":false}|};
+  Thread.delay 0.05;
+  (* vanish while the job is still running *)
+  Unix.close fd1;
+  (* the server must still be alive and serving new connections *)
+  let fd2 = connect () in
+  send fd2 {|{"op":"ping"}|};
+  (match recv_line fd2 with
+  | Some resp -> check_s "server survived the half-closed write" "pong" (status resp)
+  | None -> Alcotest.fail "no response from the server after a half-closed write");
+  Unix.close fd2
+
+(* A connection that goes silent with nothing in flight is reaped after
+   [idle_timeout_s]: our end sees EOF, the counter ticks, and a live
+   connection that keeps talking is not reaped. *)
+let test_idle_reap () =
+  let config = { small_config with Server.idle_timeout_s = Some 0.15 } in
+  with_socket_server config @@ fun t connect ->
+  let fd = connect () in
+  (* send nothing: the reaper must close this connection *)
+  (match recv_line fd with
+  | None -> ()
+  | Some l -> Alcotest.failf "expected EOF from the idle reaper, got %S" l);
+  Unix.close fd;
+  (match List.assoc "idle_reaps" (Server.stats_line t) with
+  | Json.Int n -> check "idle reap counted" true (n >= 1)
+  | _ -> Alcotest.fail "stats lack idle_reaps");
+  (* a talking client outlives many idle windows *)
+  let fd2 = connect () in
+  send fd2 {|{"op":"ping"}|};
+  (match recv_line fd2 with
+  | Some resp -> check_s "active client served" "pong" (status resp)
+  | None -> Alcotest.fail "active client was reaped");
+  Unix.close fd2
+
+(* Serve under a chaos schedule that kills executor domains and drops
+   cache inserts: every request line still gets exactly one terminal
+   response, and the watchdog keeps the pool serving. *)
+let test_serve_under_chaos () =
+  let chaos =
+    match Dynmos_chaos.Chaos.of_spec "sched.task=fail_prob:0.5,cache.insert=fail_once,seed=11" with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "chaos spec: %s" e
+  in
+  let config =
+    { Server.default_config with Server.max_patterns = 64; executors = 2; chaos }
+  in
+  let t = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+  let job = {|{"circuit":"carry8","patterns":64}|} in
+  let lines = List.init 8 (fun _ -> job) in
+  let _, resps, _ = run_on t lines in
+  check_i "one terminal response per line" 8 (List.length resps);
+  List.iteri (fun i _ -> check_s "every job completed" "ok" (status (response_for (i + 1) resps))) lines;
+  check "chaos actually fired" true (Dynmos_chaos.Chaos.injected chaos > 0);
+  match List.assoc "exec_respawns" (Server.stats_line t) with
+  | Json.Int n -> check "watchdog respawned executors" true (n > 0)
+  | _ -> Alcotest.fail "stats lack exec_respawns"
+
 (* --- Suite ------------------------------------------------------------------------ *)
 
 let () =
@@ -778,6 +888,13 @@ let () =
           Alcotest.test_case "scheduler fairness, cancel, crash" `Quick test_scheduler;
           Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "result cache" `Quick test_result_cache;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "sigpipe on a half-closed socket" `Quick
+            test_sigpipe_half_closed_socket;
+          Alcotest.test_case "idle connections reaped" `Quick test_idle_reap;
+          Alcotest.test_case "serve under chaos" `Quick test_serve_under_chaos;
         ] );
       ( "properties",
         [
