@@ -1013,8 +1013,120 @@ let e17 () =
       ppsfp_specs
   in
   Buffer.add_string buf
-    (Fmt.str "  \"ppsfp\": {\"drop\": true, \"algo\": \"cone\", \"circuits\": [\n%s\n  ]}\n"
+    (Fmt.str "  \"ppsfp\": {\"drop\": true, \"algo\": \"cone\", \"circuits\": [\n%s\n  ]},\n"
        (String.concat ",\n" ppsfp_entries));
+  (* --- Durability: the robustness tax and restart behaviour ------------
+     What a durable serve pays per job over the bare sweep: a journal
+     admit/done pair (fsync'd) plus a checkpoint controller at the
+     default interval, timed against the identical plain run on a
+     campaign long enough for the interval to amortize the file writes.
+     Budget < 2%; the JSON records the measured figure so regressions
+     show up in the artifact diff.  The restart pair times a full server
+     boot plus first response on the same data dir: the cold boot
+     executes the campaign, the warm boot answers from the rehydrated
+     persistent cache with zero gate evaluations. *)
+  let durability_json =
+    let module Journal = Dynmos_server.Journal in
+    let module Server = Dynmos_server.Server in
+    let module Sjson = Dynmos_server.Json in
+    let name = "rand60" in
+    let count = if !tiny_mode then 512 else 4096 in
+    let nl = match Catalog.find name with Ok nl -> nl | Error m -> failwith m in
+    let u = Faultsim.universe nl in
+    let prng = Prng.create 17 in
+    let pats =
+      Faultsim.random_patterns prng ~n_inputs:(List.length (Netlist.inputs nl)) ~count
+    in
+    pf "  --- durability (journal + checkpoint tax; cold vs warm restart) ---@.";
+    let json_t t =
+      Fmt.str
+        "\"seconds_median\": %.6f, \"seconds_min\": %.6f, \"seconds_max\": %.6f, \
+         \"reps\": %d, \"patterns_per_s\": %.1f"
+        t.median t.t_min t.t_max t.reps
+        (float_of_int count /. Float.max 1e-9 t.median)
+    in
+    let temp_dir () =
+      let d = Filename.temp_file "dynmos_bench_dur" "" in
+      Sys.remove d;
+      Unix.mkdir d 0o700;
+      d
+    in
+    let rec rm_rf p =
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+    in
+    let t_plain = time_reps ~reps (fun () -> Faultsim.run_serial ~drop:false u pats) in
+    let dir = temp_dir () in
+    let journal = Journal.open_ (Filename.concat dir "journal") in
+    let ck_path = Filename.concat dir "job.ckpt" in
+    let envelope =
+      Fmt.str {|{"op":"run","circuit":"%s","patterns":%d,"seed":17}|} name count
+    in
+    let t_durable =
+      time_reps ~reps (fun () ->
+          let jid = Journal.append_admit journal ~envelope in
+          let ctl = Faultsim.checkpoint_ctl ~path:ck_path ~interval:1000 u pats in
+          let s = Faultsim.run_serial ~drop:false ~checkpoint:ctl u pats in
+          Journal.append_done journal ~jid ~status:"ok";
+          s)
+    in
+    Journal.close journal;
+    rm_rf dir;
+    let overhead =
+      (t_durable.median -. t_plain.median) /. Float.max 1e-9 t_plain.median
+    in
+    pf "    %-26s %8.4f s plain vs %8.4f s durable  (%d patterns, overhead %+.2f%%)@."
+      "serial+journal+checkpoint" t_plain.median t_durable.median count (100.0 *. overhead);
+    let data_dir = temp_dir () in
+    let config =
+      { Server.default_config with Server.executors = 1; data_dir = Some data_dir }
+    in
+    let req = Fmt.str {|{"circuit":"%s","patterns":%d,"seed":17}|} name count in
+    let serve_one () =
+      let t = Server.create ~config () in
+      Server.wait_recovery t;
+      let sent = ref false in
+      let resp = ref "" in
+      let input () =
+        if !sent then None
+        else begin
+          sent := true;
+          Some req
+        end
+      in
+      ignore (Server.serve t ~input ~output:(fun s -> resp := s) () : Server.stop);
+      Server.shutdown t;
+      !resp
+    in
+    let time_once f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let cold_s, _ = time_once serve_one in
+    let warm_s, warm_resp = time_once serve_one in
+    rm_rf data_dir;
+    let warm_cached =
+      match Sjson.parse warm_resp with
+      | Ok v -> ( match Sjson.member "cached" v with Some (Sjson.Bool b) -> b | _ -> false)
+      | Error _ -> false
+    in
+    pf "    %-26s %8.4f s cold vs %8.4f s warm  (warm cached: %b, %.1fx)@."
+      "restart boot+first-response" cold_s warm_s warm_cached
+      (cold_s /. Float.max 1e-9 warm_s);
+    Fmt.str
+      "  \"durability\": {\"circuit\": \"%s\", \"patterns\": %d, \"interval\": 1000,\n   \
+       \"plain\": {%s}, \"durable\": {%s}, \"overhead_pct\": %.2f,\n   \
+       \"restart\": {\"cold_s\": %.6f, \"warm_s\": %.6f, \"warm_cached\": %b, \
+       \"speedup\": %.1f}}\n"
+      name count (json_t t_plain) (json_t t_durable) (100.0 *. overhead) cold_s warm_s
+      warm_cached
+      (cold_s /. Float.max 1e-9 warm_s)
+  in
+  Buffer.add_string buf durability_json;
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_faultsim.json" in
   output_string oc (Buffer.contents buf);

@@ -79,7 +79,8 @@ let chaos_arg =
                  'ckpt.write=fail_once,sched.task=fail_prob:0.2,seed=7'.  Actions: \
                  fail_once, fail_prob:P, delay:MS, torn_write.  Points: sched.spawn, \
                  sched.task, exec.job, ckpt.write, ckpt.rename, ckpt.fsync, serve.write, \
-                 serve.read, cache.insert.  The same spec replays the same failure \
+                 serve.read, cache.insert, journal.append, journal.fsync, \
+                 journal.compact, cache.persist.  The same spec replays the same failure \
                  schedule.")
 
 (* Second line of defense for anything the converters cannot know (file
@@ -397,6 +398,24 @@ let faultsim_cmd =
                 Format.printf "@."
               end)
             (!fetch_events ());
+          (* Durability accounting for checkpointed campaigns: how much
+             progress persistence cost, and where the resume state came
+             from (a primary corrupted under the writer falls back to
+             the .bak rotation). *)
+          (match checkpoint with
+          | Some ctl ->
+              let resumed_units =
+                match Checkpoint.resume_state ctl with
+                | Some st -> st.Checkpoint.units_done
+                | None -> 0
+              in
+              Format.printf
+                "durability: ckpt_writes=%d ckpt_failed_writes=%d ckpt_stale_cleaned=%d \
+                 resumed_units=%d resumed_from_backup=%b@."
+                (Checkpoint.writes ctl) (Checkpoint.failed_writes ctl)
+                (Checkpoint.stale_cleaned ctl) resumed_units
+                (Checkpoint.resumed_from_backup ctl)
+          | None -> ());
           Option.iter (Parallel_exec.pp_stats Format.std_formatter) domain_stats;
           if Chaos.enabled chaos then begin
             Format.printf "chaos: spec=%s injected=%d" (Chaos.to_spec chaos)
@@ -631,8 +650,32 @@ let serve_cmd =
                    work in flight, freeing their reader thread (socket mode only; \
                    default: never).")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Durable state root: a write-ahead job journal, the persistent result \
+                   cache and per-job checkpoints live under $(docv).  On start the server \
+                   recovers whatever a previous process — even one killed with kill -9 — \
+                   left behind: unfinished jobs are replayed (resuming from their \
+                   checkpoints), completed results are served from the warm cache with \
+                   'recovered':true.  Default: no durability (volatile serve).")
+  in
+  let ckpt_patterns =
+    Arg.(value & opt (bounded_int ~what:"--checkpoint-patterns" ~min:0 ())
+           Server.default_config.Server.ckpt_patterns
+         & info [ "checkpoint-patterns" ] ~docv:"N"
+             ~doc:"With --data-dir: jobs of at least $(docv) patterns write resumable \
+                   checkpoints (smaller jobs are cheaper to re-run than to checkpoint).")
+  in
+  let ckpt_interval =
+    Arg.(value & opt (bounded_int ~what:"--checkpoint-interval" ~min:1 ())
+           Server.default_config.Server.ckpt_interval
+         & info [ "checkpoint-interval" ] ~docv:"N"
+             ~doc:"Checkpoint write throttle, in completed work units.")
+  in
   let run queue executors cache max_patterns max_seconds max_request_evals global_max_evals
-      max_line_bytes events trace socket idle_timeout chaos =
+      max_line_bytes events trace socket idle_timeout data_dir ckpt_patterns ckpt_interval
+      chaos =
     guard @@ fun () ->
     let config =
       {
@@ -647,6 +690,9 @@ let serve_cmd =
         cache_capacity = cache;
         idle_timeout_s = idle_timeout;
         chaos;
+        data_dir;
+        ckpt_patterns;
+        ckpt_interval;
       }
     in
     (* A client closing its connection mid-response must never kill the
@@ -659,10 +705,11 @@ let serve_cmd =
         (fun file -> open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 file)
         trace
     in
-    (* Mask SIGINT/SIGTERM on this thread BEFORE creating the server:
-       executor domains and reader threads inherit the mask at spawn, so
-       signals are delivered only to the sigwait thread below. *)
-    let signals = [ Sys.sigint; Sys.sigterm ] in
+    (* Mask SIGHUP/SIGINT/SIGTERM on this thread BEFORE creating the
+       server: executor domains and reader threads inherit the mask at
+       spawn, so signals are delivered only to the sigwait thread
+       below. *)
+    let signals = [ Sys.sighup; Sys.sigint; Sys.sigterm ] in
     let masked =
       try
         ignore (Thread.sigmask Unix.SIG_BLOCK signals : int list);
@@ -672,18 +719,31 @@ let serve_cmd =
     let t =
       Server.create ~config ?trace:(Option.map Obs.channel_sink trace_oc) ()
     in
-    (* First SIGTERM/SIGINT: stop admitting, finish queued and in-flight
+    (* SIGHUP: maintenance (journal compaction, cache re-persist, stats
+       snapshot to the trace sink) without dropping a single connection.
+       First SIGTERM/SIGINT: stop admitting, finish queued and in-flight
        jobs (each bounded by its per-request deadline), flush, exit 0.
-       Second signal: hard exit 130. *)
+       Second SIGTERM/SIGINT: hard exit 130. *)
     let drain =
       if masked then begin
         ignore
           (Thread.create
              (fun () ->
-               ignore (Thread.wait_signal signals : int);
-               Server.request_drain t;
-               ignore (Thread.wait_signal signals : int);
-               Stdlib.exit 130)
+               let drained = ref false in
+               let rec loop () =
+                 let s = Thread.wait_signal signals in
+                 if s = Sys.sighup then begin
+                   Server.maintenance t;
+                   loop ()
+                 end
+                 else if not !drained then begin
+                   drained := true;
+                   Server.request_drain t;
+                   loop ()
+                 end
+                 else Stdlib.exit 130
+               in
+               loop ())
              ());
         fun () -> false
       end
@@ -709,7 +769,7 @@ let serve_cmd =
       ret
         (const run $ queue $ executors $ cache $ max_patterns $ max_seconds
        $ max_request_evals $ global_max_evals $ max_line_bytes $ events $ trace $ socket
-       $ idle_timeout $ chaos_arg))
+       $ idle_timeout $ data_dir $ ckpt_patterns $ ckpt_interval $ chaos_arg))
 
 (* --- circuits ------------------------------------------------------------------ *)
 

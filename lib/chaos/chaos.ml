@@ -17,6 +17,10 @@ type point =
   | Serve_write
   | Serve_read
   | Cache_insert
+  | Journal_append
+  | Journal_fsync
+  | Journal_compact
+  | Cache_persist
 
 let points =
   [
@@ -29,6 +33,10 @@ let points =
     Serve_write;
     Serve_read;
     Cache_insert;
+    Journal_append;
+    Journal_fsync;
+    Journal_compact;
+    Cache_persist;
   ]
 
 let tag = function
@@ -41,6 +49,10 @@ let tag = function
   | Serve_write -> 6
   | Serve_read -> 7
   | Cache_insert -> 8
+  | Journal_append -> 9
+  | Journal_fsync -> 10
+  | Journal_compact -> 11
+  | Cache_persist -> 12
 
 let n_points = List.length points
 
@@ -54,6 +66,10 @@ let point_name = function
   | Serve_write -> "serve.write"
   | Serve_read -> "serve.read"
   | Cache_insert -> "cache.insert"
+  | Journal_append -> "journal.append"
+  | Journal_fsync -> "journal.fsync"
+  | Journal_compact -> "journal.compact"
+  | Cache_persist -> "cache.persist"
 
 let point_of_name s = List.find_opt (fun p -> point_name p = s) points
 

@@ -30,6 +30,13 @@ type point =
   | Serve_write  (** Server response write to a client. *)
   | Serve_read  (** Server request read from a client (delay = stall). *)
   | Cache_insert  (** Result-cache insertion after a completed job. *)
+  | Journal_append  (** Write-ahead journal record append (torn = half a
+                        record, no newline — the classic torn tail). *)
+  | Journal_fsync  (** Journal durability fsync after append (fail = skip). *)
+  | Journal_compact  (** Journal segment compaction (torn = truncated
+                         replacement segment left as a stale tmp). *)
+  | Cache_persist  (** Result-cache entry persist to the data dir (torn =
+                       a corrupt entry file the loader must quarantine). *)
 
 val points : point list
 (** Every injection point, in a fixed order. *)

@@ -272,6 +272,7 @@ type ctl = {
   n_patterns : int;
   prng_state : string option;
   resume : state option;
+  resumed_from_backup : bool;
   chaos : Chaos.t;
   lock : Mutex.t;
   mutable last_units : int;
@@ -280,8 +281,9 @@ type ctl = {
   stale_cleaned : int;
 }
 
-let create ~path ~interval ?prng_state ?resume ?(chaos = Chaos.disabled) ~circuit_digest
-    ~universe_digest ~pattern_digest ~n_sites ~n_patterns () =
+let create ~path ~interval ?prng_state ?resume ?(resumed_from_backup = false)
+    ?(chaos = Chaos.disabled) ~circuit_digest ~universe_digest ~pattern_digest ~n_sites
+    ~n_patterns () =
   if interval < 1 then fail "checkpoint: interval must be >= 1 (got %d)" interval;
   let stale_cleaned = cleanup_stale path in
   (match (resume : state option) with
@@ -312,6 +314,7 @@ let create ~path ~interval ?prng_state ?resume ?(chaos = Chaos.disabled) ~circui
     n_patterns;
     prng_state;
     resume;
+    resumed_from_backup;
     chaos;
     lock = Mutex.create ();
     last_units = (match resume with Some st -> st.units_done | None -> 0);
@@ -321,6 +324,7 @@ let create ~path ~interval ?prng_state ?resume ?(chaos = Chaos.disabled) ~circui
   }
 
 let resume_state ctl = ctl.resume
+let resumed_from_backup ctl = ctl.resumed_from_backup
 let interval ctl = ctl.interval
 let path ctl = ctl.path
 let writes ctl = ctl.writes

@@ -79,6 +79,7 @@ val create :
   interval:int ->
   ?prng_state:string ->
   ?resume:state ->
+  ?resumed_from_backup:bool ->
   ?chaos:Dynmos_chaos.Chaos.t ->
   circuit_digest:string ->
   universe_digest:string ->
@@ -96,6 +97,11 @@ val create :
 
 val resume_state : ctl -> state option
 (** The validated state passed as [?resume], for engines to preload. *)
+
+val resumed_from_backup : ctl -> bool
+(** Whether the resume state was salvaged from the [.bak] rotation
+    rather than the primary file (set by the caller that loaded it; a
+    durability stat, not a behavior change). *)
 
 val require_mode : ctl -> mode -> engine:string -> unit
 (** Fail early ({!Error}) when a resume state was produced by the other

@@ -744,12 +744,14 @@ let checkpoint_ctl ~path ~interval ?(resume = false) ?prng_state ?chaos u patter
      campaign killed before its first tick leaves no checkpoint, and its
      retry must still come up.  A corrupt primary falls back to the .bak
      rotated by the previous run's writes. *)
-  let resume_state =
+  let resume_state, resumed_from_backup =
     if resume && (Sys.file_exists path || Sys.file_exists (path ^ ".bak")) then
-      Some (fst (Checkpoint.load_or_backup path))
-    else None
+      let st, from_bak = Checkpoint.load_or_backup path in
+      (Some st, from_bak)
+    else (None, false)
   in
-  Checkpoint.create ~path ~interval ?prng_state ?resume:resume_state ?chaos
+  Checkpoint.create ~path ~interval ?prng_state ?resume:resume_state ~resumed_from_backup
+    ?chaos
     ~circuit_digest:(circuit_digest u) ~universe_digest:(universe_digest u)
     ~pattern_digest:(patterns_digest patterns) ~n_sites:(n_sites u)
     ~n_patterns:(Array.length patterns) ()

@@ -253,6 +253,38 @@ let parse_request ~limits ~known_circuit line =
 
 let request_id = function Run r -> r.id | Stats id -> id | Ping id -> id
 
+(* --- Journal envelopes --------------------------------------------------------- *)
+
+(* The write-ahead journal's replay key: a canonical, client-independent
+   re-encoding of a run request.  Everything that shapes the result or
+   its accounting is kept (including the already-clamped limits, so a
+   replay stops where the original would have); everything tied to the
+   original connection is dropped — [id] and [stream_every] belong to a
+   client that no longer exists, and [crash_sid] requests are test hooks
+   the server never journals.  The envelope re-enters through
+   {!parse_request} on recovery, so it can never drift from the schema:
+   a field the parser would reject cannot be encoded here. *)
+let run_envelope r =
+  let opt name conv v = Option.map (fun x -> (name, conv x)) v in
+  let fields =
+    List.filter_map Fun.id
+      [
+        Some ("op", Json.String "run");
+        Some ("circuit", Json.String r.circuit);
+        Some ("patterns", Json.Int r.patterns);
+        Some ("seed", Json.Int r.seed);
+        Some ("engine", Json.String (engine_name r.engine));
+        opt "jobs" (fun n -> Json.Int n) r.jobs;
+        opt "group" (fun n -> Json.Int n) r.group;
+        Some ("drop", Json.Bool r.drop);
+        Some ("algo", Json.String (match r.algo with `Cone -> "cone" | `Full -> "full"));
+        opt "gates" (fun gs -> Json.List (List.map (fun g -> Json.Int g) gs)) r.gates;
+        Some ("deadline_s", Json.Float r.deadline_s);
+        opt "max_evals" (fun n -> Json.Int n) r.max_evals;
+      ]
+  in
+  Json.to_string (Json.Obj fields)
+
 (* --- Responses ---------------------------------------------------------------- *)
 
 let response ~line ?id ~status fields =

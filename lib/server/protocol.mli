@@ -68,6 +68,16 @@ val parse_request :
 
 val request_id : request -> Json.t option
 
+val run_envelope : run -> string
+(** The canonical client-independent journal envelope of a run request:
+    one JSON line keeping every result-shaping field (circuit, patterns,
+    seed, engine, jobs/group, drop, algo, gates, the clamped deadline
+    and eval budget) and dropping the connection-bound ones ([id],
+    [stream_every], [crash_sid]).  Restart recovery replays envelopes
+    through {!parse_request}, so the encoding cannot drift from the
+    schema.  Responses to requests answered from recovered state carry
+    ["recovered":true] next to ["cached"]. *)
+
 val response :
   line:int -> ?id:Json.t -> status:string -> (string * Json.t) list -> string
 (** One response line (no trailing newline): [{"line":N, "id":...,

@@ -40,6 +40,9 @@ type config = {
   cache_capacity : int;
   idle_timeout_s : float option;
   chaos : Chaos.t;
+  data_dir : string option;
+  ckpt_patterns : int;
+  ckpt_interval : int;
 }
 
 let default_config =
@@ -55,6 +58,9 @@ let default_config =
     cache_capacity = 256;
     idle_timeout_s = None;
     chaos = Chaos.disabled;
+    data_dir = None;
+    ckpt_patterns = 4096;
+    ckpt_interval = 1000;
   }
 
 exception Reject of string
@@ -107,6 +113,8 @@ module Cache = struct
     dt_s : float;    (* wall clock of the run that produced the entry *)
     evals : int;     (* gate evaluations that run performed *)
     n_sites : int;
+    recovered : bool;        (* produced by restart recovery (disk load or replay) *)
+    mutable persisted : bool;  (* has an on-disk twin in data-dir/cache *)
     mutable stamp : int;  (* LRU clock at last touch *)
   }
 
@@ -183,6 +191,14 @@ module Cache = struct
     let r = (c.hits, c.misses, Hashtbl.length c.tbl, c.evictions) in
     Mutex.unlock c.m;
     r
+
+  (* Every resident (key, entry) pair in key order — the maintenance
+     hook walks this to re-persist entries whose disk write failed. *)
+  let snapshot c =
+    Mutex.lock c.m;
+    let r = Hashtbl.fold (fun k e acc -> (k, e) :: acc) c.tbl [] in
+    Mutex.unlock c.m;
+    List.sort (fun (a, _) (b, _) -> compare a b) r
 end
 
 (* --- Clients -------------------------------------------------------------------- *)
@@ -203,6 +219,22 @@ type client = {
   cancelled : bool Atomic.t;
 }
 
+(* Everything the [--data-dir] option switches on: the write-ahead
+   journal, the cache's disk backing and the per-job checkpoint
+   directory.  [dur_m] guards the mutable persistence counters (written
+   from executor domains and the maintenance hook concurrently). *)
+type durable = {
+  journal : Journal.t;
+  cache_dir : string;
+  ckpt_dir : string;
+  cache_loaded : int;            (* healthy entries rehydrated at boot *)
+  cache_corrupt : int;           (* entries quarantined at boot *)
+  dur_m : Mutex.t;
+  mutable cache_persisted : int;
+  mutable cache_persist_failed : int;
+  mutable recovered_jobs : int;  (* journaled jobs replayed to a terminal outcome *)
+}
+
 type t = {
   config : config;
   counters : counters;
@@ -221,63 +253,20 @@ type t = {
   mutable clients : client list;
   mutable next_cid : int;
   mutable drain_hooks : (unit -> unit) list;
+  durable : durable option;
+  mutable recovery : Thread.t option;  (* the boot-time replay worker *)
   t0 : float;
 }
 
-let create ?(config = default_config) ?trace ?(known_circuit = Catalog.mem)
-    ?(find_circuit = Catalog.find) () =
-  let bad what n =
-    invalid_arg (Printf.sprintf "Server.create: %s must be positive (got %d)" what n)
-  in
-  if config.queue_capacity < 1 then bad "queue_capacity" config.queue_capacity;
-  if config.executors < 1 then bad "executors" config.executors;
-  if config.max_patterns < 0 then bad "max_patterns" config.max_patterns;
-  if not (config.max_seconds > 0.0) then
-    invalid_arg
-      (Printf.sprintf "Server.create: max_seconds must be positive (got %g)" config.max_seconds);
-  (match config.max_request_evals with Some n when n < 1 -> bad "max_request_evals" n | _ -> ());
-  (match config.global_max_evals with Some n when n < 1 -> bad "global_max_evals" n | _ -> ());
-  if config.max_line_bytes < 2 then bad "max_line_bytes" config.max_line_bytes;
-  if config.events_capacity < 1 then bad "events_capacity" config.events_capacity;
-  if config.cache_capacity < 0 then
-    invalid_arg
-      (Printf.sprintf "Server.create: cache_capacity must be >= 0 (got %d)"
-         config.cache_capacity);
-  (match config.idle_timeout_s with
-  | Some s when not (s > 0.0) ->
-      invalid_arg
-        (Printf.sprintf "Server.create: idle_timeout_s must be positive (got %g)" s)
-  | _ -> ());
-  let ring, fetch_events, total_events =
-    Obs.bounded_memory_sink ~capacity:config.events_capacity
-  in
-  let sink = match trace with None -> ring | Some s -> Obs.tee ring s in
-  {
-    config;
-    counters = make_counters ();
-    obs = Obs.make sink;
-    fetch_events;
-    total_events;
-    known_circuit;
-    find_circuit;
-    universes = Hashtbl.create 8;
-    universes_m = Mutex.create ();
-    rcache = Cache.create config.cache_capacity;
-    sched =
-      Scheduler.create ~num_domains:config.executors ~capacity:config.queue_capacity
-        ~chaos:config.chaos ();
-    global_evals = Atomic.make 0;
-    draining = Atomic.make false;
-    clients_m = Mutex.create ();
-    clients = [];
-    next_cid = 0;
-    drain_hooks = [];
-    t0 = Obs.now ();
-  }
+(* [create] lives below [run_job]: boot-time recovery replays journaled
+   jobs through the ordinary execution path, so construction needs the
+   job runner in scope. *)
 
 let obs t = t.obs
 
-let shutdown t = Scheduler.shutdown t.sched
+let shutdown t =
+  Scheduler.shutdown t.sched;
+  match t.durable with None -> () | Some d -> Journal.close d.journal
 
 let exec_wakeups t = Scheduler.wakeups t.sched
 
@@ -426,10 +415,52 @@ let stats_line t =
     ("events_total", Json.Int (t.total_events ()));
     ("circuits_cached", Json.Int (Hashtbl.length t.universes));
   ]
+  (* Durability counters are always present (zero without [data_dir]) so
+     stats consumers never need to probe for the fields. *)
+  @ (match t.durable with
+    | None ->
+        [
+          ("journal_appends", Json.Int 0);
+          ("journal_fsyncs", Json.Int 0);
+          ("journal_recovered", Json.Int 0);
+          ("journal_pending", Json.Int 0);
+          ("journal_truncated_tail", Json.Int 0);
+          ("journal_compactions", Json.Int 0);
+          ("cache_persisted", Json.Int 0);
+          ("cache_persist_failed", Json.Int 0);
+          ("cache_corrupt_quarantined", Json.Int 0);
+          ("cache_loaded", Json.Int 0);
+          ("restart_generation", Json.Int 0);
+        ]
+    | Some d ->
+        let persisted, persist_failed, recovered_jobs =
+          Mutex.lock d.dur_m;
+          let r = (d.cache_persisted, d.cache_persist_failed, d.recovered_jobs) in
+          Mutex.unlock d.dur_m;
+          r
+        in
+        [
+          ("journal_appends", Json.Int (Journal.appends d.journal));
+          ("journal_fsyncs", Json.Int (Journal.fsyncs d.journal));
+          ("journal_recovered", Json.Int recovered_jobs);
+          ("journal_pending", Json.Int (Journal.pending_count d.journal));
+          ("journal_truncated_tail", Json.Int (Journal.truncated_tail d.journal));
+          ("journal_compactions", Json.Int (Journal.compactions d.journal));
+          ("cache_persisted", Json.Int persisted);
+          ("cache_persist_failed", Json.Int persist_failed);
+          ("cache_corrupt_quarantined", Json.Int d.cache_corrupt);
+          ("cache_loaded", Json.Int d.cache_loaded);
+          ("restart_generation", Json.Int (Journal.generation d.journal));
+        ])
 
 (* --- Job execution -------------------------------------------------------------- *)
 
-type job = { line_no : int; run : Protocol.run }
+type job = {
+  line_no : int;
+  run : Protocol.run;
+  jid : int option;  (* journal id; [None] = not journaled (no data dir, or test hook) *)
+  replay : bool;     (* re-enqueued by boot recovery rather than a live client *)
+}
 
 (* Gate evaluations a finished run actually performed, read back from the
    engine's own faultsim.run event (the deductive/concurrent engines
@@ -457,10 +488,13 @@ let algo_name = function `Cone -> "cone" | `Full -> "full"
    shape the reported accounting ([gate_evals], [dt_s]) even though
    detection results are bit-identical across them.  [jobs] (domain
    count) is deliberately absent: it can never change any reported
-   field's meaning for a [Complete] run's coverage.  [None] = this
-   request must not be cached (crash injection, or caching disabled). *)
-let cache_key t r u pats =
-  if r.Protocol.crash_sid <> None || t.config.cache_capacity = 0 then None
+   field's meaning for a [Complete] run's coverage.  The same identity
+   also names the job's on-disk checkpoint — a replayed campaign after a
+   crash finds its own progress file by content, not by connection.
+   [None] = no durable identity (crash injection is a test hook). *)
+let job_ident t r u pats =
+  if r.Protocol.crash_sid <> None then None
+  else if t.config.cache_capacity = 0 && t.durable = None then None
   else
     Some
       (String.concat "|"
@@ -473,8 +507,41 @@ let cache_key t r u pats =
            string_of_bool r.Protocol.drop;
          ])
 
+(* Build (or resume) the per-job checkpoint controller.  Only jobs big
+   enough to be worth the write amplification get one ([ckpt_patterns]);
+   a checkpoint corrupted beyond its [.bak] is discarded and the job
+   restarts from scratch — durability must never wedge a request. *)
+let job_checkpoint t ident u pats ~patterns =
+  match t.durable with
+  | Some d when patterns >= t.config.ckpt_patterns ->
+      let path =
+        Filename.concat d.ckpt_dir (Digest.to_hex (Digest.string ident) ^ ".ckpt")
+      in
+      let make ~resume =
+        Faultsim.checkpoint_ctl ~path ~interval:t.config.ckpt_interval ~resume
+          ~chaos:t.config.chaos u pats
+      in
+      (try Some (make ~resume:true)
+       with Checkpoint.Error _ -> (
+         (try Sys.remove path with Sys_error _ -> ());
+         (try Sys.remove (path ^ ".bak") with Sys_error _ -> ());
+         try Some (make ~resume:false) with Checkpoint.Error _ -> None))
+  | _ -> None
+
+let ckpt_discard ckpt =
+  match ckpt with
+  | None -> ()
+  | Some ctl ->
+      (* A completed job's checkpoint is dead weight — worse, a stale one
+         would preload a finished state into an unrelated future run of
+         the same identity (harmlessly, but pointlessly). *)
+      let path = Checkpoint.path ctl in
+      (try Sys.remove path with Sys_error _ -> ());
+      (try Sys.remove (path ^ ".bak") with Sys_error _ -> ())
+
 let exec_job t client job =
   let r = job.run in
+  let replay = job.replay in
   let u = universe_of t r.Protocol.circuit in
   let u =
     match r.Protocol.gates with
@@ -495,12 +562,13 @@ let exec_job t client job =
       ~n_inputs:(List.length (Netlist.inputs nl))
       ~count:r.Protocol.patterns
   in
-  let key = cache_key t r u pats in
+  let ident = job_ident t r u pats in
+  let key = if t.config.cache_capacity = 0 then None else ident in
   match Option.bind key (fun k -> Cache.find t.rcache k) with
   | Some e ->
       (* Served from the cache: zero gate evaluations, nothing charged
          to the global budget, per-request limits vacuously satisfied. *)
-      (e.Cache.summary, e.Cache.dt_s, e.Cache.evals, e.Cache.n_sites, true)
+      (e.Cache.summary, e.Cache.dt_s, e.Cache.evals, e.Cache.n_sites, true, e.Cache.recovered)
   | None ->
       (* Global budget: admission control against a server-wide spend.
          Checked at execution time (the budget moves between admission
@@ -561,27 +629,32 @@ let exec_job t client job =
       let job_obs = Obs.make mem in
       let drop = r.Protocol.drop in
       let algo = r.Protocol.algo in
+      let ckpt =
+        match ident with
+        | Some id -> job_checkpoint t id u pats ~patterns:r.Protocol.patterns
+        | None -> None
+      in
       let t0 = Obs.now () in
       let summary =
         match r.Protocol.engine with
         | `Serial ->
             Faultsim.run_serial ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
-              ?crash_hook ?on_progress u pats
+              ?checkpoint:ckpt ?crash_hook ?on_progress u pats
         | `Parallel ->
             Faultsim.run_parallel ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
-              ?crash_hook ?on_progress u pats
+              ?checkpoint:ckpt ?crash_hook ?on_progress u pats
         | `Deductive ->
             Faultsim.run_deductive ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
-              ?on_progress u pats
+              ?checkpoint:ckpt ?on_progress u pats
         | `Concurrent ->
             Faultsim.run_concurrent ~drop ~algo ~obs:job_obs ~deadline ?max_evals ~interrupt
-              ?on_progress u pats
+              ?checkpoint:ckpt ?on_progress u pats
         | `Ppsfp ->
             Faultsim.run_ppsfp ~drop ~algo ?group:r.Protocol.group ~obs:job_obs ~deadline
-              ?max_evals ~interrupt ?on_progress u pats
+              ?max_evals ~interrupt ?checkpoint:ckpt ?on_progress u pats
         | `Domains ->
             Faultsim.run_domain_parallel ~drop ~algo ?num_domains:r.Protocol.jobs ~obs:job_obs
-              ~deadline ?max_evals ~interrupt ?crash_hook ?on_progress u pats
+              ~deadline ?max_evals ~interrupt ?checkpoint:ckpt ?crash_hook ?on_progress u pats
       in
       let dt = Obs.now () -. t0 in
       let events = fetch () in
@@ -590,21 +663,57 @@ let exec_job t client job =
       (* Forward the engine events into the server trace/ring. *)
       if Obs.enabled t.obs then
         List.iter (fun e -> Obs.emit t.obs ~ev:e.Obs.ev e.Obs.fields) events;
-      (match (key, summary.Faultsim.outcome) with
-      | Some k, Outcome.Complete ->
-          (* A lost insert only costs a future cache miss — the response
-             already carries the summary — which is why [cache.insert]
-             failures are safe to swallow here. *)
-          (match Chaos.decide t.config.chaos Chaos.Cache_insert with
-          | Chaos.Fail | Chaos.Torn -> ()
-          | Chaos.Pass ->
-              Cache.add t.rcache k { Cache.summary; dt_s = dt; evals; n_sites; stamp = 0 })
-      | _ -> ());
-      (summary, dt, evals, n_sites, false)
+      (match summary.Faultsim.outcome with
+      | Outcome.Complete ->
+          ckpt_discard ckpt;
+          (match key with
+          | Some k -> (
+              (* A lost insert only costs a future cache miss — the response
+                 already carries the summary — which is why [cache.insert]
+                 failures are safe to swallow here. *)
+              match Chaos.decide t.config.chaos Chaos.Cache_insert with
+              | Chaos.Fail | Chaos.Torn -> ()
+              | Chaos.Pass ->
+                  let entry =
+                    {
+                      Cache.summary;
+                      dt_s = dt;
+                      evals;
+                      n_sites;
+                      recovered = replay;
+                      persisted = false;
+                      stamp = 0;
+                    }
+                  in
+                  (* Persist before publishing in memory so [persisted]
+                     never claims a write that didn't happen.  A failed
+                     persist is absorbed: the in-memory entry still
+                     serves this boot, only warm-restart reuse is lost
+                     (the maintenance hook retries). *)
+                  (match t.durable with
+                  | None -> ()
+                  | Some d -> (
+                      match
+                        Cache_store.save ~chaos:t.config.chaos d.cache_dir
+                          { Cache_store.key = k; summary; dt_s = dt; evals; n_sites }
+                      with
+                      | () ->
+                          entry.Cache.persisted <- true;
+                          Mutex.lock d.dur_m;
+                          d.cache_persisted <- d.cache_persisted + 1;
+                          Mutex.unlock d.dur_m
+                      | exception Cache_store.Error _ ->
+                          Mutex.lock d.dur_m;
+                          d.cache_persist_failed <- d.cache_persist_failed + 1;
+                          Mutex.unlock d.dur_m));
+                  Cache.add t.rcache k entry)
+          | None -> ())
+      | Outcome.Partial _ -> ());
+      (summary, dt, evals, n_sites, false, replay)
 
 let job_response t client job =
   let r = job.run in
-  let base_fields summary dt evals n_sites cached =
+  let base_fields summary dt evals n_sites cached recovered =
     [
       ("circuit", Json.String r.Protocol.circuit);
       ("engine", Json.String (Protocol.engine_name r.Protocol.engine));
@@ -615,15 +724,17 @@ let job_response t client job =
       ("dt_s", Json.Float dt);
       ("gate_evals", Json.Int evals);
       ("cached", Json.Bool cached);
+      ("recovered", Json.Bool recovered);
     ]
   in
   let respond ~status fields =
     (status, Protocol.response ~line:job.line_no ?id:r.Protocol.id ~status fields)
   in
   match exec_job t client job with
-  | summary, dt, evals, n_sites, cached -> (
+  | summary, dt, evals, n_sites, cached, recovered -> (
       match summary.Faultsim.outcome with
-      | Outcome.Complete -> respond ~status:"ok" (base_fields summary dt evals n_sites cached)
+      | Outcome.Complete ->
+          respond ~status:"ok" (base_fields summary dt evals n_sites cached recovered)
       | Outcome.Partial p ->
           let failed =
             List.map
@@ -632,7 +743,7 @@ let job_response t client job =
               p.Outcome.failed_sites
           in
           respond ~status:"partial"
-            (base_fields summary dt evals n_sites cached
+            (base_fields summary dt evals n_sites cached recovered
             @ [
                 ("cause", Json.String (stop_cause_field p));
                 ("patterns_done", Json.Int summary.Faultsim.patterns_done);
@@ -654,6 +765,15 @@ let job_response t client job =
 (* Executed on a scheduler worker.  [inflight] was incremented at
    admission; whatever happens, it is decremented exactly once here (or
    by [client_gone] for tasks cancelled before they ran). *)
+(* Record a job's terminal outcome in the journal.  A lost done record
+   is absorbed — it only costs a redundant, idempotent replay at the
+   next boot (the result cache answers it without re-simulating). *)
+let journal_done t job ~status =
+  match (t.durable, job.jid) with
+  | Some d, Some jid -> (
+      try Journal.append_done d.journal ~jid ~status with Journal.Error _ -> ())
+  | _ -> ()
+
 let run_job t client job =
   Fun.protect
     ~finally:(fun () ->
@@ -662,13 +782,17 @@ let run_job t client job =
       Condition.broadcast client.wake;
       Mutex.unlock client.wake_m)
     (fun () ->
-      if Atomic.get client.cancelled then Atomic.incr t.counters.cancelled
+      if Atomic.get client.cancelled then begin
+        Atomic.incr t.counters.cancelled;
+        journal_done t job ~status:"dropped"
+      end
       else begin
         let status, resp = job_response t client job in
         (match status with
         | "ok" -> Atomic.incr t.counters.completed_ok
         | "partial" -> Atomic.incr t.counters.completed_partial
         | _ -> Atomic.incr t.counters.failed);
+        journal_done t job ~status;
         if Obs.enabled t.obs then
           Obs.emit t.obs ~ev:"serve.request"
             [
@@ -678,6 +802,225 @@ let run_job t client job =
             ];
         client_write t client resp
       end)
+
+(* --- Boot: durable state and recovery ------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ()
+  end
+
+(* Replay the journal's unfinished jobs through the ordinary execution
+   path, one at a time on a pseudo-client whose output is discarded (the
+   connection those jobs arrived on died with the previous process; what
+   survives is the journal's done record and the result cache entry,
+   which answers the client's retry with [recovered:true]).  Serial
+   replay keeps recovery bounded — live traffic always has executors to
+   run on — and deterministic.  Runs on its own thread so boot returns
+   immediately; [wait_recovery] joins it. *)
+let recover t d entries =
+  let client = register_client t ~output:(fun _ -> ()) in
+  Fun.protect
+    ~finally:(fun () -> unregister_client t client)
+    (fun () ->
+      List.iter
+        (fun { Journal.jid; envelope } ->
+          if not (Atomic.get t.draining) then
+            match
+              Protocol.parse_request ~limits:(limits t) ~known_circuit:t.known_circuit
+                envelope
+            with
+            | Ok (Protocol.Run run) -> (
+                let job = { line_no = 0; run; jid = Some jid; replay = true } in
+                Mutex.lock client.wake_m;
+                client.inflight <- client.inflight + 1;
+                Mutex.unlock client.wake_m;
+                match
+                  Scheduler.submit t.sched ~client:client.cid (fun () ->
+                      run_job t client job)
+                with
+                | `Ok _ ->
+                    Mutex.lock client.wake_m;
+                    while client.inflight > 0 do
+                      Condition.wait client.wake client.wake_m
+                    done;
+                    Mutex.unlock client.wake_m;
+                    Mutex.lock d.dur_m;
+                    d.recovered_jobs <- d.recovered_jobs + 1;
+                    Mutex.unlock d.dur_m
+                | `Full | `Closed ->
+                    (* Draining or shut down: leave the job pending — the
+                       next boot replays it. *)
+                    Mutex.lock client.wake_m;
+                    client.inflight <- client.inflight - 1;
+                    Mutex.unlock client.wake_m)
+            | Ok _ | Error _ ->
+                (* An envelope the schema rejects cannot be re-run; close
+                   it out so it doesn't haunt every future boot.  (Can
+                   only happen when the journal was written by a build
+                   with a different schema or edited by hand — the CRC
+                   already vetted the bytes.) *)
+                (try Journal.append_done d.journal ~jid ~status:"error"
+                 with Journal.Error _ -> ()))
+        entries;
+      if Obs.enabled t.obs then
+        Obs.emit t.obs ~ev:"serve.recovery"
+          [
+            ("jobs", Obs.Int (List.length entries));
+            ("generation", Obs.Int (Journal.generation d.journal));
+          ])
+
+let create ?(config = default_config) ?trace ?(known_circuit = Catalog.mem)
+    ?(find_circuit = Catalog.find) () =
+  let bad what n =
+    invalid_arg (Printf.sprintf "Server.create: %s must be positive (got %d)" what n)
+  in
+  if config.queue_capacity < 1 then bad "queue_capacity" config.queue_capacity;
+  if config.executors < 1 then bad "executors" config.executors;
+  if config.max_patterns < 0 then bad "max_patterns" config.max_patterns;
+  if not (config.max_seconds > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Server.create: max_seconds must be positive (got %g)" config.max_seconds);
+  (match config.max_request_evals with Some n when n < 1 -> bad "max_request_evals" n | _ -> ());
+  (match config.global_max_evals with Some n when n < 1 -> bad "global_max_evals" n | _ -> ());
+  if config.max_line_bytes < 2 then bad "max_line_bytes" config.max_line_bytes;
+  if config.events_capacity < 1 then bad "events_capacity" config.events_capacity;
+  if config.cache_capacity < 0 then
+    invalid_arg
+      (Printf.sprintf "Server.create: cache_capacity must be >= 0 (got %d)"
+         config.cache_capacity);
+  if config.ckpt_patterns < 0 then
+    invalid_arg
+      (Printf.sprintf "Server.create: ckpt_patterns must be >= 0 (got %d)"
+         config.ckpt_patterns);
+  if config.ckpt_interval < 1 then bad "ckpt_interval" config.ckpt_interval;
+  (match config.idle_timeout_s with
+  | Some s when not (s > 0.0) ->
+      invalid_arg
+        (Printf.sprintf "Server.create: idle_timeout_s must be positive (got %g)" s)
+  | _ -> ());
+  let ring, fetch_events, total_events =
+    Obs.bounded_memory_sink ~capacity:config.events_capacity
+  in
+  let sink = match trace with None -> ring | Some s -> Obs.tee ring s in
+  (* Recovery order: journal first (pins the boot generation and the
+     replay work list), then the on-disk cache (so replays of jobs whose
+     results did land before the crash are answered without
+     re-simulating), then — lazily, per job — the checkpoints. *)
+  let durable, disk_entries =
+    match config.data_dir with
+    | None -> (None, [])
+    | Some dir ->
+        mkdir_p dir;
+        let cache_dir = Filename.concat dir "cache" in
+        let ckpt_dir = Filename.concat dir "ckpt" in
+        mkdir_p cache_dir;
+        mkdir_p ckpt_dir;
+        let journal = Journal.open_ ~chaos:config.chaos (Filename.concat dir "journal") in
+        let entries, cache_corrupt = Cache_store.load_all cache_dir in
+        ( Some
+            {
+              journal;
+              cache_dir;
+              ckpt_dir;
+              cache_loaded = List.length entries;
+              cache_corrupt;
+              dur_m = Mutex.create ();
+              cache_persisted = 0;
+              cache_persist_failed = 0;
+              recovered_jobs = 0;
+            },
+          entries )
+  in
+  let t =
+    {
+      config;
+      counters = make_counters ();
+      obs = Obs.make sink;
+      fetch_events;
+      total_events;
+      known_circuit;
+      find_circuit;
+      universes = Hashtbl.create 8;
+      universes_m = Mutex.create ();
+      rcache = Cache.create config.cache_capacity;
+      sched =
+        Scheduler.create ~num_domains:config.executors ~capacity:config.queue_capacity
+          ~chaos:config.chaos ();
+      global_evals = Atomic.make 0;
+      draining = Atomic.make false;
+      clients_m = Mutex.create ();
+      clients = [];
+      next_cid = 0;
+      drain_hooks = [];
+      durable;
+      recovery = None;
+      t0 = Obs.now ();
+    }
+  in
+  List.iter
+    (fun (e : Cache_store.entry) ->
+      Cache.add t.rcache e.Cache_store.key
+        {
+          Cache.summary = e.Cache_store.summary;
+          dt_s = e.Cache_store.dt_s;
+          evals = e.Cache_store.evals;
+          n_sites = e.Cache_store.n_sites;
+          recovered = true;
+          persisted = true;
+          stamp = 0;
+        })
+    disk_entries;
+  (match durable with
+  | Some d ->
+      let pending = Journal.recovered d.journal in
+      if pending <> [] then t.recovery <- Some (Thread.create (fun () -> recover t d pending) ())
+  | None -> ());
+  t
+
+let wait_recovery t = match t.recovery with None -> () | Some th -> Thread.join th
+
+(* The SIGHUP hook: compact the journal, retry every cache entry whose
+   disk write failed, and emit a durability snapshot to the trace sink —
+   all without touching admission or live connections. *)
+let maintenance t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      (try Journal.compact d.journal with Journal.Error _ -> ());
+      List.iter
+        (fun (k, (e : Cache.entry)) ->
+          if not e.Cache.persisted then
+            match
+              Cache_store.save ~chaos:t.config.chaos d.cache_dir
+                {
+                  Cache_store.key = k;
+                  summary = e.Cache.summary;
+                  dt_s = e.Cache.dt_s;
+                  evals = e.Cache.evals;
+                  n_sites = e.Cache.n_sites;
+                }
+            with
+            | () ->
+                e.Cache.persisted <- true;
+                Mutex.lock d.dur_m;
+                d.cache_persisted <- d.cache_persisted + 1;
+                Mutex.unlock d.dur_m
+            | exception Cache_store.Error _ ->
+                Mutex.lock d.dur_m;
+                d.cache_persist_failed <- d.cache_persist_failed + 1;
+                Mutex.unlock d.dur_m)
+        (Cache.snapshot t.rcache);
+      if Obs.enabled t.obs then
+        Obs.emit t.obs ~ev:"serve.maintenance"
+          [
+            ("journal_pending", Obs.Int (Journal.pending_count d.journal));
+            ("journal_compactions", Obs.Int (Journal.compactions d.journal));
+            ("generation", Obs.Int (Journal.generation d.journal));
+          ]
 
 (* --- Admission -------------------------------------------------------------------- *)
 
@@ -739,37 +1082,63 @@ let admit t client ~line_no line =
         if Atomic.get t.draining then
           reject `Draining "server is draining; request not admitted" run.Protocol.id
         else begin
-          let job = { line_no; run } in
-          Mutex.lock client.wake_m;
-          client.inflight <- client.inflight + 1;
-          Mutex.unlock client.wake_m;
-          match
-            Scheduler.submit t.sched ~client:client.cid (fun () -> run_job t client job)
-          with
-          | `Ok depth ->
-              Atomic.incr c.accepted;
-              if Obs.enabled t.obs then
-                Obs.emit t.obs ~ev:"serve.accept"
-                  [
-                    ("line", Obs.Int line_no);
-                    ("circuit", Obs.String run.Protocol.circuit);
-                    ("engine", Obs.String (Protocol.engine_name run.Protocol.engine));
-                    ("queue_depth", Obs.Int depth);
-                  ]
-          | (`Full | `Closed) as r ->
+          (* Log-before-work: the job is admitted only once its envelope
+             is durably journaled, so a kill -9 after this point cannot
+             lose it.  A journal that cannot take the record means the
+             durability contract cannot be honoured — the request is
+             refused, not silently run undurable.  [crash_sid] requests
+             (test hooks) are never journaled, like they are never
+             cached. *)
+          let jid =
+            match t.durable with
+            | Some d when run.Protocol.crash_sid = None -> (
+                match
+                  Journal.append_admit d.journal
+                    ~envelope:(Protocol.run_envelope run)
+                with
+                | jid -> Ok (Some jid)
+                | exception Journal.Error msg -> Error msg)
+            | _ -> Ok None
+          in
+          match jid with
+          | Error msg ->
+              Atomic.incr c.failed;
+              client_write t client
+                (Protocol.response ~line:line_no ?id:run.Protocol.id ~status:"error"
+                   [ ("error", Json.String ("journal append failed: " ^ msg)) ])
+          | Ok jid -> (
+              let job = { line_no; run; jid; replay = false } in
               Mutex.lock client.wake_m;
-              client.inflight <- client.inflight - 1;
-              Condition.broadcast client.wake;
+              client.inflight <- client.inflight + 1;
               Mutex.unlock client.wake_m;
-              (match r with
-              | `Full ->
-                  reject `Overloaded
-                    (Printf.sprintf "pending queue full (%d requests)"
-                       t.config.queue_capacity)
-                    run.Protocol.id
-              | `Closed ->
-                  reject `Draining "server is draining; request not admitted"
-                    run.Protocol.id)
+              match
+                Scheduler.submit t.sched ~client:client.cid (fun () -> run_job t client job)
+              with
+              | `Ok depth ->
+                  Atomic.incr c.accepted;
+                  if Obs.enabled t.obs then
+                    Obs.emit t.obs ~ev:"serve.accept"
+                      [
+                        ("line", Obs.Int line_no);
+                        ("circuit", Obs.String run.Protocol.circuit);
+                        ("engine", Obs.String (Protocol.engine_name run.Protocol.engine));
+                        ("queue_depth", Obs.Int depth);
+                      ]
+              | (`Full | `Closed) as r ->
+                  Mutex.lock client.wake_m;
+                  client.inflight <- client.inflight - 1;
+                  Condition.broadcast client.wake;
+                  Mutex.unlock client.wake_m;
+                  journal_done t job ~status:"dropped";
+                  (match r with
+                  | `Full ->
+                      reject `Overloaded
+                        (Printf.sprintf "pending queue full (%d requests)"
+                           t.config.queue_capacity)
+                        run.Protocol.id
+                  | `Closed ->
+                      reject `Draining "server is draining; request not admitted"
+                        run.Protocol.id))
         end
 
 (* --- The serve loop -------------------------------------------------------------- *)

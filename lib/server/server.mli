@@ -62,8 +62,22 @@ type config = {
                                       their reader thread (default [None] = never) *)
   chaos : Dynmos_chaos.Chaos.t;   (** deterministic fault injection: arms the
                                       [serve.write]/[serve.read]/[cache.insert]
-                                      points here and [sched.spawn]/[sched.task]
-                                      in the executor pool (default disabled) *)
+                                      points here, [sched.spawn]/[sched.task] in
+                                      the executor pool, and — with [data_dir] —
+                                      [journal.*]/[cache.persist]/[ckpt.*] in the
+                                      durability layer (default disabled) *)
+  data_dir : string option;    (** durable state root (default [None] = volatile):
+                                   [journal] (write-ahead job journal), [cache/]
+                                   (persistent result cache), [ckpt/] (per-job
+                                   checkpoints).  Admission becomes log-before-
+                                   work, and {!create} recovers whatever the
+                                   previous process — even one killed with
+                                   [kill -9] — left behind *)
+  ckpt_patterns : int;         (** with [data_dir]: jobs of at least this many
+                                   patterns write resumable checkpoints
+                                   (default 4096) *)
+  ckpt_interval : int;         (** checkpoint write throttle, in completed work
+                                   units (default 1000) *)
 }
 
 val default_config : config
@@ -88,7 +102,29 @@ val create :
     [Error] there becomes a structured error response, not a dead
     executor.  The split is injectable so tests can drive the
     lookup-failure path.  Raises [Invalid_argument] on a nonsensical
-    config (non-positive capacities, limits or line bound). *)
+    config (non-positive capacities, limits or line bound).
+
+    With [config.data_dir] set, boot also runs crash recovery, in
+    order: the journal is opened (torn tail truncated, boot generation
+    stamped), the persistent result cache is rehydrated (corrupt
+    entries quarantined), and every journaled-but-unfinished job is
+    re-enqueued on a background thread, replayed through the ordinary
+    execution path — resuming from its checkpoint when one was written
+    — and closed out in the journal; its result lands in the cache, so
+    the client's retry is answered bit-identically with
+    [cached:true, recovered:true].  Raises {!Journal.Error} when the
+    journal file exists but is not one of ours. *)
+
+val wait_recovery : t -> unit
+(** Block until boot recovery has replayed (or abandoned, on drain)
+    every journaled job.  No-op without [data_dir] or with an empty
+    journal. *)
+
+val maintenance : t -> unit
+(** The CLI's SIGHUP hook: force a journal compaction, retry persisting
+    any cache entry whose disk write failed, and emit a
+    [serve.maintenance] durability snapshot — without interrupting
+    admission or live connections.  No-op without [data_dir]. *)
 
 val shutdown : t -> unit
 (** Stop and join the executor pool once all queued work has been
@@ -110,10 +146,15 @@ val obs : t -> Obs.t
 
 val stats_line : t -> (string * Json.t) list
 (** The fields of a [stats] response: uptime, per-status counters,
-    queue/executor/cache/budget state, obs-ring occupancy, and the
+    queue/executor/cache/budget state, obs-ring occupancy, the
     recovery counters ([exec_respawns], [exec_spawn_failures],
-    [executors_live], [idle_reaps], [chaos_injected]).  Exposed for the
-    CLI and tests. *)
+    [executors_live], [idle_reaps], [chaos_injected]) and the
+    durability counters ([journal_appends], [journal_fsyncs],
+    [journal_recovered], [journal_pending], [journal_truncated_tail],
+    [journal_compactions], [cache_persisted], [cache_persist_failed],
+    [cache_corrupt_quarantined], [cache_loaded],
+    [restart_generation] — all zero without [data_dir]).  Exposed for
+    the CLI and tests. *)
 
 val exec_wakeups : t -> int
 (** Times an executor woke from its idle wait — parked workers cost
